@@ -1,0 +1,75 @@
+"""Ablation A3: the paper's §VI Selective-Decay trade-off claim.
+
+"If comparing Decay 512K-decay time (less aggressive), and Selective Decay
+64K-decay time (most aggressive), Selective Decay achieves 75% lower IPC
+penalty than decay, while featuring 25% less energy saving (see 4MB-L2)."
+
+This bench reproduces exactly that comparison pair.
+"""
+
+import pytest
+from conftest import BENCH_SCALE, BENCHMARKS, show
+
+from repro import CMPConfig, TechniqueConfig, simulate
+from repro.harness.figures import FigureTable
+from repro.power.energy import EnergyModel, energy_reduction
+from repro.workloads.registry import get_workload
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    out = {}
+    for wname in BENCHMARKS:
+        wl = get_workload(wname, scale=BENCH_SCALE)
+        base_cfg = CMPConfig().with_total_l2_mb(4)
+        base = simulate(base_cfg, wl, warmup_fraction=0.17)
+        base_e = EnergyModel(base_cfg).evaluate(base)
+        point = {}
+        for label, tech in [
+            ("decay512K", TechniqueConfig(
+                name="decay",
+                decay_cycles=max(64, int(512_000 * BENCH_SCALE)))),
+            ("sel_decay64K", TechniqueConfig(
+                name="selective_decay",
+                decay_cycles=max(64, int(64_000 * BENCH_SCALE)))),
+        ]:
+            cfg = base_cfg.with_technique(tech)
+            res = simulate(cfg, wl, warmup_fraction=0.17)
+            e = EnergyModel(cfg).evaluate(res)
+            point[label] = (1 - res.ipc / base.ipc,
+                            energy_reduction(base_e, e))
+        out[wname] = point
+    return out
+
+
+def test_sd64k_vs_decay512k(benchmark, comparison):
+    """SD-64K must cut the IPC penalty while giving up some energy."""
+
+    def render():
+        t = FigureTable(
+            "ablationA3",
+            "Decay 512K vs Selective Decay 64K (paper SVI claim, 4MB)",
+            list(comparison))
+        for row, idx in (("decay512K ipc", 0), ("sd64K ipc", 0),
+                         ("decay512K energy", 1), ("sd64K energy", 1)):
+            label = row.split()[0]
+            key = "decay512K" if label == "decay512K" else "sel_decay64K"
+            t.add_row(row, [f"{comparison[w][key][idx] * 100:.1f}%"
+                            for w in comparison])
+        return t
+
+    table = benchmark(render)
+    show(table)
+
+    avg_ipc = {
+        k: sum(comparison[w][k][0] for w in comparison) / len(comparison)
+        for k in ("decay512K", "sel_decay64K")
+    }
+    avg_red = {
+        k: sum(comparison[w][k][1] for w in comparison) / len(comparison)
+        for k in ("decay512K", "sel_decay64K")
+    }
+    # SD-64K has the lower IPC penalty ...
+    assert avg_ipc["sel_decay64K"] < avg_ipc["decay512K"]
+    # ... and gives up part of the energy saving.
+    assert avg_red["sel_decay64K"] < avg_red["decay512K"]

@@ -1,0 +1,25 @@
+"""Fig 3(a): L2 occupation rate — techniques x total cache size.
+
+Paper reference: protocol 87->50% (1->8MB), decay 10->1%, sel_decay 50->18%.
+Measured-vs-paper numbers are recorded in EXPERIMENTS.md.
+"""
+
+from conftest import BENCHMARKS, SIZES, show
+
+from repro.harness.figures import fig3a
+
+
+def test_fig3a(benchmark, runner):
+    """Regenerate Fig 3a over the configured sweep matrix."""
+    table = benchmark.pedantic(
+        lambda: fig3a(runner, sizes=SIZES, benchmarks=BENCHMARKS),
+        iterations=1, rounds=1)
+    show(table)
+    assert table.rows
+    # shape checks: decay gates most, protocol least aggressive
+    last = table.columns[-1]
+    col = table.columns.index(last)
+    def val(row):
+        return float(table.cells[row][col].rstrip("%"))
+    assert val("decay64K") < val("sel_decay64K") < val("protocol")
+    assert val("baseline") == 100.0

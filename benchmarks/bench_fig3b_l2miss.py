@@ -1,0 +1,24 @@
+"""Fig 3(b): L2 miss rate — techniques x total cache size.
+
+Paper reference: baseline/protocol ~0.5%, sel_decay ~1.5%, decay ~2%, flat in size.
+Measured-vs-paper numbers are recorded in EXPERIMENTS.md.
+"""
+
+from conftest import BENCHMARKS, SIZES, show
+
+from repro.harness.figures import fig3b
+
+
+def test_fig3b(benchmark, runner):
+    """Regenerate Fig 3b over the configured sweep matrix."""
+    table = benchmark.pedantic(
+        lambda: fig3b(runner, sizes=SIZES, benchmarks=BENCHMARKS),
+        iterations=1, rounds=1)
+    show(table)
+    assert table.rows
+    col = len(table.columns) - 1
+    def val(row):
+        return float(table.cells[row][col].rstrip("%"))
+    # more aggressive decay -> more misses; protocol == baseline
+    assert val("decay64K") >= val("sel_decay64K") >= val("protocol") - 1e-6
+    assert abs(val("protocol") - val("baseline")) < 0.2

@@ -1,0 +1,24 @@
+"""Fig 4(a): memory bandwidth increase — techniques x total cache size.
+
+Paper reference: decay up to ~200% @8MB, sel_decay about half, protocol ~0%.
+Measured-vs-paper numbers are recorded in EXPERIMENTS.md.
+"""
+
+from conftest import BENCHMARKS, SIZES, show
+
+from repro.harness.figures import fig4a
+
+
+def test_fig4a(benchmark, runner):
+    """Regenerate Fig 4a over the configured sweep matrix."""
+    table = benchmark.pedantic(
+        lambda: fig4a(runner, sizes=SIZES, benchmarks=BENCHMARKS),
+        iterations=1, rounds=1)
+    show(table)
+    assert table.rows
+    col = len(table.columns) - 1
+    def val(row):
+        return float(table.cells[row][col].rstrip("%"))
+    # decay-class techniques add off-chip traffic; protocol adds none
+    assert abs(val("protocol")) < 0.5
+    assert val("decay64K") > val("protocol")

@@ -1,0 +1,23 @@
+"""Fig 4(b): AMAT increase — techniques x total cache size.
+
+Paper reference: decay-based ~10% avg; SD ~10% better than Decay.
+Measured-vs-paper numbers are recorded in EXPERIMENTS.md.
+"""
+
+from conftest import BENCHMARKS, SIZES, show
+
+from repro.harness.figures import fig4b
+
+
+def test_fig4b(benchmark, runner):
+    """Regenerate Fig 4b over the configured sweep matrix."""
+    table = benchmark.pedantic(
+        lambda: fig4b(runner, sizes=SIZES, benchmarks=BENCHMARKS),
+        iterations=1, rounds=1)
+    show(table)
+    assert table.rows
+    col = len(table.columns) - 1
+    def val(row):
+        return float(table.cells[row][col].rstrip("%"))
+    assert abs(val("protocol")) < 0.5
+    assert val("decay64K") >= val("sel_decay64K") - 1e-6

@@ -1,0 +1,24 @@
+"""Fig 5(a): system energy reduction — techniques x total cache size.
+
+Paper reference: @4MB: protocol 13%, decay 30%, sel_decay 21%; @8MB: 25/44/38%.
+Measured-vs-paper numbers are recorded in EXPERIMENTS.md.
+"""
+
+from conftest import BENCHMARKS, SIZES, show
+
+from repro.harness.figures import fig5a
+
+
+def test_fig5a(benchmark, runner):
+    """Regenerate Fig 5a over the configured sweep matrix."""
+    table = benchmark.pedantic(
+        lambda: fig5a(runner, sizes=SIZES, benchmarks=BENCHMARKS),
+        iterations=1, rounds=1)
+    show(table)
+    assert table.rows
+    col = len(table.columns) - 1
+    def val(row):
+        return float(table.cells[row][col].rstrip("%"))
+    # at the largest size decay saves most and everything saves something
+    assert val("decay512K") > val("protocol") > 0
+    assert val("sel_decay512K") > 0

@@ -1,0 +1,23 @@
+"""Fig 5(b): IPC loss — techniques x total cache size.
+
+Paper reference: @4MB: protocol 0%, decay 8%, sel_decay 2%.
+Measured-vs-paper numbers are recorded in EXPERIMENTS.md.
+"""
+
+from conftest import BENCHMARKS, SIZES, show
+
+from repro.harness.figures import fig5b
+
+
+def test_fig5b(benchmark, runner):
+    """Regenerate Fig 5b over the configured sweep matrix."""
+    table = benchmark.pedantic(
+        lambda: fig5b(runner, sizes=SIZES, benchmarks=BENCHMARKS),
+        iterations=1, rounds=1)
+    show(table)
+    assert table.rows
+    col = len(table.columns) - 1
+    def val(row):
+        return float(table.cells[row][col].rstrip("%"))
+    assert abs(val("protocol")) < 1e-6          # paper: 0%
+    assert val("decay64K") > val("sel_decay64K")  # SD is the performance fix

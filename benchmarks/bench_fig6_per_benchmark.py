@@ -1,0 +1,51 @@
+"""Fig 6(a)/(b): per-benchmark energy reduction and IPC loss at 4 MB.
+
+Paper signatures checked here:
+
+* 6(a): Protocol is nearly as good as Decay for mpeg2dec; Selective Decay
+  trails plain Decay for mpeg2enc and FMM.
+* 6(b): scientific benchmarks lose more IPC than multimedia; larger decay
+  times visibly help VOLREND and mpeg2dec.
+"""
+
+import pytest
+from conftest import BENCHMARKS, FIG6_MB, FULL, show
+
+from repro.harness.figures import fig6a, fig6b
+
+
+def _val(table, row, bench):
+    col = table.columns.index(bench)
+    return float(table.cells[row][col].rstrip("%"))
+
+
+def test_fig6a_energy_per_benchmark(benchmark, runner):
+    """Regenerate Fig 6(a)."""
+    table = benchmark.pedantic(
+        lambda: fig6a(runner, total_mb=FIG6_MB, benchmarks=BENCHMARKS),
+        iterations=1, rounds=1)
+    show(table)
+    if "mpeg2dec" in table.columns:
+        # protocol within reach of decay for mpeg2dec (small footprint)
+        assert _val(table, "protocol", "mpeg2dec") > 0
+    if FULL and "mpeg2enc" in table.columns:
+        assert _val(table, "sel_decay64K", "mpeg2enc") < \
+            _val(table, "decay64K", "mpeg2enc")
+
+
+def test_fig6b_ipc_per_benchmark(benchmark, runner):
+    """Regenerate Fig 6(b)."""
+    table = benchmark.pedantic(
+        lambda: fig6b(runner, total_mb=FIG6_MB, benchmarks=BENCHMARKS),
+        iterations=1, rounds=1)
+    show(table)
+    for bench in table.columns:
+        assert abs(_val(table, "protocol", bench)) < 1e-6
+    if "water_ns" in table.columns and "facerec" in table.columns:
+        # scientific hurt more than multimedia under aggressive decay
+        assert _val(table, "decay64K", "water_ns") > \
+            _val(table, "decay64K", "facerec")
+    if "mpeg2dec" in table.columns:
+        # larger decay visibly helps mpeg2dec
+        assert _val(table, "decay512K", "mpeg2dec") < \
+            _val(table, "decay64K", "mpeg2dec")

@@ -1,0 +1,43 @@
+"""Engineering benchmark: simulator throughput (accesses/second).
+
+Not a paper figure — tracks the performance of the per-access hot path
+(the hpc-parallel guides' "profile before optimizing" baseline).  History
+of observed numbers lives in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro import CMPConfig, TechniqueConfig, Simulator
+from repro.workloads.registry import get_workload
+
+SCALE = 0.04
+
+
+@pytest.mark.parametrize("tech", ["baseline", "decay"])
+def test_simulator_throughput(benchmark, tech):
+    """End-to-end accesses/sec for one small run."""
+    wl = get_workload("uniform", scale=SCALE)
+    cfg = CMPConfig().with_total_l2_mb(1).with_technique(
+        TechniqueConfig(name=tech, decay_cycles=max(64, int(64_000 * SCALE))))
+
+    def run():
+        return Simulator(cfg).run(wl)
+
+    res = benchmark.pedantic(run, iterations=1, rounds=3)
+    accesses = sum(c.loads + c.stores for c in res.cores)
+    assert accesses == wl.meta.accesses_per_core * cfg.n_cores
+
+
+def test_workload_generation_throughput(benchmark):
+    """Generator-side records/sec (must not dominate simulation)."""
+    wl = get_workload("water_ns", scale=SCALE)
+
+    def drain():
+        n = 0
+        for stream in wl.streams(4):
+            for _ in stream:
+                n += 1
+        return n
+
+    n = benchmark.pedantic(drain, iterations=1, rounds=3)
+    assert n >= 4 * wl.meta.accesses_per_core

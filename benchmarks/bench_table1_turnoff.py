@@ -1,0 +1,53 @@
+"""Table I — the turn-off legality matrix, plus protocol micro-benchmarks.
+
+Regenerates the paper's Table I verbatim and benchmarks the protocol
+decision engine (the per-access hot path of the simulator).
+"""
+
+from conftest import show
+
+from repro.coherence.mesi import MESIProtocol
+from repro.coherence.states import E, I, M, S
+from repro.coherence.turnoff import TurnOffSequencer
+from repro.harness.figures import table1
+
+
+def test_table1_matrix(benchmark):
+    """Render Table I (pure protocol logic, no simulation)."""
+    table = benchmark(table1)
+    show(table)
+    cmp_dirty = table.cells["cmp-L1WT"][1]
+    assert "write back" in cmp_dirty and "upper level" in cmp_dirty
+
+
+def test_turnoff_sequencer_throughput(benchmark):
+    """Turn-off decision rate (decay's per-event cost)."""
+    seq = TurnOffSequencer()
+    states = [M, E, S, I] * 250
+
+    def run():
+        gated = 0
+        for s in states:
+            _, r = seq.initiate(s)
+            gated += r.gated
+        return gated
+
+    gated = benchmark(run)
+    assert gated == len(states)
+
+
+def test_snoop_table_throughput(benchmark):
+    """Snoop-side decision rate (every bus transaction pays this)."""
+    from repro.coherence.events import BUS_RD, BUS_RDX
+
+    proto = MESIProtocol()
+    cases = [(M, BUS_RD), (E, BUS_RDX), (S, BUS_RD), (I, BUS_RDX)] * 250
+
+    def run():
+        acc = 0
+        for s, txn in cases:
+            nxt, _ = proto.snoop(s, txn)
+            acc += nxt
+        return acc
+
+    benchmark(run)

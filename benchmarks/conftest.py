@@ -1,0 +1,56 @@
+"""Shared configuration for the per-figure reproduction benches.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE`` — workload time-dilation (default 0.04: CI-sized,
+  each simulation point takes ~1 s; the EXPERIMENTS.md reference numbers
+  were recorded at 0.1).
+* ``REPRO_BENCH_FULL=1`` — full paper matrix (6 benchmarks × 4 sizes);
+  default is a reduced matrix (3 benchmarks × {1,4} MB) so
+  ``pytest benchmarks/ --benchmark-only`` completes in minutes.
+
+All benches share the on-disk result cache (``.repro_cache``), so the
+sweep is simulated once and every figure re-renders from cache.
+"""
+
+import os
+
+import pytest
+
+from repro.harness.runner import SweepRunner
+from repro.workloads.registry import PAPER_BENCHMARKS
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.04"))
+FULL = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+SIZES = (1, 2, 4, 8) if FULL else (1, 4)
+BENCHMARKS = tuple(PAPER_BENCHMARKS) if FULL else (
+    "mpeg2dec", "water_ns", "facerec")
+
+#: per-benchmark figure (fig6) runs at this single total size
+FIG6_MB = 4
+
+
+@pytest.fixture(scope="session")
+def runner():
+    """Session-wide sweep runner with the shared cache."""
+    return SweepRunner(scale=BENCH_SCALE, cache_dir=".repro_cache",
+                       verbose=True)
+
+
+#: rendered figures are also appended here (pytest captures stdout)
+FIGURES_FILE = os.path.join(os.path.dirname(__file__), "..",
+                            "bench_figures.txt")
+
+
+def show(table):
+    """Print a rendered figure and persist it to ``bench_figures.txt``.
+
+    pytest captures stdout by default, so the benches also append every
+    rendered table to a file in the repository root — that file is the
+    regenerated-figures artifact referenced from EXPERIMENTS.md.
+    """
+    text = "\n" + table.render() + "\n"
+    print(text)
+    with open(FIGURES_FILE, "a") as fh:
+        fh.write(f"[scale={BENCH_SCALE} full={FULL}]" + text)

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Decay-time tuning study: where is the Energy-Delay sweet spot?
+
+The paper observes that "larger decay time might be a better choice from
+the Energy-Delay point of view" (§VI).  This example sweeps decay times
+from 16K to 1M cycles on one benchmark, computes an Energy-Delay product
+for each point, and reports the best setting per technique — the kind of
+downstream design-space exploration the library is built for.
+"""
+
+import argparse
+
+from repro import CMPConfig, TechniqueConfig, simulate, get_workload
+from repro.power import EnergyModel
+
+NOMINAL_DECAYS = (16_000, 32_000, 64_000, 128_000, 256_000, 512_000,
+                  1_024_000)
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--workload", default="volrend")
+    ap.add_argument("--mb", type=int, default=4)
+    ap.add_argument("--scale", type=float, default=0.05)
+    args = ap.parse_args()
+
+    wl = get_workload(args.workload, scale=args.scale)
+    base_cfg = CMPConfig().with_total_l2_mb(args.mb)
+    base = simulate(base_cfg, wl, warmup_fraction=0.17)
+    base_e = EnergyModel(base_cfg).evaluate(base)
+    base_edp = base_e.total * base.total_cycles
+
+    print(f"{args.workload}, {args.mb}MB total, baseline EDP normalized "
+          f"to 1.0\n")
+    print(f"{'decay':>8s} {'technique':16s} {'energy':>8s} {'delay':>8s} "
+          f"{'EDP':>8s}")
+    print("-" * 55)
+
+    best = {}
+    for name in ("decay", "selective_decay"):
+        for nominal in NOMINAL_DECAYS:
+            tech = TechniqueConfig(
+                name=name,
+                decay_cycles=max(64, int(nominal * args.scale)))
+            cfg = base_cfg.with_technique(tech)
+            res = simulate(cfg, wl, warmup_fraction=0.17)
+            e = EnergyModel(cfg).evaluate(res)
+            energy = e.total / base_e.total
+            delay = res.total_cycles / base.total_cycles
+            edp = energy * delay
+            print(f"{nominal // 1000:>6d}K {name:16s} {energy:8.3f} "
+                  f"{delay:8.3f} {edp:8.3f}")
+            key = (name,)
+            if key not in best or edp < best[key][1]:
+                best[key] = (nominal, edp)
+        print("-" * 55)
+
+    for (name,), (nominal, edp) in best.items():
+        print(f"best EDP for {name}: decay={nominal // 1000}K "
+              f"(EDP {edp:.3f} of baseline)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Thermal study: per-block temperatures and the leakage-temperature loop.
+
+Demonstrates the HotSpot-style side of the pipeline:
+
+1. simulates one benchmark with activity sampling enabled;
+2. prints the steady-state fixpoint temperatures per floorplan block for
+   baseline vs. Decay (gating the L2 cools it, which lowers leakage
+   further — the positive feedback the fixpoint captures);
+3. renders an ASCII transient heat trace of the hottest core and its L2.
+"""
+
+import argparse
+from dataclasses import replace
+
+from repro import CMPConfig, TechniqueConfig, simulate, get_workload
+from repro.power import EnergyModel
+
+
+def spark(values, width=60) -> str:
+    """Cheap ASCII sparkline."""
+    blocks = " .:-=+*#%@"
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    step = max(1, len(values) // width)
+    pts = values[::step][:width]
+    return "".join(blocks[int((v - lo) / span * (len(blocks) - 1))]
+                   for v in pts)
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--workload", default="mpeg2enc")
+    ap.add_argument("--mb", type=int, default=8)
+    ap.add_argument("--scale", type=float, default=0.05)
+    args = ap.parse_args()
+
+    wl = get_workload(args.workload, scale=args.scale)
+    sample_interval = 20_000
+
+    results = {}
+    for name in ("baseline", "decay"):
+        cfg = CMPConfig(sample_interval=sample_interval) \
+            .with_total_l2_mb(args.mb) \
+            .with_technique(TechniqueConfig(
+                name=name,
+                decay_cycles=max(64, int(64_000 * args.scale))))
+        res = simulate(cfg, wl, warmup_fraction=0.17)
+        model = EnergyModel(cfg)
+        bd = model.evaluate(res)
+        results[name] = (cfg, res, model, bd)
+
+    print(f"{args.workload}, {args.mb}MB total L2\n")
+    print("steady-state fixpoint temperatures (C):")
+    blocks = sorted(results["baseline"][3].temperatures)
+    print(f"{'block':8s} {'baseline':>9s} {'decay':>9s} {'delta':>7s}")
+    for b in blocks:
+        tb = results["baseline"][3].temperatures[b] - 273.15
+        td = results["decay"][3].temperatures[b] - 273.15
+        print(f"{b:8s} {tb:9.1f} {td:9.1f} {td - tb:7.1f}")
+
+    base_bd = results["baseline"][3]
+    dec_bd = results["decay"][3]
+    print(f"\nL2 leakage: baseline {base_bd.l2_leakage * 1e3:.2f} mJ "
+          f"({base_bd.l2_leakage_share:.1%} of system) -> decay "
+          f"{dec_bd.l2_leakage * 1e3:.2f} mJ "
+          f"({dec_bd.l2_leakage_share:.1%})")
+
+    cfg, res, model, _ = results["baseline"]
+    trace = model.transient_temperatures(res)
+    core0 = [t["core0"] - 273.15 for t in trace]
+    l2_0 = [t["l2_0"] - 273.15 for t in trace]
+    print(f"\ntransient warm-up over {len(trace)} intervals of "
+          f"{sample_interval} cycles (baseline):")
+    print(f"  core0 [{min(core0):5.1f}C..{max(core0):5.1f}C] "
+          f"{spark(core0)}")
+    print(f"  l2_0  [{min(l2_0):5.1f}C..{max(l2_0):5.1f}C] "
+          f"{spark(l2_0)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The execution environment ships setuptools without the ``wheel`` package,
+so PEP 660 editable installs (which need ``bdist_wheel``) fail offline.
+Keeping a ``setup.py`` lets ``pip install -e .`` fall back to the legacy
+``develop`` path; all metadata lives in ``setup.cfg``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,70 @@
+"""repro — CMP L2 leakage optimization via coherence information and decay.
+
+A from-scratch Python reproduction of
+
+    M. Monchiero, R. Canal, A. González, "Using Coherence Information and
+    Decay Techniques to Optimize L2 Cache Leakage in CMPs", ICPP 2009.
+
+The package contains a trace-driven 4-core CMP simulator (write-through
+L1s, private inclusive MESI-snoopy L2s, shared bus, external memory), the
+three leakage-saving techniques of the paper (Protocol turn-off, Decay,
+Selective Decay), synthetic models of the six evaluated benchmarks, and a
+power/thermal pipeline (CACTI/Wattch/Orion-style dynamic energy, Liao-style
+temperature-dependent leakage, HotSpot-style RC thermal network).
+
+Quickstart::
+
+    from repro import CMPConfig, TechniqueConfig, simulate, get_workload
+
+    cfg = CMPConfig().with_total_l2_mb(4).with_technique(
+        TechniqueConfig(name="decay", decay_cycles=64_000))
+    wl = get_workload("water_ns", scale=0.05)
+    result = simulate(cfg, wl)
+    print(result.summary())
+
+See ``examples/`` for complete studies and ``benchmarks/`` for the
+per-figure reproduction harnesses.
+"""
+
+from .sim import (
+    BASELINE,
+    DECAY,
+    PROTOCOL,
+    SELECTIVE_DECAY,
+    CMPConfig,
+    CoreConfig,
+    L1Config,
+    L2Config,
+    MemoryConfig,
+    SimResult,
+    Simulator,
+    TechniqueConfig,
+    paper_technique_order,
+    paper_techniques,
+    simulate,
+)
+from .workloads import Workload, get_workload, list_workloads
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BASELINE",
+    "DECAY",
+    "PROTOCOL",
+    "SELECTIVE_DECAY",
+    "CMPConfig",
+    "CoreConfig",
+    "L1Config",
+    "L2Config",
+    "MemoryConfig",
+    "SimResult",
+    "Simulator",
+    "TechniqueConfig",
+    "paper_technique_order",
+    "paper_techniques",
+    "simulate",
+    "Workload",
+    "get_workload",
+    "list_workloads",
+    "__version__",
+]

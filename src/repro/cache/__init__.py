@@ -1,0 +1,37 @@
+"""Cache substrate: geometry, tag/state arrays, replacement, MSHRs, write buffers.
+
+These are the building blocks shared by the L1 and L2 models in
+:mod:`repro.hierarchy` and by the analytical power models in
+:mod:`repro.power`.
+"""
+
+from .array import INVALID, CacheArray
+from .geometry import CacheGeometry, geometry_kb, is_pow2, log2_exact
+from .mshr import MSHR, MSHREntry, MSHRStats
+from .replacement import (
+    LRUPolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+    TreePLRUPolicy,
+    make_policy,
+)
+from .write_buffer import WriteBuffer, WriteBufferStats
+
+__all__ = [
+    "INVALID",
+    "CacheArray",
+    "CacheGeometry",
+    "geometry_kb",
+    "is_pow2",
+    "log2_exact",
+    "MSHR",
+    "MSHREntry",
+    "MSHRStats",
+    "LRUPolicy",
+    "RandomPolicy",
+    "ReplacementPolicy",
+    "TreePLRUPolicy",
+    "make_policy",
+    "WriteBuffer",
+    "WriteBufferStats",
+]

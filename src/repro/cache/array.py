@@ -1,0 +1,201 @@
+"""Tag/state array for a set-associative cache.
+
+:class:`CacheArray` stores, per line frame, a tag (full line address) and an
+integer state code.  It is deliberately policy-agnostic: the same array backs
+the write-through L1 (states VALID/INVALID) and the MESI L2 (states
+I/S/E/M/OFF/TC/TD).  Coherence logic and leakage policies layer their own
+metadata on top, indexed by the *frame index* ``set * assoc + way``.
+
+Performance notes (hot path): lookups go through a per-set dict
+``line_addr -> way``; state and tags live in flat Python lists.  Callers on
+the per-access path should bind ``array.state`` etc. to locals.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from .geometry import CacheGeometry
+from .replacement import ReplacementPolicy, make_policy
+
+#: State code shared by every user of CacheArray for "no line present".
+INVALID = 0
+
+
+class CacheArray:
+    """Tags + integer states + replacement bookkeeping for one cache.
+
+    Parameters
+    ----------
+    geometry:
+        The cache geometry.
+    policy:
+        Replacement policy name (``lru``, ``tree-plru``, ``random``) or an
+        already-constructed :class:`ReplacementPolicy`.
+    """
+
+    __slots__ = ("geom", "tags", "state", "repl", "_lookup", "_assoc")
+
+    def __init__(
+        self, geometry: CacheGeometry, policy: str | ReplacementPolicy = "lru"
+    ) -> None:
+        self.geom = geometry
+        n = geometry.n_lines
+        self.tags: List[int] = [-1] * n
+        self.state: List[int] = [INVALID] * n
+        if isinstance(policy, str):
+            policy = make_policy(policy, geometry.n_sets, geometry.assoc)
+        self.repl: ReplacementPolicy = policy
+        self._lookup: List[dict] = [dict() for _ in range(geometry.n_sets)]
+        self._assoc = geometry.assoc
+
+    # ------------------------------------------------------------------
+    # Basic indexing
+    # ------------------------------------------------------------------
+    def frame_index(self, set_idx: int, way: int) -> int:
+        """Flat frame index of (set, way)."""
+        return set_idx * self._assoc + way
+
+    def set_of_frame(self, frame: int) -> int:
+        """Set index owning ``frame``."""
+        return frame // self._assoc
+
+    def way_of_frame(self, frame: int) -> int:
+        """Way of ``frame`` within its set."""
+        return frame % self._assoc
+
+    # ------------------------------------------------------------------
+    # Lookup / probe
+    # ------------------------------------------------------------------
+    def probe(self, line_addr: int) -> int:
+        """Return the frame holding ``line_addr`` or ``-1``.  No side effects."""
+        set_idx = self.geom.set_index_of_line(line_addr)
+        way = self._lookup[set_idx].get(line_addr, -1)
+        if way < 0:
+            return -1
+        return set_idx * self._assoc + way
+
+    def touch(self, frame: int) -> None:
+        """Record a reference for replacement purposes."""
+        self.repl.on_access(frame // self._assoc, frame % self._assoc)
+
+    def lookup(self, line_addr: int) -> int:
+        """Probe and, on hit, update recency.  Returns frame or ``-1``."""
+        frame = self.probe(line_addr)
+        if frame >= 0:
+            self.touch(frame)
+        return frame
+
+    # ------------------------------------------------------------------
+    # Allocation / eviction
+    # ------------------------------------------------------------------
+    def choose_victim(
+        self, line_addr: int, blocked: Optional[Callable[[int], bool]] = None
+    ) -> int:
+        """Pick a victim frame in the set of ``line_addr``.
+
+        Prefers an empty (INVALID-state) frame; otherwise asks the
+        replacement policy.  ``blocked(frame)`` excludes frames (e.g. lines
+        in transient coherence states).  Returns ``-1`` when everything is
+        blocked.
+        """
+        set_idx = self.geom.set_index_of_line(line_addr)
+        base = set_idx * self._assoc
+        state = self.state
+        for way in range(self._assoc):
+            frame = base + way
+            if state[frame] == INVALID and self.tags[frame] == -1:
+                if blocked is None or not blocked(frame):
+                    return frame
+        if blocked is None:
+            way = self.repl.victim(set_idx)
+        else:
+            way = self.repl.victim(set_idx, lambda w: blocked(base + w))
+        return -1 if way < 0 else base + way
+
+    def install(self, line_addr: int, frame: int, state: int) -> Tuple[int, int]:
+        """Install ``line_addr`` into ``frame`` with ``state``.
+
+        Returns ``(evicted_line_addr, evicted_state)`` where the address is
+        ``-1`` if the frame was empty.  The caller is responsible for any
+        writeback or coherence action implied by the evicted state.
+        """
+        set_idx = frame // self._assoc
+        way = frame % self._assoc
+        old_tag = self.tags[frame]
+        old_state = self.state[frame]
+        if old_tag != -1:
+            del self._lookup[set_idx][old_tag]
+        self.tags[frame] = line_addr
+        self.state[frame] = state
+        self._lookup[set_idx][line_addr] = way
+        self.repl.on_fill(set_idx, way)
+        return (old_tag, old_state)
+
+    def evict(self, frame: int) -> Tuple[int, int]:
+        """Remove the line in ``frame`` (state -> INVALID); return (tag, state)."""
+        set_idx = frame // self._assoc
+        way = frame % self._assoc
+        old_tag = self.tags[frame]
+        old_state = self.state[frame]
+        if old_tag != -1:
+            del self._lookup[set_idx][old_tag]
+            self.tags[frame] = -1
+        self.state[frame] = INVALID
+        self.repl.on_invalidate(set_idx, way)
+        return (old_tag, old_state)
+
+    def set_state(self, frame: int, state: int) -> None:
+        """Overwrite the state code of ``frame`` (tag unchanged)."""
+        self.state[frame] = state
+
+    # ------------------------------------------------------------------
+    # Introspection (tests, stats, debugging)
+    # ------------------------------------------------------------------
+    def tag_of(self, frame: int) -> int:
+        """Line address stored in ``frame`` (-1 when empty)."""
+        return self.tags[frame]
+
+    def state_of(self, frame: int) -> int:
+        """State code of ``frame``."""
+        return self.state[frame]
+
+    def resident_lines(self) -> Iterator[Tuple[int, int, int]]:
+        """Yield ``(frame, line_addr, state)`` for every non-empty frame."""
+        tags = self.tags
+        state = self.state
+        for frame in range(len(tags)):
+            if tags[frame] != -1:
+                yield frame, tags[frame], state[frame]
+
+    def count_in_state(self, state_code: int) -> int:
+        """Number of frames currently in ``state_code``."""
+        return sum(1 for s in self.state if s == state_code)
+
+    def check_integrity(self) -> None:
+        """Internal consistency check used by the test-suite.
+
+        Verifies the lookup dicts agree with the tag array and that no line
+        address appears twice.
+        """
+        seen = {}
+        for set_idx, table in enumerate(self._lookup):
+            for line_addr, way in table.items():
+                frame = set_idx * self._assoc + way
+                if self.tags[frame] != line_addr:
+                    raise AssertionError(
+                        f"lookup says frame {frame} holds {line_addr:#x} but tag "
+                        f"array says {self.tags[frame]:#x}"
+                    )
+                if self.geom.set_index_of_line(line_addr) != set_idx:
+                    raise AssertionError(
+                        f"line {line_addr:#x} indexed into wrong set {set_idx}"
+                    )
+                if line_addr in seen:
+                    raise AssertionError(f"duplicate line {line_addr:#x}")
+                seen[line_addr] = frame
+        n_tags = sum(1 for t in self.tags if t != -1)
+        if n_tags != len(seen):
+            raise AssertionError(
+                f"tag array has {n_tags} lines but lookup has {len(seen)}"
+            )

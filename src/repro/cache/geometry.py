@@ -1,0 +1,129 @@
+"""Cache geometry: sizes, indexing, and address decomposition.
+
+Every cache structure in the simulator (L1, L2, and the analytical CACTI
+model) shares the same geometry description.  Addresses are plain Python
+integers (byte addresses); a *line address* is ``addr >> line_shift``.
+
+The geometry object pre-computes the shift/mask constants used on the
+per-access hot path so callers can bind them to locals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def is_pow2(x: int) -> bool:
+    """Return True if ``x`` is a positive power of two."""
+    return x > 0 and (x & (x - 1)) == 0
+
+
+def log2_exact(x: int) -> int:
+    """Return log2 of a power of two; raise ValueError otherwise."""
+    if not is_pow2(x):
+        raise ValueError(f"{x} is not a positive power of two")
+    return x.bit_length() - 1
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Immutable description of a set-associative cache array.
+
+    Parameters
+    ----------
+    size_bytes:
+        Total data capacity in bytes.  Must be ``sets * assoc * line_bytes``.
+    line_bytes:
+        Cache line (block) size in bytes.  Power of two.
+    assoc:
+        Associativity (number of ways).  ``assoc == sets * assoc`` lines for a
+        fully-associative cache is expressed by passing ``assoc = n_lines``.
+    """
+
+    size_bytes: int
+    line_bytes: int
+    assoc: int
+
+    def __post_init__(self) -> None:
+        if not is_pow2(self.line_bytes):
+            raise ValueError(f"line_bytes must be a power of two, got {self.line_bytes}")
+        if self.assoc <= 0:
+            raise ValueError(f"assoc must be positive, got {self.assoc}")
+        if self.size_bytes <= 0 or self.size_bytes % (self.line_bytes * self.assoc):
+            raise ValueError(
+                f"size_bytes={self.size_bytes} is not divisible by "
+                f"line_bytes*assoc={self.line_bytes * self.assoc}"
+            )
+        if not is_pow2(self.n_sets):
+            raise ValueError(
+                f"number of sets must be a power of two, got {self.n_sets} "
+                f"(size={self.size_bytes}, line={self.line_bytes}, assoc={self.assoc})"
+            )
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def n_lines(self) -> int:
+        """Total number of line frames in the cache."""
+        return self.size_bytes // self.line_bytes
+
+    @property
+    def n_sets(self) -> int:
+        """Number of sets."""
+        return self.size_bytes // (self.line_bytes * self.assoc)
+
+    @property
+    def line_shift(self) -> int:
+        """Bit shift converting a byte address to a line address."""
+        return log2_exact(self.line_bytes)
+
+    @property
+    def set_mask(self) -> int:
+        """Mask applied to a line address to obtain the set index."""
+        return self.n_sets - 1
+
+    @property
+    def index_bits(self) -> int:
+        """Number of set-index bits."""
+        return log2_exact(self.n_sets)
+
+    @property
+    def offset_bits(self) -> int:
+        """Number of line-offset bits."""
+        return self.line_shift
+
+    # ------------------------------------------------------------------
+    # Address decomposition
+    # ------------------------------------------------------------------
+    def line_addr(self, byte_addr: int) -> int:
+        """Line address (block number) of a byte address."""
+        return byte_addr >> self.line_shift
+
+    def set_index(self, byte_addr: int) -> int:
+        """Set index of a byte address."""
+        return (byte_addr >> self.line_shift) & self.set_mask
+
+    def set_index_of_line(self, line_addr: int) -> int:
+        """Set index of a line address."""
+        return line_addr & self.set_mask
+
+    def base_of_line(self, line_addr: int) -> int:
+        """First byte address covered by ``line_addr``."""
+        return line_addr << self.line_shift
+
+    def same_line(self, a: int, b: int) -> bool:
+        """True when byte addresses ``a`` and ``b`` fall in the same line."""
+        return (a >> self.line_shift) == (b >> self.line_shift)
+
+    def describe(self) -> str:
+        """Human-readable one-line summary, e.g. ``1024KB/8way/64B (2048 sets)``."""
+        return (
+            f"{self.size_bytes // 1024}KB/{self.assoc}way/{self.line_bytes}B "
+            f"({self.n_sets} sets)"
+        )
+
+
+def geometry_kb(size_kb: int, line_bytes: int = 64, assoc: int = 8) -> CacheGeometry:
+    """Convenience constructor taking the capacity in KB."""
+    return CacheGeometry(size_bytes=size_kb * 1024, line_bytes=line_bytes, assoc=assoc)

@@ -1,0 +1,127 @@
+"""Miss Status Holding Registers (MSHRs).
+
+Both cache levels of the paper's system own an MSHR file ("which allows
+that multiple hits are served under a pending miss", paper §III, Fig. 1).
+The simulator uses MSHRs for two things:
+
+* limiting memory-level parallelism — a core stalls when it needs a new
+  MSHR and all entries are busy;
+* *merging* secondary misses — an access to a line that already has an
+  outstanding miss completes when the primary miss does, without issuing a
+  second bus transaction.
+
+Entries are keyed by line address and store the completion time of the
+outstanding fill plus merge statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class MSHREntry:
+    """One outstanding miss."""
+
+    line_addr: int
+    issue_time: int
+    complete_time: int
+    is_write: bool
+    merged: int = 0  # number of secondary misses coalesced into this entry
+
+
+@dataclass
+class MSHRStats:
+    """Aggregate MSHR statistics."""
+
+    allocations: int = 0
+    merges: int = 0
+    full_stalls: int = 0
+    full_stall_cycles: int = 0
+    peak_occupancy: int = 0
+
+
+class MSHR:
+    """A small fully-associative MSHR file.
+
+    The simulator retires entries lazily: callers invoke :meth:`release_until`
+    with the current time before probing, which frees every entry whose fill
+    has completed.
+    """
+
+    __slots__ = ("capacity", "_entries", "stats")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("MSHR capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: Dict[int, MSHREntry] = {}
+        self.stats = MSHRStats()
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def is_full(self) -> bool:
+        """True when no entry can be allocated."""
+        return len(self._entries) >= self.capacity
+
+    def outstanding(self, line_addr: int) -> MSHREntry | None:
+        """Entry for ``line_addr`` if a miss to it is in flight."""
+        return self._entries.get(line_addr)
+
+    def release_until(self, now: int) -> int:
+        """Free entries whose ``complete_time <= now``; return count freed."""
+        if not self._entries:
+            return 0
+        done = [a for a, e in self._entries.items() if e.complete_time <= now]
+        for a in done:
+            del self._entries[a]
+        return len(done)
+
+    def earliest_completion(self) -> int:
+        """Smallest completion time among outstanding entries.
+
+        Raises ``ValueError`` when the file is empty (callers must check
+        :meth:`is_full`/``len`` first — stalling on an empty MSHR is a bug).
+        """
+        if not self._entries:
+            raise ValueError("MSHR is empty; nothing to wait for")
+        return min(e.complete_time for e in self._entries.values())
+
+    def allocate(
+        self, line_addr: int, issue_time: int, complete_time: int, is_write: bool
+    ) -> MSHREntry:
+        """Allocate an entry; caller must have checked :meth:`is_full`."""
+        if line_addr in self._entries:
+            raise ValueError(f"duplicate MSHR allocation for line {line_addr:#x}")
+        if self.is_full():
+            raise RuntimeError("MSHR allocate() on full file")
+        entry = MSHREntry(line_addr, issue_time, complete_time, is_write)
+        self._entries[line_addr] = entry
+        st = self.stats
+        st.allocations += 1
+        if len(self._entries) > st.peak_occupancy:
+            st.peak_occupancy = len(self._entries)
+        return entry
+
+    def merge(self, line_addr: int) -> MSHREntry:
+        """Record a secondary miss coalesced onto an existing entry."""
+        entry = self._entries[line_addr]
+        entry.merged += 1
+        self.stats.merges += 1
+        return entry
+
+    def note_full_stall(self, cycles: int) -> None:
+        """Record a structural stall of ``cycles`` due to a full MSHR file."""
+        self.stats.full_stalls += 1
+        self.stats.full_stall_cycles += cycles
+
+    def entries(self) -> List[MSHREntry]:
+        """Snapshot of outstanding entries (tests/debugging)."""
+        return list(self._entries.values())
+
+    def clear(self) -> None:
+        """Drop all entries (used when resetting between phases in tests)."""
+        self._entries.clear()

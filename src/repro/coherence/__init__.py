@@ -1,0 +1,50 @@
+"""Coherence substrate: MESI snoopy protocol, turn-off extension, shared bus.
+
+Implements the paper's §III: the MESI diagram of Figure 2 including the
+TC/TD turn-off transients, the Table I legality matrix, and the pipelined
+half-clock shared bus the private L2s snoop on.
+"""
+
+from . import events, states
+from .bus import BusConfig, BusStats, SnoopyBus
+from .mesi import MESIProtocol, ProtocolError
+from .turnoff import (
+    ALREADY_OFF,
+    DEFERRED,
+    DENIED_PENDING,
+    DONE,
+    IN_TRANSIENT,
+    MULTIPROCESSOR_WT,
+    ORGANISATIONS,
+    UNIPROCESSOR_WB,
+    UNIPROCESSOR_WT,
+    TurnOffDecision,
+    TurnOffResult,
+    TurnOffSequencer,
+    decide,
+    table_rows,
+)
+
+__all__ = [
+    "events",
+    "states",
+    "BusConfig",
+    "BusStats",
+    "SnoopyBus",
+    "MESIProtocol",
+    "ProtocolError",
+    "ALREADY_OFF",
+    "DEFERRED",
+    "DENIED_PENDING",
+    "DONE",
+    "IN_TRANSIENT",
+    "MULTIPROCESSOR_WT",
+    "ORGANISATIONS",
+    "UNIPROCESSOR_WB",
+    "UNIPROCESSOR_WT",
+    "TurnOffDecision",
+    "TurnOffResult",
+    "TurnOffSequencer",
+    "decide",
+    "table_rows",
+]

@@ -1,0 +1,71 @@
+"""Bus transactions, processor events, and protocol action flags.
+
+The MESI engine (:mod:`repro.coherence.mesi`) is written as explicit
+transition tables keyed by these codes; the snoopy bus accounts traffic by
+transaction kind.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Processor-side events (PrRd / PrWr in the paper's Figure 2 labels)
+# ---------------------------------------------------------------------------
+PR_RD = 0
+PR_WR = 1
+
+# ---------------------------------------------------------------------------
+# Bus transaction kinds
+# ---------------------------------------------------------------------------
+BUS_RD = 0     #: read miss — fetch a line with intent to read
+BUS_RDX = 1    #: read-exclusive — fetch a line with intent to write
+BUS_UPGR = 2   #: upgrade — S -> M invalidation broadcast, no data transfer
+BUS_WB = 3     #: explicit writeback of a dirty line to memory
+BUS_FLUSH = 4  #: cache-to-cache supply of a dirty line during a snoop
+
+TXN_NAMES = {
+    BUS_RD: "BusRd",
+    BUS_RDX: "BusRdX",
+    BUS_UPGR: "BusUpgr",
+    BUS_WB: "BusWB",
+    BUS_FLUSH: "Flush",
+}
+
+#: Transactions that move a full cache line of data over the bus.
+DATA_TXNS = frozenset({BUS_RD, BUS_RDX, BUS_WB, BUS_FLUSH})
+
+#: Transactions that also touch the external memory port (off-chip traffic).
+#: BusRd/BusRdX read from memory unless another cache supplies the data;
+#: writebacks always reach memory (MESI has no Owned state to defer them).
+MEMORY_TXNS = frozenset({BUS_RD, BUS_RDX, BUS_WB})
+
+
+def txn_name(kind: int) -> str:
+    """Readable name of a bus transaction kind."""
+    return TXN_NAMES.get(kind, f"?{kind}")
+
+
+# ---------------------------------------------------------------------------
+# Protocol action flags (bitmask returned by the transition tables)
+# ---------------------------------------------------------------------------
+A_NONE = 0
+A_FLUSH = 1 << 0        #: supply the line on the bus (cache-to-cache)
+A_WRITEBACK = 1 << 1    #: write the line back to memory
+A_INV_UPPER = 1 << 2    #: invalidate the corresponding L1 line (inclusion)
+A_GATE = 1 << 3         #: power-gate the line (valid bit -> Gated-Vdd)
+A_DEFER = 1 << 4        #: request cannot proceed; retry at next stationary state
+
+ACTION_NAMES = {
+    A_FLUSH: "Flush",
+    A_WRITEBACK: "WritebackMem",
+    A_INV_UPPER: "InvUpp",
+    A_GATE: "Gate",
+    A_DEFER: "Defer",
+}
+
+
+def action_names(mask: int) -> str:
+    """Render an action bitmask, e.g. ``"Flush|InvUpp"`` (``"-"`` when empty)."""
+    if not mask:
+        return "-"
+    parts = [nm for bit, nm in ACTION_NAMES.items() if mask & bit]
+    return "|".join(parts)

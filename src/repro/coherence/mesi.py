@@ -1,0 +1,221 @@
+"""MESI snoopy protocol with the paper's turn-off extension (Figure 2).
+
+The protocol is expressed as explicit transition tables so the test-suite
+can walk every edge of the paper's diagram.  Three views exist:
+
+* **processor side** — ``PrRd``/``PrWr`` on the local L2 state;
+* **snoop side** — remote bus transactions observed on the shared bus;
+* **turn-off side** — the external turn-off signal raised by a leakage
+  policy (protocol-invalidation, decay, selective decay), including the
+  transient states TC/TD and the *defer* rule for lines caught mid-flight.
+
+The tables return ``(next_state, action_mask)`` pairs; action flags are the
+``A_*`` bits from :mod:`repro.coherence.events`.  Timing, bus arbitration
+and L1 bookkeeping live in :mod:`repro.hierarchy` — this module is pure
+protocol logic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from .events import (
+    A_DEFER,
+    A_FLUSH,
+    A_GATE,
+    A_INV_UPPER,
+    A_NONE,
+    A_WRITEBACK,
+    BUS_RD,
+    BUS_RDX,
+    BUS_UPGR,
+)
+from .states import E, I, M, OFF, S, TC, TD, is_stationary, name
+
+Transition = Tuple[int, int]
+
+# ---------------------------------------------------------------------------
+# Processor-side transitions for *hits*.  Misses (state I/OFF) are handled
+# structurally: the requester issues BusRd/BusRdX and the fill state depends
+# on whether any other cache held the line (E vs S) — see fill_state_for_read.
+# ---------------------------------------------------------------------------
+#: PrRd on a valid line: no state change, no bus action (Figure 2 "PrRd/-").
+PROC_READ_HIT: Dict[int, Transition] = {
+    S: (S, A_NONE),
+    E: (E, A_NONE),
+    M: (M, A_NONE),
+}
+
+#: PrWr on a valid line.  E upgrades to M silently ("PrWr/-"); S must
+#: broadcast an upgrade to invalidate other sharers ("PrWr/BusRdX" in the
+#: diagram; we issue the data-less BusUpgr variant as in Culler–Singh's
+#: MESI and account it as an address-only transaction).
+PROC_WRITE_HIT: Dict[int, Transition] = {
+    S: (M, A_NONE),  # requires BUS_UPGR first; caller issues it
+    E: (M, A_NONE),
+    M: (M, A_NONE),
+}
+
+#: Bus transaction the requester must issue for a write hit in each state
+#: (None = silent).
+WRITE_HIT_BUS_TXN: Dict[int, int | None] = {
+    S: BUS_UPGR,
+    E: None,
+    M: None,
+}
+
+
+def fill_state_for_read(other_caches_have_copy: bool) -> int:
+    """State installed after a BusRd fill: E if unshared, S otherwise."""
+    return S if other_caches_have_copy else E
+
+
+def fill_state_for_write() -> int:
+    """State installed after a BusRdX fill: always M."""
+    return M
+
+
+# ---------------------------------------------------------------------------
+# Snoop-side transitions: (state, observed txn) -> (next state, actions).
+# Lines in I/OFF ignore snoops.  Flushing M on a BusRd also writes the line
+# back to memory (plain MESI: memory picks up the flushed data).
+# ---------------------------------------------------------------------------
+SNOOP: Dict[Tuple[int, int], Transition] = {
+    (M, BUS_RD): (S, A_FLUSH | A_WRITEBACK),
+    (M, BUS_RDX): (I, A_FLUSH),
+    (E, BUS_RD): (S, A_NONE),
+    (E, BUS_RDX): (I, A_NONE),
+    (S, BUS_RD): (S, A_NONE),
+    (S, BUS_RDX): (I, A_NONE),
+    (S, BUS_UPGR): (I, A_NONE),
+    # E/M cannot observe an upgrade for a line they own exclusively: an
+    # upgrade is only legal from S, which contradicts exclusivity.  The
+    # engine treats those as protocol errors (see snoop()).
+}
+
+#: Snoop transitions for lines caught in a turn-off transient.  A remote
+#: invalidation (BusRdX/BusUpgr) aborts the turn-off — the line is dying
+#: anyway — while a BusRd on TD must supply the dirty data exactly like M
+#: (the writeback in flight has not reached memory yet).
+SNOOP_TRANSIENT: Dict[Tuple[int, int], Transition] = {
+    (TD, BUS_RD): (S, A_FLUSH | A_WRITEBACK),   # abort gating; demote like M
+    (TD, BUS_RDX): (I, A_FLUSH),
+    (TC, BUS_RD): (TC, A_NONE),                  # clean: memory supplies
+    (TC, BUS_RDX): (I, A_NONE),
+    (TC, BUS_UPGR): (I, A_NONE),
+}
+
+
+# ---------------------------------------------------------------------------
+# Turn-off extension (dashed edges of Figure 2)
+# ---------------------------------------------------------------------------
+#: Turn-off signal on a stationary state: M enters TD (writeback + upper-
+#: level invalidation pending); S/E enter TC (upper-level invalidation
+#: only).  I gates directly — that edge is what the Protocol technique
+#: rides: a line the protocol just invalidated is switched off for free.
+TURN_OFF: Dict[int, Transition] = {
+    M: (TD, A_INV_UPPER | A_WRITEBACK),
+    E: (TC, A_INV_UPPER),
+    S: (TC, A_INV_UPPER),
+    I: (OFF, A_GATE),
+}
+
+#: Grant (completion of the upper-level invalidation / writeback): the
+#: transient resolves and the line is gated.  "Grant/Flush" on TD per the
+#: diagram — the flush is the memory writeback completing.
+GRANT: Dict[int, Transition] = {
+    TD: (OFF, A_GATE | A_FLUSH),
+    TC: (OFF, A_GATE),
+}
+
+
+class ProtocolError(Exception):
+    """An impossible (state, event) combination was observed."""
+
+
+class MESIProtocol:
+    """Stateless MESI+turn-off decision engine.
+
+    All methods are pure functions of the inputs; per-line state lives in
+    the cache arrays.  The class exists so alternative protocols (e.g. a
+    MOESI variant, mentioned in paper §III) can be swapped in by the
+    hierarchy without touching call sites.
+    """
+
+    name = "mesi-turnoff"
+
+    # -- processor side -------------------------------------------------
+    def read_hit(self, state: int) -> Transition:
+        """PrRd hitting a valid line."""
+        try:
+            return PROC_READ_HIT[state]
+        except KeyError:
+            raise ProtocolError(f"read_hit in state {name(state)}") from None
+
+    def write_hit(self, state: int) -> Tuple[int, int, int | None]:
+        """PrWr hitting a valid line.
+
+        Returns ``(next_state, actions, bus_txn)`` where ``bus_txn`` is the
+        transaction the requester must issue first (``None`` if silent).
+        """
+        try:
+            nxt, act = PROC_WRITE_HIT[state]
+        except KeyError:
+            raise ProtocolError(f"write_hit in state {name(state)}") from None
+        return nxt, act, WRITE_HIT_BUS_TXN[state]
+
+    def miss_txn(self, is_write: bool) -> int:
+        """Bus transaction for a miss."""
+        return BUS_RDX if is_write else BUS_RD
+
+    def fill_state(self, is_write: bool, others_have_copy: bool) -> int:
+        """State installed when the fill returns."""
+        if is_write:
+            return fill_state_for_write()
+        return fill_state_for_read(others_have_copy)
+
+    # -- snoop side -------------------------------------------------------
+    def snoop(self, state: int, txn: int) -> Transition:
+        """Remote transaction ``txn`` observed while the line is in ``state``.
+
+        Lines in I/OFF ignore snoops (no copy to act on).
+        """
+        if state == I or state == OFF:
+            return (state, A_NONE)
+        hit = SNOOP.get((state, txn))
+        if hit is not None:
+            return hit
+        hit = SNOOP_TRANSIENT.get((state, txn))
+        if hit is not None:
+            return hit
+        if txn == BUS_UPGR:
+            # An upgrade can race only against S; seeing it in E/M/TC/TD
+            # means two caches believed they had exclusive rights.
+            raise ProtocolError(f"BusUpgr snooped in state {name(state)}")
+        raise ProtocolError(f"snoop({name(state)}, txn={txn})")
+
+    # -- turn-off side ----------------------------------------------------
+    def turn_off(self, state: int) -> Transition:
+        """External turn-off signal (decay logic or protocol invalidation).
+
+        Stationary states transition per Figure 2; transient states defer
+        (``A_DEFER``): "If the line is in any transient state, it must wait
+        to reach the next stationary state."  OFF is idempotent.
+        """
+        if state == OFF:
+            return (OFF, A_NONE)
+        if is_stationary(state) or state == I:
+            return TURN_OFF[state]
+        return (state, A_DEFER)
+
+    def grant(self, state: int) -> Transition:
+        """Completion of the pending upper-level invalidation/writeback."""
+        try:
+            return GRANT[state]
+        except KeyError:
+            raise ProtocolError(f"grant in state {name(state)}") from None
+
+    # -- wake -------------------------------------------------------------
+    def wake_state(self) -> int:
+        """State of a gated frame after re-powering, before the fill lands."""
+        return I

@@ -1,0 +1,89 @@
+"""Coherence state codes.
+
+The L2 caches implement MESI extended with the paper's turn-off machinery
+(Figure 2):
+
+* ``I``  — invalid, but the SRAM line is still powered (leaking).
+* ``S``  — shared, clean; other private L2s may hold copies.
+* ``E``  — exclusive, clean; no other copy exists.
+* ``M``  — modified, dirty; the only valid copy in the system.
+* ``OFF`` — invalid *and* power-gated (Gated-Vdd).  The paper implements
+  gating through the valid bit: "a line is effectively switched off when it
+  goes to the Invalid state" with the gate transistor driven by it.  We keep
+  ``OFF`` distinct from ``I`` so occupancy (fraction of line-cycles powered)
+  can be accounted exactly.
+* ``TC`` — Transient Clean: a clean (S/E) line whose upper-level (L1) copy
+  is being invalidated prior to gating.
+* ``TD`` — Transient Dirty: a Modified line being written back and whose L1
+  copy is being invalidated prior to gating.
+
+State-code integers are part of the public API: leakage policies and the
+simulator hot path switch on them directly.
+"""
+
+from __future__ import annotations
+
+# Stationary states -----------------------------------------------------
+I = 0  # noqa: E741  - matches the paper's naming
+S = 1
+E = 2
+M = 3
+# Power-gated ------------------------------------------------------------
+OFF = 4
+# Turn-off transients (Figure 2) ------------------------------------------
+TC = 5
+TD = 6
+
+#: Names for pretty-printing and test diagnostics.
+STATE_NAMES = {I: "I", S: "S", E: "E", M: "M", OFF: "OFF", TC: "TC", TD: "TD"}
+
+#: States a processor access can hit on.
+VALID_STATES = (S, E, M)
+
+#: States from which a turn-off signal may be honoured immediately
+#: ("The turn-off signal may trigger a state transition only from a
+#: 'stationary' state, that is Modified, Exclusive, Shared" — paper §III).
+STATIONARY_STATES = (S, E, M)
+
+#: Transient states: the line must reach the next stationary state before
+#: the turn-off can proceed.
+TRANSIENT_STATES = (TC, TD)
+
+#: States in which the SRAM cells are powered (leak).
+POWERED_STATES = (I, S, E, M, TC, TD)
+
+
+def name(state: int) -> str:
+    """Readable name of a state code."""
+    return STATE_NAMES.get(state, f"?{state}")
+
+
+def is_valid(state: int) -> bool:
+    """True when a line in ``state`` holds usable data."""
+    return state == S or state == E or state == M
+
+
+def is_stationary(state: int) -> bool:
+    """True when the turn-off signal may act on the line right now."""
+    return state == S or state == E or state == M
+
+
+def is_transient(state: int) -> bool:
+    """True for the Figure-2 turn-off transients TC/TD."""
+    return state == TC or state == TD
+
+
+def is_powered(state: int) -> bool:
+    """True when the line's SRAM cells are connected to the supply."""
+    return state != OFF
+
+
+def is_dirty(state: int) -> bool:
+    """True when gating the line requires a writeback (M, or TD mid-flight)."""
+    return state == M or state == TD
+
+
+# L1 states --------------------------------------------------------------
+# The write-through L1 never holds dirty data; a single valid bit suffices.
+L1_INVALID = 0
+L1_VALID = 1

@@ -1,0 +1,191 @@
+"""The turn-off primitive: Table I legality + the TC/TD sequencer.
+
+Paper §III defines *when* a secondary-cache line may be switched off without
+violating the consistency of the hierarchy.  Two artifacts live here:
+
+* :func:`decide` — the full Table I decision matrix (uniprocessor vs.
+  multiprocessor, write-back vs. write-through L1, clean vs. dirty line),
+  used directly by the ``table1`` bench and the protocol test-suite;
+* :class:`TurnOffSequencer` — drives a concrete L2 line through the
+  Figure-2 extension: stationary state → TC/TD → (upper-level invalidation,
+  memory writeback) → gated.  The CMP simulator resolves the sequence
+  synchronously (atomic-bus abstraction) but every step is observable for
+  tests, and a turn-off that lands on a transient line defers exactly as
+  the paper requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .events import A_DEFER, A_GATE, A_INV_UPPER, A_WRITEBACK
+from .mesi import MESIProtocol
+from .states import E, I, M, OFF, S, TC, TD, is_stationary, name
+
+# ---------------------------------------------------------------------------
+# Table I — the design-space matrix
+# ---------------------------------------------------------------------------
+
+#: System organisations of Table I's columns.
+UNIPROCESSOR_WB = "uni-L1WB"    # single processor (or shared L2), write-back L1
+UNIPROCESSOR_WT = "uni-L1WT"    # single processor (or shared L2), write-through L1
+MULTIPROCESSOR_WT = "cmp-L1WT"  # private-L2 CMP, write-through L1 (the paper's design)
+
+ORGANISATIONS = (UNIPROCESSOR_WB, UNIPROCESSOR_WT, MULTIPROCESSOR_WT)
+
+
+@dataclass(frozen=True)
+class TurnOffDecision:
+    """Outcome of the Table I matrix for one (organisation, line state) cell.
+
+    Attributes
+    ----------
+    allowed:
+        The line may be turned off (all cells of Table I allow it, subject
+        to the conditions below).
+    needs_writeback:
+        The freshest copy must be written back to memory first.
+    needs_upper_invalidate:
+        The corresponding L1 line must be invalidated (inclusion).
+    requires_no_pending_write:
+        Legal only when no buffered store to the line is still in flight
+        (the write-buffer check of Table I's write-through columns).
+    """
+
+    allowed: bool
+    needs_writeback: bool
+    needs_upper_invalidate: bool
+    requires_no_pending_write: bool
+
+    def describe(self) -> str:
+        """Paper-style cell text, e.g. ``"Turn off, but invalidate the upper level"``."""
+        if not self.allowed:
+            return "Not allowed"
+        parts = ["Turn off"]
+        if self.requires_no_pending_write:
+            parts.append("if no pending write")
+        if self.needs_writeback:
+            parts.append("and write back")
+        if self.needs_upper_invalidate:
+            parts.append("but invalidate the upper level")
+        return ", ".join(parts)
+
+
+#: Table I verbatim.  Keys: (organisation, dirty).
+_TABLE_I = {
+    # Single processor (or shared L2), write-back L1
+    (UNIPROCESSOR_WB, False): TurnOffDecision(True, False, False, False),
+    (UNIPROCESSOR_WB, True): TurnOffDecision(True, True, False, False),
+    # Single processor (or shared L2), write-through L1
+    (UNIPROCESSOR_WT, False): TurnOffDecision(True, False, False, True),
+    (UNIPROCESSOR_WT, True): TurnOffDecision(True, True, False, True),
+    # Multiprocessor, private L2, write-through L1 (the configuration the
+    # paper simulates).  Clean: L1 copy is clean too, but inclusion still
+    # demands it be dropped.  Dirty: invalidate the upper level and write
+    # the newest copy back before gating (Figure 2's TD does both).
+    (MULTIPROCESSOR_WT, False): TurnOffDecision(True, False, True, True),
+    (MULTIPROCESSOR_WT, True): TurnOffDecision(True, True, True, False),
+}
+
+
+def decide(organisation: str, dirty: bool) -> TurnOffDecision:
+    """Look up Table I for ``organisation`` (see :data:`ORGANISATIONS`)."""
+    try:
+        return _TABLE_I[(organisation, dirty)]
+    except KeyError:
+        raise ValueError(
+            f"unknown organisation {organisation!r}; choose from {ORGANISATIONS}"
+        ) from None
+
+
+def table_rows() -> list:
+    """All six Table I cells as ``(organisation, dirty, decision)`` rows."""
+    return [(org, dirty, _TABLE_I[(org, dirty)]) for org in ORGANISATIONS
+            for dirty in (False, True)]
+
+
+# ---------------------------------------------------------------------------
+# Turn-off sequencing for the CMP simulator
+# ---------------------------------------------------------------------------
+
+#: Outcome codes of TurnOffSequencer.initiate.
+DONE = "done"              #: line gated (possibly via an instantaneous transient)
+IN_TRANSIENT = "transient"  #: line parked in TC/TD awaiting grant()
+DEFERRED = "deferred"      #: line was mid-transaction; retry at stationary state
+DENIED_PENDING = "denied-pending-write"  #: clean line with a buffered store in flight
+ALREADY_OFF = "already-off"
+
+
+@dataclass
+class TurnOffResult:
+    """What happened when a turn-off signal was raised on a line."""
+
+    outcome: str
+    transient: Optional[int] = None   # TC or TD when outcome == IN_TRANSIENT
+    invalidate_upper: bool = False    # L1 copy must be dropped
+    writeback: bool = False           # dirty data must go to memory
+
+    @property
+    def gated(self) -> bool:
+        """True when the line ended up power-gated."""
+        return self.outcome == DONE
+
+
+class TurnOffSequencer:
+    """Stateless driver of the Figure-2 turn-off sequence.
+
+    ``initiate`` evaluates the signal against the current state; callers
+    holding a line in TC/TD later call ``grant`` when the upper-level
+    invalidation (and writeback, for TD) completes.  ``auto_grant=True``
+    collapses the transient immediately — the mode the timing simulator
+    uses under its atomic-bus abstraction (the latency cost of the L1
+    invalidation and the writeback are charged by the hierarchy instead).
+    """
+
+    def __init__(self, protocol: Optional[MESIProtocol] = None) -> None:
+        self.protocol = protocol or MESIProtocol()
+
+    def initiate(
+        self, state: int, pending_write: bool = False, auto_grant: bool = True
+    ) -> tuple:
+        """Raise the turn-off signal on a line in ``state``.
+
+        Returns ``(new_state, TurnOffResult)``.  ``pending_write`` is the
+        Table I write-buffer condition: a clean line with a buffered store
+        in flight must not be gated (the drain would either miss or revive
+        the line an instant later); the dirty (M) case proceeds regardless
+        because the L1 invalidation intercepts the pending store.
+        """
+        if state == OFF:
+            return OFF, TurnOffResult(ALREADY_OFF)
+        if state in (S, E) and pending_write:
+            return state, TurnOffResult(DENIED_PENDING)
+        nxt, actions = self.protocol.turn_off(state)
+        if actions & A_DEFER:
+            return state, TurnOffResult(DEFERRED)
+        if nxt == OFF:
+            # I -> OFF directly (protocol-invalidation path).
+            return OFF, TurnOffResult(DONE)
+        inv = bool(actions & A_INV_UPPER)
+        wb = bool(actions & A_WRITEBACK)
+        if not auto_grant:
+            return nxt, TurnOffResult(
+                IN_TRANSIENT, transient=nxt, invalidate_upper=inv, writeback=wb
+            )
+        final, gactions = self.protocol.grant(nxt)
+        assert final == OFF and (gactions & A_GATE)
+        return OFF, TurnOffResult(DONE, invalidate_upper=inv, writeback=wb)
+
+    def grant(self, state: int) -> tuple:
+        """Resolve a parked transient; returns ``(new_state, TurnOffResult)``."""
+        if state not in (TC, TD):
+            raise ValueError(f"grant() on non-transient state {name(state)}")
+        final, actions = self.protocol.grant(state)
+        return final, TurnOffResult(DONE, writeback=bool(state == TD))
+
+    # -- convenience predicates used by the hierarchy --------------------
+    @staticmethod
+    def can_act_now(state: int) -> bool:
+        """True when the turn-off signal would not defer in ``state``."""
+        return is_stationary(state) or state == I or state == OFF

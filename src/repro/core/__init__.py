@@ -1,0 +1,34 @@
+"""The paper's primary contribution: leakage-saving policies for coherent L2s.
+
+* :mod:`repro.core.policy` — AlwaysOn / ProtocolOff / FixedDecay /
+  SelectiveDecay (paper §IV);
+* :mod:`repro.core.counters` — decay timing, ideal and hierarchical
+  (Kaxiras-style global tick + per-line saturating counters);
+* :mod:`repro.core.decay` — the lazy global decay-event scheduler;
+* :mod:`repro.core.occupancy` — exact powered-line-cycle integrals
+  (the Fig 3(a) "occupation rate").
+"""
+
+from .counters import DecayTimer
+from .decay import DecayScheduler
+from .occupancy import OccupancyTracker
+from .policy import (
+    AlwaysOnPolicy,
+    FixedDecayPolicy,
+    LeakagePolicy,
+    ProtocolOffPolicy,
+    SelectiveDecayPolicy,
+    make_leakage_policy,
+)
+
+__all__ = [
+    "DecayTimer",
+    "DecayScheduler",
+    "OccupancyTracker",
+    "AlwaysOnPolicy",
+    "FixedDecayPolicy",
+    "LeakagePolicy",
+    "ProtocolOffPolicy",
+    "SelectiveDecayPolicy",
+    "make_leakage_policy",
+]

@@ -1,0 +1,83 @@
+"""Decay timing: ideal timers and the hierarchical counter architecture.
+
+The paper implements line decay "assuming a hierarchical counter
+architecture [6]" (Kaxiras et al.): a single global cycle counter ticks
+every ``G`` cycles and each line carries a small saturating counter
+(2 bits in the original design) that is cleared on access and incremented
+on every global tick.  The line is switched off on the tick that would
+overflow the counter, so the *observed* decay interval is quantized to
+``((2^bits - 1) · G,  2^bits · G]``.  Choosing ``G = decay / 2^bits``
+makes the nominal decay time the upper bound, exactly as in the original
+paper.
+
+:class:`DecayTimer` computes gate deadlines for both the idealized
+(exact) and hierarchical (quantized) models; the simulator is agnostic to
+which is in use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.config import COUNTER_HIERARCHICAL, COUNTER_IDEAL
+
+
+@dataclass(frozen=True)
+class DecayTimer:
+    """Deadline calculator for a fixed decay interval.
+
+    Parameters
+    ----------
+    decay_cycles:
+        Nominal decay time (cycles of inactivity before gating).
+    mode:
+        ``"ideal"`` — gate exactly ``decay_cycles`` after the last access;
+        ``"hierarchical"`` — Kaxiras's global-tick + per-line counter
+        quantization.
+    bits:
+        Width of the per-line counter in hierarchical mode.
+    """
+
+    decay_cycles: int
+    mode: str = COUNTER_IDEAL
+    bits: int = 2
+
+    def __post_init__(self) -> None:
+        if self.decay_cycles < 1:
+            raise ValueError("decay_cycles must be positive")
+        if self.mode not in (COUNTER_IDEAL, COUNTER_HIERARCHICAL):
+            raise ValueError(f"unknown timer mode {self.mode!r}")
+        if self.mode == COUNTER_HIERARCHICAL and self.decay_cycles < (1 << self.bits):
+            raise ValueError("decay_cycles too small for the counter resolution")
+
+    @property
+    def global_tick(self) -> int:
+        """Global-counter period ``G`` in hierarchical mode."""
+        return max(1, self.decay_cycles >> self.bits)
+
+    @property
+    def n_states(self) -> int:
+        """Distinct per-line counter values (2^bits)."""
+        return 1 << self.bits
+
+    def deadline(self, last_touch: int) -> int:
+        """Cycle at which a line last touched at ``last_touch`` gates."""
+        if self.mode == COUNTER_IDEAL:
+            return last_touch + self.decay_cycles
+        g = self.global_tick
+        # The counter is cleared at last_touch; it gates on the (2^bits)-th
+        # global tick strictly after that instant.
+        return (last_touch // g + self.n_states) * g
+
+    def interval_bounds(self) -> tuple:
+        """(min, max) observable inactivity before gating."""
+        if self.mode == COUNTER_IDEAL:
+            return (self.decay_cycles, self.decay_cycles)
+        g = self.global_tick
+        return ((self.n_states - 1) * g + 1, self.n_states * g)
+
+    def ticks_in(self, cycles: int) -> int:
+        """Global ticks occurring in a window of ``cycles`` (energy model)."""
+        if self.mode == COUNTER_IDEAL:
+            return 0
+        return cycles // self.global_tick

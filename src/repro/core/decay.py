@@ -1,0 +1,100 @@
+"""Global decay-event scheduler.
+
+Hardware decays lines with per-line counters ticking in place; simulating
+that cycle-by-cycle would be hopeless in Python.  Instead the scheduler
+keeps a lazy min-heap with **at most one pending event per line frame**:
+
+* when a policy arms a frame (fill, or a Selective-Decay downgrade) the
+  L2 calls :meth:`ensure` — a heap push happens only if the frame has no
+  pending event;
+* touches do *not* push; they just move ``policy.last_touch`` forward;
+* when an event pops, the frame's *current* deadline is recomputed from
+  the policy: a disarmed/stale frame is dropped, a touched frame is
+  re-armed at its new deadline, and only a genuinely idle frame fires.
+
+This makes decay cost amortized O(1) per access while remaining *exact*:
+a line gates at precisely the deadline its timer mode dictates (ideal or
+hierarchical-quantized), never earlier or later.
+
+Gate callbacks receive the event's effective deadline as the gate time, so
+occupancy integrals and writeback timestamps are exact even though the
+event is processed slightly later in wall-clock order (the simulator
+processes all due decay events before advancing past them).
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import Callable, List, Optional, Sequence
+
+from .policy import LeakagePolicy
+
+#: fire(cache_id, frame, gate_time) -> None
+FireFn = Callable[[int, int, int], None]
+
+
+class DecayScheduler:
+    """Lazy min-heap of (deadline, cache_id, frame) decay events."""
+
+    __slots__ = ("policies", "_heap", "_pending", "pops", "refreshes", "fires")
+
+    def __init__(self, policies: Sequence[LeakagePolicy]) -> None:
+        self.policies = list(policies)
+        self._heap: List[tuple] = []
+        self._pending = [bytearray(p.n_lines) for p in self.policies]
+        self.pops = 0
+        self.refreshes = 0
+        self.fires = 0
+
+    # ------------------------------------------------------------------
+    def ensure(self, cache_id: int, frame: int) -> None:
+        """Guarantee a pending event exists for an armed frame."""
+        pending = self._pending[cache_id]
+        if pending[frame]:
+            return
+        dl = self.policies[cache_id].deadline(frame)
+        if dl < 0:
+            return
+        pending[frame] = 1
+        heappush(self._heap, (dl, cache_id, frame))
+
+    def next_due(self) -> Optional[int]:
+        """Deadline of the earliest pending event, or None when idle."""
+        return self._heap[0][0] if self._heap else None
+
+    def has_pending(self, cache_id: int, frame: int) -> bool:
+        """True when an event is queued for (cache_id, frame)."""
+        return bool(self._pending[cache_id][frame])
+
+    def process_until(self, t_limit: int, fire: FireFn) -> int:
+        """Handle every event with an *effective* deadline ≤ ``t_limit``.
+
+        Returns the number of frames gated.  ``fire(cache_id, frame,
+        gate_time)`` performs the actual turn-off through the L2 (which
+        may still deny it — pending-write rule — without affecting the
+        scheduler's invariants, because the policy hooks re-arm on the
+        next touch).
+        """
+        heap = self._heap
+        fired = 0
+        while heap and heap[0][0] <= t_limit:
+            dl, cid, frame = heappop(heap)
+            self.pops += 1
+            self._pending[cid][frame] = 0
+            current = self.policies[cid].deadline(frame)
+            if current < 0:
+                continue  # disarmed since scheduling (invalidated/gated/M)
+            if current > dl:
+                # Touched since scheduled: lazily refresh.
+                self._pending[cid][frame] = 1
+                heappush(heap, (current, cid, frame))
+                self.refreshes += 1
+                continue
+            self.fires += 1
+            fired += 1
+            fire(cid, frame, current)
+        return fired
+
+    def outstanding(self) -> int:
+        """Number of queued events (including stale ones)."""
+        return len(self._heap)

@@ -1,0 +1,5 @@
+"""Simplified out-of-order CPU core timing model."""
+
+from .core import AT_BARRIER, DONE, RUNNING, Core
+
+__all__ = ["Core", "RUNNING", "AT_BARRIER", "DONE"]

@@ -1,0 +1,169 @@
+"""Simplified out-of-order core timing model.
+
+The paper simulates Alpha-21264-class cores in SESC.  For the leakage
+study what matters is how much of each *extra* L2 miss (decay-induced) the
+core can hide; we model this with a per-access overlap budget:
+
+* compute gaps retire at ``issue_width`` instructions/cycle;
+* a load's visible stall is ``max(0, latency - overlap(ilp_class))`` —
+  dependent (pointer-chase) loads expose almost the full miss, streaming
+  loads hide most of it, mirroring how an OoO window behaves;
+* stores retire into the write buffer (1 cycle) and only stall when the
+  buffer is full;
+* a full L1 MSHR file stalls the core until an entry frees (structural
+  memory-level-parallelism limit, as in the real machine).
+
+The core exposes ``next_time`` — the global cycle at which its next memory
+event occurs — so the simulator can interleave the four cores in exact
+global-time order (one-record lookahead).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from ..hierarchy.l1 import L1Cache
+from ..sim.config import CMPConfig
+from ..sim.stats import CoreStats
+from ..workloads.trace import FLAG_BARRIER, FLAG_WRITE, ILP_MASK, ILP_SHIFT, Record
+
+INFINITY = float("inf")
+
+#: Core run states.
+RUNNING = 0
+AT_BARRIER = 1
+DONE = 2
+
+
+class Core:
+    """One CPU core consuming a workload stream."""
+
+    def __init__(
+        self,
+        core_id: int,
+        cfg: CMPConfig,
+        l1: L1Cache,
+        trace: Iterator[Record],
+    ) -> None:
+        self.core_id = core_id
+        self.cfg = cfg
+        self.l1 = l1
+        self.trace = trace
+        self.stats = CoreStats()
+
+        self.cycle = 0
+        self.state = RUNNING
+        self.accesses_done = 0
+        self.barrier_arrival = 0
+        self._base_cycle = 0          # warmup rebase point
+        self._base_instructions = 0
+        self._issue_acc = 0           # sub-cycle accumulation of gap issue
+
+        ccfg = cfg.core
+        self._issue_width = ccfg.issue_width
+        self._overlap = (
+            ccfg.overlap_dependent,
+            ccfg.overlap_moderate,
+            ccfg.overlap_streaming,
+        )
+        self._line_shift = cfg.l1.line_bytes.bit_length() - 1
+
+        # one-record lookahead
+        self._pending: Optional[Record] = None
+        self.next_time: float = 0
+        self._fetch()
+
+        # per-interval instruction counts (transient thermal model)
+        self._sample_interval = cfg.sample_interval
+        self._instr_buckets: list = []
+
+    # ------------------------------------------------------------------
+    def _fetch(self) -> None:
+        """Pull the next record and compute when its memory op issues."""
+        rec = next(self.trace, None)
+        if rec is None:
+            self.state = DONE
+            self._pending = None
+            self.next_time = INFINITY
+            return
+        gap = rec[0]
+        self._issue_acc += gap
+        adv = self._issue_acc // self._issue_width
+        self._issue_acc -= adv * self._issue_width
+        self._pending = rec
+        self.next_time = self.cycle + adv
+
+    # ------------------------------------------------------------------
+    def step(self) -> int:
+        """Execute the pending record; returns the resulting run state."""
+        rec = self._pending
+        assert rec is not None and self.state == RUNNING
+        gap, addr, flags = rec
+        st = self.stats
+        self.cycle = int(self.next_time)
+
+        if flags & FLAG_BARRIER:
+            st.instructions += gap
+            st.barriers += 1
+            self.state = AT_BARRIER
+            self.barrier_arrival = self.cycle
+            self.next_time = INFINITY
+            return AT_BARRIER
+
+        st.instructions += gap + 1
+        if self._sample_interval:
+            self._bump_sample(self.cycle, gap + 1)
+        line_addr = addr >> self._line_shift
+
+        if flags & FLAG_WRITE:
+            st.stores += 1
+            _, stall = self.l1.store(line_addr, self.cycle)
+            st.wb_full_stall_cycles += stall
+            self.cycle += 1 + stall
+        else:
+            st.loads += 1
+            latency, mshr_stall = self.l1.load(line_addr, self.cycle)
+            overlap = self._overlap[(flags >> ILP_SHIFT) & ILP_MASK]
+            exposed = latency - overlap
+            if exposed < 0:
+                exposed = 0
+            st.exposed_memory_cycles += exposed
+            st.mshr_stall_cycles += mshr_stall
+            self.cycle += 1 + mshr_stall + exposed
+
+        self.accesses_done += 1
+        self._fetch()
+        return self.state
+
+    # ------------------------------------------------------------------
+    def release_barrier(self, release_time: int) -> None:
+        """Resume after a barrier whose last participant arrived earlier."""
+        assert self.state == AT_BARRIER
+        wait = release_time - self.barrier_arrival
+        self.stats.barrier_wait_cycles += max(0, wait)
+        self.cycle = release_time
+        self.state = RUNNING
+        self._fetch()
+
+    # ------------------------------------------------------------------
+    def rebase_stats(self) -> None:
+        """Warmup boundary: restart instruction/cycle accounting."""
+        self.stats = CoreStats()
+        self._base_cycle = self.cycle
+        self._instr_buckets = []
+
+    def finalize_stats(self) -> None:
+        """Publish cycle counts into the stats object."""
+        self.stats.cycles = self.cycle - self._base_cycle
+
+    # ------------------------------------------------------------------
+    def _bump_sample(self, now: int, n_instr: int) -> None:
+        bucket = now // self._sample_interval
+        buckets = self._instr_buckets
+        while len(buckets) <= bucket:
+            buckets.append(0)
+        buckets[bucket] += n_instr
+
+    def instr_buckets(self) -> list:
+        """Per-interval instruction counts (transient thermal model)."""
+        return list(self._instr_buckets)

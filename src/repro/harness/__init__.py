@@ -1,0 +1,53 @@
+"""Experiment harness: sweep runner, result cache, figure regeneration."""
+
+from .figures import (
+    EXPERIMENTS,
+    FigureTable,
+    fig3a,
+    fig3b,
+    fig4a,
+    fig4b,
+    fig5a,
+    fig5b,
+    fig6a,
+    fig6b,
+    run_experiment,
+    table1,
+)
+from .metrics import (
+    PointMetrics,
+    amat_increase,
+    bandwidth_increase,
+    decay_induced_miss_fraction,
+    energy_reduction,
+    ipc_loss,
+    l2_miss_rate,
+    occupancy,
+)
+from .runner import CACHE_VERSION, DEFAULT_WARMUP, SweepRunner
+
+__all__ = [
+    "EXPERIMENTS",
+    "FigureTable",
+    "fig3a",
+    "fig3b",
+    "fig4a",
+    "fig4b",
+    "fig5a",
+    "fig5b",
+    "fig6a",
+    "fig6b",
+    "run_experiment",
+    "table1",
+    "PointMetrics",
+    "amat_increase",
+    "bandwidth_increase",
+    "decay_induced_miss_fraction",
+    "energy_reduction",
+    "ipc_loss",
+    "l2_miss_rate",
+    "occupancy",
+    "CACHE_VERSION",
+    "DEFAULT_WARMUP",
+    "SweepRunner",
+]

@@ -1,0 +1,101 @@
+"""Command-line interface: ``repro-cmp``.
+
+Examples::
+
+    repro-cmp list                       # experiments and workloads
+    repro-cmp table1                     # Table I, no simulation
+    repro-cmp fig5a --scale 0.05         # regenerate Fig 5(a), small scale
+    repro-cmp fig6b --sizes 4            # per-benchmark IPC loss
+    repro-cmp point water_ns 4 decay64K  # one sweep point, all metrics
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..sim.config import PAPER_TOTAL_L2_MB
+from ..workloads.registry import PAPER_BENCHMARKS, list_workloads
+from .figures import EXPERIMENTS, run_experiment, table1
+from .runner import SweepRunner
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-cmp`` argument parser."""
+    p = argparse.ArgumentParser(
+        prog="repro-cmp",
+        description="Reproduce the tables/figures of Monchiero et al., "
+                    "ICPP 2009 (CMP L2 leakage via coherence + decay).",
+    )
+    p.add_argument("command",
+                   help="experiment id (fig3a..fig6b, table1), 'list', "
+                        "or 'point'")
+    p.add_argument("args", nargs="*", help="command-specific arguments")
+    p.add_argument("--scale", type=float, default=0.1,
+                   help="workload time-dilation factor (default 0.1; "
+                        "1.0 = full paper-equivalent length)")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--sizes", type=str, default=None,
+                   help="comma-separated total L2 MB (default 1,2,4,8)")
+    p.add_argument("--benchmarks", type=str, default=None,
+                   help="comma-separated workload names")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the on-disk result cache")
+    p.add_argument("--quiet", action="store_true")
+    return p
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+
+    if args.command == "list":
+        print("experiments:", ", ".join(sorted(EXPERIMENTS) + ["table1"]))
+        print("workloads:  ", ", ".join(list_workloads()))
+        print("paper benchmarks:", ", ".join(PAPER_BENCHMARKS))
+        return 0
+
+    if args.command == "table1":
+        print(table1().render())
+        return 0
+
+    runner = SweepRunner(
+        scale=args.scale,
+        seed=args.seed,
+        cache_dir=None if args.no_cache else ".repro_cache",
+        verbose=not args.quiet,
+    )
+
+    if args.command == "point":
+        if len(args.args) != 3:
+            print("usage: repro-cmp point <workload> <total_mb> <technique>",
+                  file=sys.stderr)
+            return 2
+        wl, mb, tech = args.args[0], int(args.args[1]), args.args[2]
+        m = runner.metrics_for(wl, mb, tech)
+        for k, v in m.as_dict().items():
+            print(f"{k:22s} {v}")
+        return 0
+
+    if args.command in EXPERIMENTS:
+        kwargs = {}
+        sizes = ([int(s) for s in args.sizes.split(",")]
+                 if args.sizes else list(PAPER_TOTAL_L2_MB))
+        benchmarks = (args.benchmarks.split(",")
+                      if args.benchmarks else list(PAPER_BENCHMARKS))
+        if args.command.startswith("fig6"):
+            kwargs["total_mb"] = sizes[0] if args.sizes else 4
+            kwargs["benchmarks"] = benchmarks
+        else:
+            kwargs["sizes"] = sizes
+            kwargs["benchmarks"] = benchmarks
+        print(run_experiment(args.command, runner, **kwargs).render())
+        return 0
+
+    print(f"unknown command {args.command!r}; try 'list'", file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

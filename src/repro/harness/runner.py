@@ -1,0 +1,167 @@
+"""Sweep runner with an on-disk result cache.
+
+Every figure of the paper draws from the same simulation matrix
+(6 benchmarks × 4 cache sizes × 8 technique configurations), so the eight
+per-figure benches share one JSON cache keyed by the full configuration.
+A cache entry stores the serialized :class:`~repro.sim.stats.SimResult`
+plus the energy breakdown; cache misses simulate on demand.
+
+The cache key includes a schema version — bump :data:`CACHE_VERSION` when
+simulator semantics change so stale entries are never mixed into figures.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..power.energy import EnergyBreakdown, EnergyModel
+from ..sim.config import (
+    BASELINE,
+    CMPConfig,
+    PAPER_TOTAL_L2_MB,
+    TechniqueConfig,
+    paper_technique_order,
+    paper_techniques,
+)
+from ..sim.simulator import simulate
+from ..sim.stats import SimResult
+from ..workloads.registry import PAPER_BENCHMARKS, get_workload
+from .metrics import PointMetrics
+
+#: bump when simulator/workload semantics change (invalidates caches)
+CACHE_VERSION = 7
+
+#: default warmup: skips the workloads' init phase (DESIGN.md §5)
+DEFAULT_WARMUP = 0.17
+
+
+def _breakdown_to_dict(bd: EnergyBreakdown) -> dict:
+    return asdict(bd)
+
+
+def _breakdown_from_dict(d: dict) -> EnergyBreakdown:
+    return EnergyBreakdown(**d)
+
+
+class SweepRunner:
+    """Simulates (workload × size × technique) points with caching."""
+
+    def __init__(
+        self,
+        scale: float = 0.1,
+        seed: int = 1,
+        n_cores: int = 4,
+        warmup_fraction: float = DEFAULT_WARMUP,
+        cache_dir: Optional[str] = ".repro_cache",
+        verbose: bool = True,
+    ) -> None:
+        self.scale = scale
+        self.seed = seed
+        self.n_cores = n_cores
+        self.warmup = warmup_fraction
+        self.cache_dir = cache_dir
+        self.verbose = verbose
+        self._workloads: Dict[str, object] = {}
+        if cache_dir:
+            os.makedirs(cache_dir, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def technique_configs(self) -> Dict[str, TechniqueConfig]:
+        """Baseline + the paper's seven technique configurations."""
+        out = {"baseline": TechniqueConfig(name=BASELINE)}
+        out.update(paper_techniques(self.scale))
+        return out
+
+    def technique_order(self) -> List[str]:
+        """Figure ordering: baseline first, then the paper's seven."""
+        return ["baseline", *paper_technique_order()]
+
+    def config_for(self, total_mb: int, tech: TechniqueConfig) -> CMPConfig:
+        """System config for one sweep point."""
+        return CMPConfig(n_cores=self.n_cores, seed=self.seed) \
+            .with_total_l2_mb(total_mb).with_technique(tech)
+
+    # ------------------------------------------------------------------
+    def _cache_path(self, workload: str, cfg: CMPConfig) -> Optional[str]:
+        if not self.cache_dir:
+            return None
+        key = (
+            f"v{CACHE_VERSION}-{workload}-sc{self.scale}-w{self.warmup}"
+            f"-{cfg.key()}"
+        )
+        return os.path.join(self.cache_dir, key + ".json")
+
+    def _workload(self, name: str):
+        if name not in self._workloads:
+            self._workloads[name] = get_workload(
+                name, n_cores=self.n_cores, scale=self.scale, seed=self.seed
+            )
+        return self._workloads[name]
+
+    def run_point(
+        self, workload: str, total_mb: int, tech_label: str
+    ) -> Tuple[SimResult, EnergyBreakdown]:
+        """Simulate (or load) one point; returns (result, energy)."""
+        tech = self.technique_configs()[tech_label]
+        cfg = self.config_for(total_mb, tech)
+        path = self._cache_path(workload, cfg)
+        if path and os.path.exists(path):
+            with open(path) as fh:
+                blob = json.load(fh)
+            return (
+                SimResult.from_dict(blob["result"]),
+                _breakdown_from_dict(blob["energy"]),
+            )
+        if self.verbose:
+            print(f"[sweep] simulating {workload} {total_mb}MB {tech_label} "
+                  f"(scale={self.scale})", flush=True)
+        res = simulate(cfg, self._workload(workload),
+                       warmup_fraction=self.warmup)
+        energy = EnergyModel(cfg).evaluate(res)
+        if path:
+            with open(path, "w") as fh:
+                json.dump(
+                    {"result": res.to_dict(),
+                     "energy": _breakdown_to_dict(energy)},
+                    fh,
+                )
+        return res, energy
+
+    # ------------------------------------------------------------------
+    def metrics_for(
+        self, workload: str, total_mb: int, tech_label: str
+    ) -> PointMetrics:
+        """Metrics of one point relative to its baseline twin."""
+        base_res, base_e = self.run_point(workload, total_mb, "baseline")
+        res, e = self.run_point(workload, total_mb, tech_label)
+        return PointMetrics.compute(
+            workload, total_mb, tech_label, base_res, base_e, res, e
+        )
+
+    def sweep(
+        self,
+        benchmarks: Iterable[str] = PAPER_BENCHMARKS,
+        sizes: Iterable[int] = PAPER_TOTAL_L2_MB,
+        techniques: Optional[Iterable[str]] = None,
+    ) -> List[PointMetrics]:
+        """The full figure matrix as a flat metric list."""
+        techniques = list(techniques or paper_technique_order())
+        out: List[PointMetrics] = []
+        for mb in sizes:
+            for wl in benchmarks:
+                for tech in techniques:
+                    out.append(self.metrics_for(wl, mb, tech))
+        return out
+
+    def averaged(
+        self, points: List[PointMetrics], attr: str
+    ) -> Dict[Tuple[int, str], float]:
+        """Average ``attr`` across benchmarks, keyed by (size, technique)."""
+        sums: Dict[Tuple[int, str], List[float]] = {}
+        for p in points:
+            sums.setdefault((p.total_mb, p.technique), []).append(
+                getattr(p, attr))
+        return {k: sum(v) / len(v) for k, v in sums.items()}

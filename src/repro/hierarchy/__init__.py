@@ -1,0 +1,12 @@
+"""Memory hierarchy: write-through L1s, private inclusive snoopy L2s, memory.
+
+Implements the system of the paper's Figure 1 on top of the cache and
+coherence substrates.
+"""
+
+from .l1 import L1Cache
+from .l2 import PrivateL2
+from .memory import MainMemory
+from .system import MemorySystem
+
+__all__ = ["L1Cache", "PrivateL2", "MainMemory", "MemorySystem"]

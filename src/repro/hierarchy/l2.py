@@ -1,0 +1,419 @@
+"""The private, inclusive, MESI-snoopy L2 cache with leakage-policy hooks.
+
+This module is the heart of the reproduction: it binds together the cache
+substrate (:mod:`repro.cache`), the MESI+turn-off protocol
+(:mod:`repro.coherence`), and the leakage policies (:mod:`repro.core`).
+
+Responsibilities:
+
+* demand accesses from the local L1 (read misses and write-buffer drains),
+  including bus transactions, sibling snoops, fills and evictions;
+* the snoop side: reacting to remote BusRd/BusRdX/BusUpgr, flushing dirty
+  data, invalidating the local L1 copy (inclusion), and — for gating
+  techniques — powering lines off on protocol invalidations;
+* the decay turn-off path of §III/§IV: Table I pending-write checks, TC/TD
+  sequencing, L1 invalidations and writebacks for Modified lines, exact
+  occupancy integrals;
+* decay-induced-miss attribution via per-set fill counters ("would this
+  line still be resident under LRU had decay not gated it?").
+
+Timing is expressed in core cycles; the bus/memory models add their own
+queueing.  The simulator guarantees events are presented in global time
+order, which lets this class use simple ``next_free`` scalars instead of a
+full discrete-event engine.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..cache.array import CacheArray
+from ..cache.geometry import CacheGeometry
+from ..coherence.bus import SnoopyBus
+from ..coherence.events import (
+    A_FLUSH,
+    A_WRITEBACK,
+    BUS_RD,
+    BUS_RDX,
+    BUS_UPGR,
+)
+from ..coherence.mesi import MESIProtocol
+from ..coherence.states import E, I, M, OFF, S, TC, TD, is_valid
+from ..coherence.turnoff import (
+    DEFERRED,
+    DENIED_PENDING,
+    DONE,
+    TurnOffSequencer,
+)
+from ..core.decay import DecayScheduler
+from ..core.occupancy import OccupancyTracker
+from ..core.policy import LeakagePolicy
+from ..sim.config import CMPConfig
+from ..sim.stats import L2Stats
+from .memory import MainMemory
+
+
+class PrivateL2:
+    """One core's private L2 bank."""
+
+    def __init__(
+        self,
+        cache_id: int,
+        cfg: CMPConfig,
+        bus: SnoopyBus,
+        memory: MainMemory,
+        policy: LeakagePolicy,
+        protocol: Optional[MESIProtocol] = None,
+    ) -> None:
+        self.cache_id = cache_id
+        self.cfg = cfg
+        geom = CacheGeometry(
+            size_bytes=cfg.l2.size_bytes,
+            line_bytes=cfg.l2.line_bytes,
+            assoc=cfg.l2.assoc,
+        )
+        self.geom = geom
+        self.array = CacheArray(geom, cfg.l2.policy)
+        self.bus = bus
+        self.memory = memory
+        self.policy = policy
+        self.protocol = protocol or MESIProtocol()
+        self.sequencer = TurnOffSequencer(self.protocol)
+        self.stats = L2Stats()
+        self.occupancy = OccupancyTracker(
+            geom.n_lines,
+            start_powered=policy.start_powered,
+            sample_interval=cfg.sample_interval,
+        )
+        # Gated-at-reset techniques park every frame in OFF.
+        if not policy.start_powered:
+            state = self.array.state
+            for f in range(geom.n_lines):
+                state[f] = OFF
+
+        #: effective access latency (decay caches pay the +1 wake/gate mux)
+        self.hit_latency = cfg.l2.hit_latency + (
+            cfg.l2.decay_access_penalty if cfg.technique.is_decay_based else 0
+        )
+
+        # Wired by the System after construction.
+        self.siblings: List["PrivateL2"] = []
+        self.l1 = None  # type: ignore[assignment]  # hierarchy.l1.L1Cache
+        self.scheduler: Optional[DecayScheduler] = None
+
+        #: inclusion bits: L1 holds a copy of the line in this frame
+        self.l1_present = bytearray(geom.n_lines)
+        #: decay-ghosts: line_addr -> set fill counter at gate time
+        self._ghosts: Dict[int, int] = {}
+        self._set_fills = [0] * geom.n_sets
+        # per-interval access counts (transient thermal model)
+        self._sample_interval = cfg.sample_interval
+        self._access_buckets: List[int] = []
+
+        self._line_bytes = geom.line_bytes
+        self._decay_enabled = policy.decay_enabled
+        self._gates_on_inval = policy.gates_on_invalidation
+
+    # ------------------------------------------------------------------
+    # Wiring / lifecycle
+    # ------------------------------------------------------------------
+    def connect(self, siblings: List["PrivateL2"], l1, scheduler: DecayScheduler) -> None:
+        """Attach sibling caches, the local L1 and the decay scheduler."""
+        self.siblings = [s for s in siblings if s is not self]
+        self.l1 = l1
+        self.scheduler = scheduler
+
+    def reset_stats(self, now: int) -> None:
+        """Zero counters at the warmup boundary (state is preserved)."""
+        self.stats = L2Stats()
+        self.occupancy.rebase(now)
+        self._access_buckets = []
+
+    def finalize(self, end: int) -> None:
+        """Close integrals and publish them into the stats object."""
+        self.stats.on_line_cycles = self.occupancy.finalize(end)
+
+    # ------------------------------------------------------------------
+    # Demand side (called by the local L1)
+    # ------------------------------------------------------------------
+    def access(self, line_addr: int, now: int, is_write: bool) -> int:
+        """Serve a demand access; returns total latency in core cycles."""
+        st = self.stats
+        if is_write:
+            st.writes += 1
+        else:
+            st.reads += 1
+        if self._sample_interval:
+            self._bump_sample(now)
+
+        array = self.array
+        frame = array.probe(line_addr)
+        state = array.state[frame] if frame >= 0 else I
+
+        if is_valid(state):
+            array.touch(frame)
+            self.policy.on_touch(frame, state, now)
+            if self._decay_enabled:
+                self.scheduler.ensure(self.cache_id, frame)
+            if not is_write:
+                return self.hit_latency
+            return self._write_hit(frame, state, now)
+
+        # ---- miss ----------------------------------------------------
+        if is_write:
+            st.write_misses += 1
+        else:
+            st.read_misses += 1
+        self._attribute_ghost_miss(line_addr)
+
+        txn = BUS_RDX if is_write else BUS_RD
+        grant, done = self.bus.transact(now, txn, self._line_bytes)
+
+        shared = False
+        supplied = False
+        for sib in self.siblings:
+            had, sup = sib.snoop(line_addr, txn, grant)
+            shared = shared or had
+            supplied = supplied or sup
+
+        if supplied:
+            st.cache_to_cache += 1
+            fill_time = done
+        else:
+            fill_time = self.memory.read_line(done)
+
+        fill_state = self.protocol.fill_state(is_write, shared)
+        # Architectural state (tags, states, occupancy, decay timers) is
+        # updated at the *request* time: the fill completes ``fill_time -
+        # now`` cycles later, but that skew (a memory latency) is orders of
+        # magnitude below the decay times, and committing at ``now`` keeps
+        # every occupancy/decay event in global-time order.
+        self._fill(line_addr, fill_state, now)
+        return self.hit_latency + (fill_time - now)
+
+    def _write_hit(self, frame: int, state: int, now: int) -> int:
+        """Write-buffer drain hitting a valid line: obtain M rights."""
+        array = self.array
+        if state == M:
+            return self.hit_latency
+        if state == E:
+            array.set_state(frame, M)
+            self.policy.on_state_change(frame, E, M, now)
+            return self.hit_latency
+        # S: broadcast an upgrade; remote sharers invalidate.
+        grant, done = self.bus.upgrade(now)
+        for sib in self.siblings:
+            sib.snoop(array.tags[frame], BUS_UPGR, grant)
+        # Our own copy may have been gated?  No: we hold it in S and we are
+        # the upgrader — state can only change via remote snoops, which are
+        # serialized behind this transaction.
+        array.set_state(frame, M)
+        self.policy.on_state_change(frame, S, M, now)
+        return self.hit_latency + (done - now)
+
+    # ------------------------------------------------------------------
+    # Fill / evict machinery
+    # ------------------------------------------------------------------
+    def _fill(self, line_addr: int, fill_state: int, now: int) -> None:
+        array = self.array
+        st = self.stats
+        frame = array.choose_victim(
+            line_addr, blocked=lambda f: array.state[f] in (TC, TD)
+        )
+        if frame < 0:
+            raise RuntimeError("no eligible victim (all frames transient?)")
+
+        victim_state = array.state[frame]
+        victim_tag = array.tags[frame]
+        if victim_tag != -1:
+            st.evictions += 1
+            if victim_state == M:
+                # Dirty eviction: post a writeback.
+                self.bus.writeback(now)
+                self.memory.write_line(now)
+                st.writebacks += 1
+            if self.l1_present[frame]:
+                # Inclusion: dropping the L2 line drops the L1 copy.
+                self.l1.invalidate_line(victim_tag)
+                self.l1_present[frame] = 0
+                st.upper_invalidations += 1
+            self.policy.on_clear(frame)
+        if victim_state == OFF:
+            self.occupancy.wake(now)
+            st.wakes += 1
+
+        array.install(line_addr, frame, fill_state)
+        st.fills += 1
+        self._set_fills[frame // self.geom.assoc] += 1
+        self.policy.on_fill(frame, fill_state, now)
+        if self._decay_enabled:
+            self.scheduler.ensure(self.cache_id, frame)
+
+    # ------------------------------------------------------------------
+    # Snoop side (called by sibling caches through the bus broadcast)
+    # ------------------------------------------------------------------
+    def snoop(self, line_addr: int, txn: int, now: int) -> tuple:
+        """React to a remote transaction; returns (had_copy, supplied_data)."""
+        array = self.array
+        frame = array.probe(line_addr)
+        if frame < 0:
+            return (False, False)
+        state = array.state[frame]
+        if state == I or state == OFF:
+            return (False, False)
+        self.stats.snoops_observed += 1
+
+        nxt, actions = self.protocol.snoop(state, txn)
+        supplied = bool(actions & A_FLUSH)
+        if actions & A_WRITEBACK:
+            # M -> S on a remote BusRd: memory picks up the flushed line.
+            self.memory.write_line(now)
+            self.stats.writebacks += 1
+
+        if nxt == state:
+            return (True, supplied)
+
+        if nxt == I:
+            self._invalidate_by_protocol(frame, line_addr, now)
+        else:
+            array.set_state(frame, nxt)
+            self.policy.on_state_change(frame, state, nxt, now)
+            if self._decay_enabled:
+                self.scheduler.ensure(self.cache_id, frame)
+        return (True, supplied)
+
+    def _invalidate_by_protocol(self, frame: int, line_addr: int, now: int) -> None:
+        """Remote BusRdX/BusUpgr killed our copy; maybe gate it (§IV)."""
+        st = self.stats
+        st.snoop_invalidations += 1
+        if self.l1_present[frame]:
+            self.l1.invalidate_line(line_addr)
+            self.l1_present[frame] = 0
+            st.upper_invalidations += 1
+        self.policy.on_clear(frame)
+        self.array.evict(frame)
+        if self._gates_on_inval:
+            # "A cache line is switched off when a line is invalidated."
+            # No ghost is recorded: the invalidation happens in the
+            # baseline too, so a later miss is not technique-induced.
+            self.array.set_state(frame, OFF)
+            self.occupancy.gate(now)
+            st.gated_protocol += 1
+        # else: baseline — the frame stays powered in I.
+
+    # ------------------------------------------------------------------
+    # Decay turn-off path (called by the DecayScheduler)
+    # ------------------------------------------------------------------
+    def turn_off_frame(self, frame: int, gate_time: int) -> bool:
+        """Raise the turn-off signal on ``frame`` at ``gate_time``.
+
+        Returns True when the line was gated.  Implements §III: Table I
+        pending-write denial, TC/TD sequencing with upper-level
+        invalidation, and the memory writeback for Modified lines.
+        """
+        array = self.array
+        state = array.state[frame]
+        if not is_valid(state):
+            return False  # stale event: line was invalidated/evicted already
+        line_addr = array.tags[frame]
+        st = self.stats
+
+        pending = self.l1.has_pending_write(line_addr)
+        new_state, result = self.sequencer.initiate(state, pending_write=pending)
+        if result.outcome == DENIED_PENDING:
+            st.gate_denied_pending += 1
+            # The imminent drain will touch the line and re-arm its timer.
+            return False
+        if result.outcome == DEFERRED:
+            st.gate_deferred_transient += 1
+            return False
+        assert result.outcome == DONE and new_state == OFF
+
+        if result.invalidate_upper and self.l1_present[frame]:
+            self.l1.invalidate_line(line_addr)
+            st.upper_invalidations += 1
+        self.l1_present[frame] = 0
+
+        if result.writeback:
+            # TD: flush the dirty line to memory over the shared bus.
+            self.bus.writeback(gate_time)
+            self.memory.write_line(gate_time)
+            st.writebacks += 1
+            st.gated_decay_dirty += 1
+        else:
+            st.gated_decay_clean += 1
+
+        # Record a ghost so a future miss to this address can be attributed
+        # to decay iff the line would still be resident under LRU.
+        self._ghosts[line_addr] = self._set_fills[frame // self.geom.assoc]
+
+        self.policy.on_clear(frame)
+        array.evict(frame)
+        array.set_state(frame, OFF)
+        self.occupancy.gate(gate_time)
+        return True
+
+    def _attribute_ghost_miss(self, line_addr: int) -> None:
+        """Classify a miss as decay-induced using the ghost records."""
+        g = self._ghosts.pop(line_addr, None)
+        if g is None:
+            return
+        set_idx = self.geom.set_index_of_line(line_addr)
+        if self._set_fills[set_idx] - g < self.geom.assoc:
+            # Fewer fills than ways since gating: under LRU the line would
+            # still be resident — this miss exists only because we gated.
+            self.stats.decay_induced_misses += 1
+
+    # ------------------------------------------------------------------
+    # L1 bookkeeping (inclusion bits)
+    # ------------------------------------------------------------------
+    def note_l1_fill(self, line_addr: int) -> None:
+        """L1 installed a copy of ``line_addr``."""
+        frame = self.array.probe(line_addr)
+        if frame < 0:
+            raise RuntimeError(
+                f"inclusion violation: L1 filled line {line_addr:#x} that is "
+                f"not resident in L2 {self.cache_id}"
+            )
+        self.l1_present[frame] = 1
+
+    def note_l1_evict(self, line_addr: int) -> None:
+        """L1 dropped its copy of ``line_addr`` (replacement)."""
+        frame = self.array.probe(line_addr)
+        if frame >= 0:
+            self.l1_present[frame] = 0
+
+    # ------------------------------------------------------------------
+    # Sampling / invariants
+    # ------------------------------------------------------------------
+    def _bump_sample(self, now: int) -> None:
+        bucket = now // self._sample_interval
+        buckets = self._access_buckets
+        while len(buckets) <= bucket:
+            buckets.append(0)
+        buckets[bucket] += 1
+
+    def access_buckets(self) -> List[int]:
+        """Per-interval access counts (transient thermal model)."""
+        return list(self._access_buckets)
+
+    def check_invariants(self) -> None:
+        """Structural invariants, used heavily by the test-suite.
+
+        * the tag array and lookup dicts agree;
+        * powered-line count matches the occupancy tracker;
+        * every frame with the inclusion bit set holds a valid line.
+        """
+        self.array.check_integrity()
+        powered = sum(1 for s in self.array.state if s != OFF)
+        if powered != self.occupancy.on_lines:
+            raise AssertionError(
+                f"L2 {self.cache_id}: {powered} powered frames but tracker "
+                f"says {self.occupancy.on_lines}"
+            )
+        for frame in range(self.geom.n_lines):
+            if self.l1_present[frame] and not is_valid(self.array.state[frame]):
+                raise AssertionError(
+                    f"L2 {self.cache_id} frame {frame}: inclusion bit set on "
+                    f"an invalid line"
+                )

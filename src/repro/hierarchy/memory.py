@@ -1,0 +1,59 @@
+"""External memory port (paper Fig. 1: "External Bus (to L3 or Memory)").
+
+A single channel shared by the four private L2s.  Reads return after
+``latency`` core cycles plus any queueing delay when contention modeling is
+on; writes (writebacks) are posted — they occupy channel bandwidth but
+nobody waits for them.  All off-chip traffic is accounted here; the
+paper's Fig 4(a) "memory bandwidth increase" is
+``MemoryStats.total_bytes / cycles`` relative to the baseline run.
+"""
+
+from __future__ import annotations
+
+from ..sim.config import MemoryConfig
+from ..sim.stats import MemoryStats
+
+
+class MainMemory:
+    """Fixed-latency, bandwidth-limited external memory channel."""
+
+    __slots__ = ("cfg", "line_bytes", "stats", "next_free", "_occ_cycles")
+
+    def __init__(self, cfg: MemoryConfig, line_bytes: int) -> None:
+        self.cfg = cfg
+        self.line_bytes = line_bytes
+        self.stats = MemoryStats()
+        self.next_free = 0
+        # Channel occupancy of one line transfer, in core cycles.
+        self._occ_cycles = max(1, int(round(line_bytes / cfg.bytes_per_cycle)))
+
+    # ------------------------------------------------------------------
+    def read_line(self, now: int) -> int:
+        """Fetch one line; returns the completion time (core cycles)."""
+        st = self.stats
+        st.line_reads += 1
+        st.bytes_read += self.line_bytes
+        if self.cfg.contention:
+            start = now if now > self.next_free else self.next_free
+            self.next_free = start + self._occ_cycles
+            st.busy_cycles += self._occ_cycles
+            return start + self.cfg.latency
+        st.busy_cycles += self._occ_cycles
+        return now + self.cfg.latency
+
+    def write_line(self, now: int) -> int:
+        """Post one line writeback; returns when the channel accepted it."""
+        st = self.stats
+        st.line_writes += 1
+        st.bytes_written += self.line_bytes
+        if self.cfg.contention:
+            start = now if now > self.next_free else self.next_free
+            self.next_free = start + self._occ_cycles
+            st.busy_cycles += self._occ_cycles
+            return start
+        st.busy_cycles += self._occ_cycles
+        return now
+
+    def reset_stats(self) -> None:
+        """Zero traffic counters (warmup boundary)."""
+        self.stats = MemoryStats()

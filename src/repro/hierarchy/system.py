@@ -1,0 +1,118 @@
+"""Wiring of the CMP memory system (paper Figure 1).
+
+``MemorySystem`` instantiates and connects: four private L1s (write-through
++ write buffer), four private inclusive L2s snooping a shared bus, the
+external memory port, the per-cache leakage policies and the global decay
+scheduler.  The CPU cores and the simulation loop live elsewhere; this
+class is also usable standalone for protocol-level tests ("poke addresses,
+inspect states").
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..coherence.bus import SnoopyBus
+from ..coherence.mesi import MESIProtocol
+from ..core.decay import DecayScheduler
+from ..core.policy import make_leakage_policy
+from ..sim.config import CMPConfig
+from .l1 import L1Cache
+from .l2 import PrivateL2
+from .memory import MainMemory
+
+
+class MemorySystem:
+    """The complete L1/L2/bus/memory fabric of the simulated CMP."""
+
+    def __init__(self, cfg: CMPConfig) -> None:
+        self.cfg = cfg
+        self.protocol = MESIProtocol()
+        self.bus = SnoopyBus(cfg.bus, line_bytes=cfg.l2.line_bytes)
+        self.memory = MainMemory(cfg.memory, line_bytes=cfg.l2.line_bytes)
+
+        n_lines = cfg.l2.size_bytes // cfg.l2.line_bytes
+        self.policies = [
+            make_leakage_policy(cfg.technique, n_lines) for _ in range(cfg.n_cores)
+        ]
+        self.l2s: List[PrivateL2] = [
+            PrivateL2(i, cfg, self.bus, self.memory, self.policies[i], self.protocol)
+            for i in range(cfg.n_cores)
+        ]
+        self.l1s: List[L1Cache] = [
+            L1Cache(i, cfg, self.l2s[i]) for i in range(cfg.n_cores)
+        ]
+        self.scheduler = DecayScheduler(self.policies)
+        for i, l2 in enumerate(self.l2s):
+            l2.connect(self.l2s, self.l1s[i], self.scheduler)
+
+        self._line_shift = cfg.l2.line_bytes.bit_length() - 1
+
+    # ------------------------------------------------------------------
+    def line_of(self, byte_addr: int) -> int:
+        """Line address of a byte address."""
+        return byte_addr >> self._line_shift
+
+    def process_decay_until(self, t_limit: int) -> int:
+        """Fire every decay event due at or before ``t_limit``."""
+        if not self.policies[0].decay_enabled:
+            return 0
+        return self.scheduler.process_until(
+            t_limit, lambda cid, frame, t: self.l2s[cid].turn_off_frame(frame, t)
+        )
+
+    def next_decay_due(self):
+        """Earliest pending decay deadline (None when idle)."""
+        return self.scheduler.next_due()
+
+    # ------------------------------------------------------------------
+    def reset_stats(self, now: int) -> None:
+        """Warmup boundary: zero all counters, keep all state."""
+        for l1 in self.l1s:
+            l1.reset_stats()
+        for l2 in self.l2s:
+            l2.reset_stats(now)
+        self.memory.reset_stats()
+        from ..coherence.bus import BusStats
+
+        self.bus.stats = BusStats()
+
+    def finalize(self, end: int) -> None:
+        """Close occupancy integrals at the end of simulation."""
+        for l2 in self.l2s:
+            l2.finalize(end)
+
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """System-wide coherence invariants (test hooks).
+
+        * per-cache structural integrity;
+        * L1⊆L2 inclusion;
+        * single-writer: at most one L2 holds a line in M/E, and an M/E
+          copy excludes any other valid copy.
+        """
+        for l2 in self.l2s:
+            l2.check_invariants()
+        for l1 in self.l1s:
+            l1.check_inclusion()
+        owners = {}
+        from ..coherence.states import E, M, S
+
+        for l2 in self.l2s:
+            for frame, line_addr, state in l2.array.resident_lines():
+                if state in (M, E):
+                    if line_addr in owners:
+                        raise AssertionError(
+                            f"line {line_addr:#x} owned exclusively by caches "
+                            f"{owners[line_addr]} and {l2.cache_id}"
+                        )
+                    owners[line_addr] = l2.cache_id
+                elif state == S:
+                    owners.setdefault(line_addr, None)
+        for l2 in self.l2s:
+            for frame, line_addr, state in l2.array.resident_lines():
+                if state == S and owners.get(line_addr) is not None:
+                    raise AssertionError(
+                        f"line {line_addr:#x} is S in cache {l2.cache_id} but "
+                        f"exclusively owned by cache {owners[line_addr]}"
+                    )

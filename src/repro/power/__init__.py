@@ -1,0 +1,40 @@
+"""Power models: CACTI/Wattch/Orion-style dynamic energy, Liao-style
+temperature-dependent leakage, and the system energy pipeline."""
+
+from .cacti import CacheEnergyModel, l1_model, l2_model
+from .calibration import (
+    CLOCK_HZ,
+    PAPER_IPC_LOSS_4MB,
+    PAPER_L2_SHARE,
+    PAPER_REDUCTION_4MB,
+    PAPER_REDUCTION_8MB,
+    CalibrationReport,
+    expected_share,
+    share_band,
+)
+from .energy import EnergyBreakdown, EnergyModel, energy_reduction
+from .leakage import LeakageModel, activation_constant, leakage_watts_per_mb
+from .orion import BusEnergyModel
+from .wattch import CoreEnergyModel
+
+__all__ = [
+    "CacheEnergyModel",
+    "l1_model",
+    "l2_model",
+    "CLOCK_HZ",
+    "PAPER_IPC_LOSS_4MB",
+    "PAPER_L2_SHARE",
+    "PAPER_REDUCTION_4MB",
+    "PAPER_REDUCTION_8MB",
+    "CalibrationReport",
+    "expected_share",
+    "share_band",
+    "EnergyBreakdown",
+    "EnergyModel",
+    "energy_reduction",
+    "LeakageModel",
+    "activation_constant",
+    "leakage_watts_per_mb",
+    "BusEnergyModel",
+    "CoreEnergyModel",
+]

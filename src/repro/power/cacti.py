@@ -1,0 +1,132 @@
+"""CACTI-style analytical cache energy/area/timing model.
+
+The paper uses CACTI 3.0 [27] for cache power.  We implement an analytical
+model with the same structure CACTI uses — decoder, wordline, bitline,
+sense-amp and output-driver components whose energies scale with the array
+organisation — calibrated to 70 nm-era constants (the paper's technology
+generation).  Absolute joules are *calibrated*, not derived from layout;
+what the reproduction needs is the correct *relative* scaling of
+per-access energy and leakage with cache size and associativity, and a
+sensible dynamic/leakage ratio (see :mod:`repro.power.calibration`).
+
+Model sketch (per access):
+
+* the decoder and wordline energy grow with the number of sets decoded
+  and the width of a row (``assoc × line_bytes``);
+* the bitline energy dominates and scales with the row width times the
+  bitline length (∝ number of sets, partitioned into sub-banks of at most
+  ``max_rows_per_subarray`` rows as CACTI's organizer would);
+* sense amps and output drivers scale with the line width;
+* tag-array energy is modeled the same way with tag-sized rows.
+
+Leakage *power* per line is technology-driven and lives in
+:mod:`repro.power.leakage`; this module reports the cell count and area
+that feed it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..cache.geometry import CacheGeometry
+
+# ---------------------------------------------------------------------------
+# 70 nm-class technology constants (calibrated; see power/calibration.py)
+# ---------------------------------------------------------------------------
+#: energy to switch one bit-line pair during a read/write, joules
+E_BITLINE_PER_BIT = 0.045e-12
+#: energy per decoded row (decoder + wordline driver), joules
+E_WORDLINE_PER_BIT = 0.012e-12
+#: sense amp energy per sensed bit, joules
+E_SENSEAMP_PER_BIT = 0.008e-12
+#: output driver energy per transferred bit, joules
+E_OUTPUT_PER_BIT = 0.010e-12
+#: decoder energy per address bit per sub-bank, joules
+E_DECODE_PER_ADDRBIT = 0.020e-12
+#: SRAM cell area at 70 nm (m^2) — 6T cell, ~0.7 um^2
+CELL_AREA_M2 = 0.7e-12
+#: array efficiency (cells / total area including periphery)
+ARRAY_EFFICIENCY = 0.55
+#: CACTI-style subarray height limit (rows) before partitioning
+MAX_ROWS_PER_SUBARRAY = 1024
+#: tag bits per line (address tag + state/valid bits), approximate
+TAG_BITS = 40
+
+
+@dataclass(frozen=True)
+class CacheEnergyModel:
+    """Per-access energy and geometry-derived figures for one cache array.
+
+    ``read_energy``/``write_energy`` are joules per access;
+    ``cell_count`` includes data + tag cells (the leakage model multiplies
+    by per-cell leakage power); ``area_mm2`` feeds the thermal floorplan.
+    """
+
+    geometry: CacheGeometry
+    read_energy: float
+    write_energy: float
+    cell_count: int
+    area_mm2: float
+    subarrays: int
+
+    @classmethod
+    def build(cls, geometry: CacheGeometry) -> "CacheEnergyModel":
+        """Derive the model from a cache geometry."""
+        n_sets = geometry.n_sets
+        assoc = geometry.assoc
+        line_bits = geometry.line_bytes * 8
+
+        # CACTI-style partitioning: split the row dimension into subarrays
+        # no taller than MAX_ROWS_PER_SUBARRAY.
+        subarrays = max(1, math.ceil(n_sets / MAX_ROWS_PER_SUBARRAY))
+        rows_per_sub = n_sets / subarrays
+
+        # One access decodes a row in one subarray, switches the bitlines
+        # of the full row width (all ways read in parallel, as in a
+        # parallel-access set-associative array), senses them, and drives
+        # one line out.
+        row_bits = assoc * (line_bits + TAG_BITS)
+        addr_bits = max(1, int(math.log2(max(2, n_sets))))
+
+        # Bitline energy grows with the column height (partitioned).
+        bitline_scale = rows_per_sub / MAX_ROWS_PER_SUBARRAY
+        e_bitline = row_bits * E_BITLINE_PER_BIT * (0.35 + 0.65 * bitline_scale)
+        e_wordline = row_bits * E_WORDLINE_PER_BIT
+        e_sense = row_bits * E_SENSEAMP_PER_BIT
+        e_decode = addr_bits * subarrays * E_DECODE_PER_ADDRBIT
+        e_output = line_bits * E_OUTPUT_PER_BIT
+
+        read = e_decode + e_wordline + e_bitline + e_sense + e_output
+        # Writes skip the sense/output stage but drive bitlines harder.
+        write = e_decode + e_wordline + e_bitline * 1.15
+
+        cells = geometry.n_lines * (line_bits + TAG_BITS)
+        area = cells * CELL_AREA_M2 / ARRAY_EFFICIENCY * 1e6  # mm^2
+        return cls(
+            geometry=geometry,
+            read_energy=read,
+            write_energy=write,
+            cell_count=cells,
+            area_mm2=area,
+            subarrays=subarrays,
+        )
+
+    # ------------------------------------------------------------------
+    def access_energy(self, reads: int, writes: int) -> float:
+        """Total dynamic energy for an access mix, joules."""
+        return reads * self.read_energy + writes * self.write_energy
+
+    def energy_per_kb(self) -> float:
+        """Read energy per KB of capacity (sanity metric for tests)."""
+        return self.read_energy / (self.geometry.size_bytes / 1024)
+
+
+def l2_model(size_bytes: int, line_bytes: int = 64, assoc: int = 8) -> CacheEnergyModel:
+    """Convenience: model for one private L2 bank."""
+    return CacheEnergyModel.build(CacheGeometry(size_bytes, line_bytes, assoc))
+
+
+def l1_model(size_bytes: int = 32 * 1024, line_bytes: int = 64, assoc: int = 4) -> CacheEnergyModel:
+    """Convenience: model for one L1."""
+    return CacheEnergyModel.build(CacheGeometry(size_bytes, line_bytes, assoc))

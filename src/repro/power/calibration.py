@@ -1,0 +1,92 @@
+"""Calibration of the power-model constants against the paper.
+
+The paper reports energy *reductions* relative to an unoptimized system,
+so absolute joules cancel; what must be right is the **L2-leakage share of
+system energy** as a function of total cache size.  Back-deriving from
+Fig 5(a) (Decay ≈ removes all L2 leakage minus overheads):
+
+========  =======================  ======================
+total L2   paper energy reduction   implied L2-leak share
+========  =======================  ======================
+1 MB       ~9 %  (Decay)            ~10 %
+2 MB       ~17 %                    ~19 %
+4 MB       ~30 %                    ~32 %
+8 MB       ~43 %                    ~46 %
+========  =======================  ======================
+
+The constants in :mod:`repro.power.leakage` / :mod:`repro.power.wattch` /
+:mod:`repro.power.orion` are set so the model lands inside these bands for
+typical benchmark activity (IPC ≈ 2 at 3 GHz, L2 temperature ≈ 355–370 K).
+``expected_share`` and ``share_band`` are used by the test-suite to pin
+this calibration down; if a constant changes, the tests say which band
+broke.
+
+Note the deliberate departure from layout-level physics: per-cell leakage
+is ~3× a typical 70 nm datasheet value because the *paper's* implied
+shares demand it (their thermal model put the L2 at elevated temperature
+and their cores are modest consumers).  The reproduction favours the
+paper's internal consistency over external datasheets — see DESIGN.md §4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+#: Core clock frequency assumed throughout the energy pipeline, Hz.
+CLOCK_HZ = 3.0e9
+
+#: Paper-implied L2-leakage share of total system energy, by total MB.
+PAPER_L2_SHARE: Dict[int, float] = {1: 0.10, 2: 0.19, 4: 0.32, 8: 0.46}
+
+#: Acceptance band (absolute +-) used by the calibration tests.
+SHARE_TOLERANCE = 0.08
+
+#: Paper headline energy reductions at 4 MB (Protocol, Decay, SD), §VI/abstract.
+PAPER_REDUCTION_4MB: Dict[str, float] = {
+    "protocol": 0.13,
+    "decay": 0.30,
+    "selective_decay": 0.21,
+}
+
+#: Paper headline IPC losses at 4 MB.
+PAPER_IPC_LOSS_4MB: Dict[str, float] = {
+    "protocol": 0.00,
+    "decay": 0.08,
+    "selective_decay": 0.02,
+}
+
+#: Paper energy reductions at 8 MB ("up to 25%, 44%, and 38%").
+PAPER_REDUCTION_8MB: Dict[str, float] = {
+    "protocol": 0.25,
+    "decay": 0.44,
+    "selective_decay": 0.38,
+}
+
+
+def expected_share(total_mb: int) -> float:
+    """Paper-implied L2 leakage share for a total cache size."""
+    if total_mb not in PAPER_L2_SHARE:
+        raise ValueError(f"no calibration target for {total_mb} MB")
+    return PAPER_L2_SHARE[total_mb]
+
+
+def share_band(total_mb: int) -> Tuple[float, float]:
+    """(lo, hi) acceptance band for the L2 leakage share."""
+    mid = expected_share(total_mb)
+    return (max(0.0, mid - SHARE_TOLERANCE), mid + SHARE_TOLERANCE)
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    """Computed share vs. target for one configuration (test/debug aid)."""
+
+    total_mb: int
+    l2_leak_share: float
+    target: float
+
+    @property
+    def within_band(self) -> bool:
+        """True when the share falls inside the acceptance band."""
+        lo, hi = share_band(self.total_mb)
+        return lo <= self.l2_leak_share <= hi

@@ -1,0 +1,308 @@
+"""The energy pipeline: activity counts → dynamic energy → thermal/leakage
+fixpoint → system energy breakdown.
+
+Reproduces the paper's §V methodology:
+
+* dynamic energy from Wattch-like (cores), CACTI-like (caches) and
+  Orion-like (bus) models;
+* leakage from the Liao-style temperature-dependent model, with the L2
+  contribution weighted by the *powered line-cycles* the simulator
+  integrated (this is where the occupancy savings become energy);
+* temperatures from the HotSpot-style RC network, iterated with leakage
+  to a fixpoint (leakage heats the die, heat raises leakage);
+* Gated-Vdd overheads: +5 % leakage area on powered lines, plus the decay
+  counters' dynamic and leakage energy for decay-based techniques;
+* per the paper (following Abella [10]), off-chip DRAM energy is *not*
+  charged — the extra off-chip traffic is reported separately (Fig 4(a)).
+
+The "system" whose energy Fig 5(a)/6(a) normalizes is "cores, L1, L2 and
+system bus" (paper footnote 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..cache.geometry import CacheGeometry
+from ..sim.config import CMPConfig
+from ..sim.stats import SimResult
+from ..thermal.floorplan import cmp_floorplan
+from ..thermal.rc_model import ThermalParams, ThermalRCModel
+from .cacti import CacheEnergyModel
+from .calibration import CLOCK_HZ
+from .leakage import LeakageModel
+from .orion import BusEnergyModel
+from .wattch import CoreEnergyModel
+
+#: Core logic leakage (excluding cache arrays) at the reference
+#: temperature, watts per core.
+CORE_LOGIC_LEAK_REF = 1.2
+#: Dynamic energy of one per-line decay-counter reset, joules.
+E_COUNTER_RESET = 0.10e-12
+#: Dynamic energy of one per-line counter increment at a global tick.
+E_COUNTER_TICK = 0.05e-12
+#: Decay-counter bits per line (Kaxiras 2-bit scheme + control).
+COUNTER_BITS_PER_LINE = 3
+
+
+@dataclass
+class EnergyBreakdown:
+    """System energy decomposition for one simulation run (joules)."""
+
+    core_dynamic: float = 0.0
+    l1_dynamic: float = 0.0
+    l2_dynamic: float = 0.0
+    bus_dynamic: float = 0.0
+    counter_dynamic: float = 0.0
+    core_leakage: float = 0.0
+    l1_leakage: float = 0.0
+    l2_leakage: float = 0.0
+    counter_leakage: float = 0.0
+    duration_s: float = 0.0
+    temperatures: Dict[str, float] = field(default_factory=dict)
+    fixpoint_iterations: int = 0
+
+    @property
+    def dynamic_total(self) -> float:
+        """All switching energy."""
+        return (
+            self.core_dynamic + self.l1_dynamic + self.l2_dynamic
+            + self.bus_dynamic + self.counter_dynamic
+        )
+
+    @property
+    def leakage_total(self) -> float:
+        """All static energy."""
+        return (
+            self.core_leakage + self.l1_leakage + self.l2_leakage
+            + self.counter_leakage
+        )
+
+    @property
+    def total(self) -> float:
+        """System energy (cores + L1 + L2 + bus), joules."""
+        return self.dynamic_total + self.leakage_total
+
+    @property
+    def l2_leakage_share(self) -> float:
+        """Fraction of system energy that is L2 leakage."""
+        t = self.total
+        return self.l2_leakage / t if t else 0.0
+
+    @property
+    def average_power(self) -> float:
+        """Mean system power over the run, watts."""
+        return self.total / self.duration_s if self.duration_s else 0.0
+
+    def summary(self) -> str:
+        """Readable multi-line digest."""
+        peak = max(self.temperatures.values()) if self.temperatures else 0.0
+        return "\n".join([
+            f"total={self.total * 1e3:.2f} mJ  (dyn={self.dynamic_total * 1e3:.2f}, "
+            f"leak={self.leakage_total * 1e3:.2f})",
+            f"L2 leakage={self.l2_leakage * 1e3:.2f} mJ "
+            f"({self.l2_leakage_share:.1%} of system)",
+            f"avg power={self.average_power:.1f} W  peak T={peak - 273.15:.1f} °C",
+        ])
+
+
+def energy_reduction(baseline: EnergyBreakdown, optimized: EnergyBreakdown) -> float:
+    """Paper Fig 5(a)/6(a): relative energy saved vs. the always-on system."""
+    if baseline.total <= 0:
+        return 0.0
+    return 1.0 - optimized.total / baseline.total
+
+
+class EnergyModel:
+    """Evaluates :class:`~repro.sim.stats.SimResult` into joules."""
+
+    def __init__(
+        self,
+        cfg: CMPConfig,
+        clock_hz: float = CLOCK_HZ,
+        leakage: Optional[LeakageModel] = None,
+        core_model: Optional[CoreEnergyModel] = None,
+        bus_model: Optional[BusEnergyModel] = None,
+        thermal_params: Optional[ThermalParams] = None,
+    ) -> None:
+        self.cfg = cfg
+        self.clock_hz = clock_hz
+        self.leakage = leakage or LeakageModel()
+        self.core_model = core_model or CoreEnergyModel()
+        self.bus_model = bus_model or BusEnergyModel()
+
+        self.l1_cacti = CacheEnergyModel.build(
+            CacheGeometry(cfg.l1.size_bytes, cfg.l1.line_bytes, cfg.l1.assoc))
+        self.l2_cacti = CacheEnergyModel.build(
+            CacheGeometry(cfg.l2.size_bytes, cfg.l2.line_bytes, cfg.l2.assoc))
+
+        self.floorplan = cmp_floorplan(cfg.n_cores, self.l2_cacti.area_mm2)
+        self.thermal = ThermalRCModel(self.floorplan, thermal_params)
+
+        geom = CacheGeometry(cfg.l2.size_bytes, cfg.l2.line_bytes, cfg.l2.assoc)
+        self._l2_lines = geom.n_lines
+        self._cells_per_line = self.l2_cacti.cell_count // geom.n_lines
+
+    # ------------------------------------------------------------------
+    def evaluate(self, result: SimResult, max_iter: int = 25,
+                 tol_kelvin: float = 0.05) -> EnergyBreakdown:
+        """Full pipeline for one run; returns the energy breakdown."""
+        cfg = self.cfg
+        bd = EnergyBreakdown()
+        cycles = max(1, result.total_cycles)
+        duration = cycles / self.clock_hz
+        bd.duration_s = duration
+        gated_tech = cfg.technique.gates_lines
+
+        # ---- dynamic energies ----------------------------------------
+        core_dyn = [self.core_model.energy(c) for c in result.cores]
+        bd.core_dynamic = sum(core_dyn)
+
+        l1_dyn = []
+        for s in result.l1:
+            e = self.l1_cacti.access_energy(
+                reads=s.loads, writes=s.stores + s.fills)
+            l1_dyn.append(e)
+        bd.l1_dynamic = sum(l1_dyn)
+
+        l2_dyn = []
+        for s in result.l2:
+            probe = 0.15 * self.l2_cacti.read_energy
+            e = (
+                self.l2_cacti.access_energy(reads=s.reads,
+                                            writes=s.writes + s.fills)
+                + s.snoops_observed * probe
+            )
+            l2_dyn.append(e)
+        bd.l2_dynamic = sum(l2_dyn)
+
+        bd.bus_dynamic = self.bus_model.energy(
+            result.bus_txn_counts, result.bus_data_bytes, cfg.n_cores)
+
+        if cfg.technique.is_decay_based:
+            avg_on_lines = 0.0
+            if result.n_lines_per_l2:
+                avg_on_lines = (
+                    sum(s.on_line_cycles for s in result.l2) / cycles
+                )
+            bd.counter_dynamic = (
+                result.decay_counter_resets * E_COUNTER_RESET
+                + result.decay_counter_ticks * avg_on_lines / max(1, cfg.n_cores)
+                * E_COUNTER_TICK
+            )
+
+        # ---- leakage/thermal fixpoint --------------------------------
+        # Start from a warm guess and iterate: T -> leakage -> power -> T.
+        names = self.floorplan.names()
+        temps = {nm: self.thermal.params.t_ambient + 25.0 for nm in names}
+        lk = self.leakage
+        iterations = 0
+        for iterations in range(1, max_iter + 1):
+            powers: Dict[str, float] = {}
+            for i in range(cfg.n_cores):
+                t_core = temps[f"core{i}"]
+                logic_leak = CORE_LOGIC_LEAK_REF * float(lk.scale(t_core))
+                l1_leak_w = lk.array_power(
+                    self.l1_cacti.cell_count, 0, t_core,
+                    gated_vdd_present=False)
+                powers[f"core{i}"] = (
+                    core_dyn[i] / duration + l1_dyn[i] / duration
+                    + logic_leak + l1_leak_w
+                )
+            for i, s in enumerate(result.l2):
+                t_l2 = temps[f"l2_{i}"]
+                on_cells = (s.on_line_cycles / cycles) * self._cells_per_line
+                off_cells = (
+                    (self._l2_lines - s.on_line_cycles / cycles)
+                    * self._cells_per_line
+                )
+                leak_w = lk.array_power(on_cells, off_cells, t_l2,
+                                        gated_vdd_present=gated_tech)
+                powers[f"l2_{i}"] = l2_dyn[i] / duration + leak_w
+            powers["bus"] = bd.bus_dynamic / duration
+
+            new_temps = self.thermal.steady_state(powers)
+            delta = max(abs(new_temps[nm] - temps[nm]) for nm in names)
+            temps = new_temps
+            if delta < tol_kelvin:
+                break
+        bd.fixpoint_iterations = iterations
+        bd.temperatures = temps
+
+        # ---- leakage energies at the fixpoint temperatures ------------
+        core_leak = 0.0
+        l1_leak = 0.0
+        for i in range(cfg.n_cores):
+            t_core = temps[f"core{i}"]
+            core_leak += CORE_LOGIC_LEAK_REF * float(lk.scale(t_core)) * duration
+            l1_leak += lk.array_power(
+                self.l1_cacti.cell_count, 0, t_core,
+                gated_vdd_present=False) * duration
+        bd.core_leakage = core_leak
+        bd.l1_leakage = l1_leak
+
+        l2_leak = 0.0
+        counter_leak = 0.0
+        for i, s in enumerate(result.l2):
+            t_l2 = temps[f"l2_{i}"]
+            on_cell_cycles = s.on_line_cycles * self._cells_per_line
+            off_cell_cycles = (
+                (self._l2_lines * cycles) - s.on_line_cycles
+            ) * self._cells_per_line
+            p_on = lk.cell_power(t_l2)
+            if gated_tech:
+                p_on *= lk.gated_vdd_area_overhead
+            l2_leak += (
+                on_cell_cycles * p_on
+                + off_cell_cycles * lk.gated_cell_power(t_l2)
+            ) / self.clock_hz
+            if cfg.technique.is_decay_based:
+                counter_cells = COUNTER_BITS_PER_LINE * self._l2_lines
+                counter_leak += (
+                    counter_cells * lk.cell_power(t_l2) * duration
+                )
+        bd.l2_leakage = l2_leak
+        bd.counter_leakage = counter_leak
+        return bd
+
+    # ------------------------------------------------------------------
+    def transient_temperatures(
+        self, result: SimResult
+    ) -> List[Dict[str, float]]:
+        """HotSpot-style transient temperature trace from activity samples.
+
+        Requires the run to have been simulated with
+        ``cfg.sample_interval > 0``.  Each sample's block powers come from
+        its interval activity (instructions, L2 accesses, powered lines);
+        leakage uses the reference-temperature value (one Picard step —
+        adequate for the example visualizations, not for the energy
+        accounting, which uses the fixpoint in :meth:`evaluate`).
+        """
+        if not result.samples:
+            raise ValueError(
+                "no activity samples recorded; set cfg.sample_interval")
+        cfg = self.cfg
+        iv = result.samples[0].interval
+        dt = iv / self.clock_hz
+        lk = self.leakage
+        t_ref = self.thermal.params.t_ambient + 25.0
+        traces = []
+        for s in result.samples:
+            powers: Dict[str, float] = {}
+            for i in range(cfg.n_cores):
+                instr = s.core_instructions[i]
+                dyn = instr * (self.core_model.epi_base * 1.6)
+                powers[f"core{i}"] = (
+                    dyn / dt + CORE_LOGIC_LEAK_REF * float(lk.scale(t_ref))
+                )
+            for i in range(cfg.n_cores):
+                acc = s.l2_accesses[i]
+                on_cells = (
+                    s.l2_on_line_cycles[i] / iv * self._cells_per_line
+                )
+                dyn = acc * self.l2_cacti.read_energy
+                powers[f"l2_{i}"] = dyn / dt + on_cells * lk.cell_power(t_ref)
+            powers["bus"] = 0.5
+            traces.append(powers)
+        return self.thermal.transient(traces, dt)

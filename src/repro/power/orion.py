@@ -1,0 +1,47 @@
+"""Orion-style interconnect energy model.
+
+The paper uses Orion [28] for bus power.  Orion charges per-flit energies
+for wire traversal, arbitration, and drivers.  For the shared snoopy bus
+we model:
+
+* a per-transaction arbitration + address-broadcast energy (every snooper
+  latches the address);
+* a per-byte data-wire energy proportional to the wire length implied by
+  the four-core floorplan;
+* snoop tag-probe energy charged per (transaction × snooper) — this is
+  the coherence-specific cost the paper's private-L2 design pays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class BusEnergyModel:
+    """Energy constants for the shared bus (joules)."""
+
+    per_txn_arbitration: float = 40.0e-12
+    per_txn_address: float = 160.0e-12    #: address broadcast to all snoopers
+    per_byte_data: float = 80.0e-12       #: data wire + driver per byte
+    per_snoop_probe: float = 90.0e-12     #: remote tag lookup per snooper
+
+    def energy(
+        self,
+        txn_counts: Dict[str, int],
+        data_bytes: int,
+        n_snoopers: int,
+    ) -> float:
+        """Total bus energy for a run, joules.
+
+        ``txn_counts`` is keyed by transaction name (as recorded in
+        ``SimResult.bus_txn_counts``); every transaction broadcasts its
+        address and probes the other caches' snoop tags.
+        """
+        txns = sum(txn_counts.values())
+        return (
+            txns * (self.per_txn_arbitration + self.per_txn_address)
+            + data_bytes * self.per_byte_data
+            + txns * max(0, n_snoopers - 1) * self.per_snoop_probe
+        )

@@ -1,0 +1,237 @@
+"""Configuration dataclasses for the CMP simulator.
+
+The default values reproduce the paper's §V setup: a 4-core CMP of
+Alpha-21264-class out-of-order cores, private write-through L1s with write
+buffers, private inclusive MESI-snoopy L2s (256 KB – 2 MB per core), a
+pipelined half-clock shared bus, and the three leakage techniques with
+decay times of 512K/128K/64K cycles.
+
+``CMPConfig`` instances are immutable and hashable so the experiment
+harness can key its result cache on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Tuple
+
+from ..coherence.bus import BusConfig
+
+# ---------------------------------------------------------------------------
+# Technique names (paper §IV)
+# ---------------------------------------------------------------------------
+BASELINE = "baseline"                 #: unoptimized, L2 always powered
+PROTOCOL = "protocol"                 #: Turn off on Protocol Invalidation
+DECAY = "decay"                       #: fixed decay (Kaxiras) on a coherent L2
+SELECTIVE_DECAY = "selective_decay"   #: decay armed only entering S/E
+
+TECHNIQUES = (BASELINE, PROTOCOL, DECAY, SELECTIVE_DECAY)
+
+#: Decay counter implementations.
+COUNTER_IDEAL = "ideal"               #: exact per-line timers
+COUNTER_HIERARCHICAL = "hierarchical"  #: global tick + 2-bit line counters
+
+
+@dataclass(frozen=True)
+class TechniqueConfig:
+    """Leakage-saving technique selection.
+
+    ``decay_cycles`` is the nominal decay time in core cycles (ignored for
+    baseline/protocol).  ``counter_mode`` selects ideal timers or the
+    Kaxiras hierarchical-counter hardware with its quantization:
+    ``counter_bits``-bit per-line counters driven by a global tick of
+    ``decay_cycles / 2**counter_bits`` cycles.
+    """
+
+    name: str = BASELINE
+    decay_cycles: int = 512_000
+    counter_mode: str = COUNTER_IDEAL
+    counter_bits: int = 2
+
+    def __post_init__(self) -> None:
+        if self.name not in TECHNIQUES:
+            raise ValueError(f"unknown technique {self.name!r}; one of {TECHNIQUES}")
+        if self.name in (DECAY, SELECTIVE_DECAY) and self.decay_cycles < 1:
+            raise ValueError("decay_cycles must be positive for decay techniques")
+        if self.counter_mode not in (COUNTER_IDEAL, COUNTER_HIERARCHICAL):
+            raise ValueError(f"unknown counter_mode {self.counter_mode!r}")
+        if not (1 <= self.counter_bits <= 8):
+            raise ValueError("counter_bits must be in [1, 8]")
+
+    @property
+    def is_decay_based(self) -> bool:
+        """True for Decay and Selective Decay."""
+        return self.name in (DECAY, SELECTIVE_DECAY)
+
+    @property
+    def gates_lines(self) -> bool:
+        """True for every technique except the always-on baseline."""
+        return self.name != BASELINE
+
+    def label(self) -> str:
+        """Paper-style label, e.g. ``decay512K`` / ``sel_decay64K`` / ``protocol``."""
+        if not self.is_decay_based:
+            return self.name
+        k = self.decay_cycles // 1000
+        prefix = "decay" if self.name == DECAY else "sel_decay"
+        return f"{prefix}{k}K"
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Simplified out-of-order core timing model (see DESIGN.md §4).
+
+    The model charges compute gaps at ``issue_width`` instructions/cycle
+    and exposes memory latency beyond a per-access *overlap budget* that
+    abstracts the 21264's ROB/LSQ latency hiding.  Budgets differ by the
+    workload-declared ILP class of each access: dependent (pointer-chase)
+    loads hide almost nothing, streaming accesses hide most of a miss.
+    """
+
+    issue_width: int = 4
+    overlap_dependent: int = 10    #: cycles hidden for dependent loads
+    overlap_moderate: int = 120     #: cycles hidden for moderate-ILP loads
+    overlap_streaming: int = 200   #: cycles hidden for streaming loads
+    l1_mshr_entries: int = 8
+    write_buffer_entries: int = 8
+    write_buffer_drain_cycles: int = 6  #: min cycles before a buffered store drains
+    barrier_cost: int = 100        #: cycles to cross a barrier after the last arrival
+
+    def overlap_for(self, ilp_class: int) -> int:
+        """Overlap budget for an access's ILP class (0/1/2)."""
+        if ilp_class <= 0:
+            return self.overlap_dependent
+        if ilp_class == 1:
+            return self.overlap_moderate
+        return self.overlap_streaming
+
+
+@dataclass(frozen=True)
+class L1Config:
+    """Private write-through L1 data cache."""
+
+    size_bytes: int = 32 * 1024
+    line_bytes: int = 64
+    assoc: int = 4
+    hit_latency: int = 2
+    policy: str = "lru"
+
+
+@dataclass(frozen=True)
+class L2Config:
+    """Private inclusive L2 cache (per core).
+
+    ``decay_access_penalty`` is the extra cycle the paper charges on every
+    access to a decay-enabled cache (§V, citing Powell's Gated-Vdd).
+    """
+
+    size_bytes: int = 1024 * 1024
+    line_bytes: int = 64
+    assoc: int = 8
+    hit_latency: int = 12
+    policy: str = "lru"
+    decay_access_penalty: int = 1
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """External memory port (to L3 or main memory)."""
+
+    latency: int = 200             #: core cycles for the first word
+    bytes_per_cycle: float = 8.0   #: sustainable external bandwidth
+    contention: bool = True        #: model channel occupancy
+
+
+@dataclass(frozen=True)
+class CMPConfig:
+    """Complete system configuration."""
+
+    n_cores: int = 4
+    core: CoreConfig = field(default_factory=CoreConfig)
+    l1: L1Config = field(default_factory=L1Config)
+    l2: L2Config = field(default_factory=L2Config)
+    bus: BusConfig = field(default_factory=BusConfig)
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+    technique: TechniqueConfig = field(default_factory=TechniqueConfig)
+    seed: int = 1
+    track_values: bool = False       #: enable the coherence value oracle
+    sample_interval: int = 0         #: cycles per activity sample (0 = off)
+
+    def __post_init__(self) -> None:
+        if self.n_cores < 1:
+            raise ValueError("n_cores must be >= 1")
+        if self.l1.line_bytes != self.l2.line_bytes:
+            raise ValueError(
+                "L1 and L2 line sizes must match (the paper's inclusion "
+                "scheme assumes equal lines; see §III on partial writes)"
+            )
+
+    # -- convenience constructors ----------------------------------------
+    @property
+    def total_l2_bytes(self) -> int:
+        """Aggregate L2 capacity across cores."""
+        return self.n_cores * self.l2.size_bytes
+
+    def with_technique(self, technique: TechniqueConfig) -> "CMPConfig":
+        """Copy of this config running ``technique``."""
+        return replace(self, technique=technique)
+
+    def with_total_l2_mb(self, total_mb: int) -> "CMPConfig":
+        """Copy with the paper's per-core split of ``total_mb`` MB of L2."""
+        per_core = (total_mb * 1024 * 1024) // self.n_cores
+        return replace(self, l2=replace(self.l2, size_bytes=per_core))
+
+    def key(self) -> str:
+        """Stable string key for result caching."""
+        t = self.technique
+        return (
+            f"c{self.n_cores}-l1{self.l1.size_bytes // 1024}K{self.l1.assoc}w"
+            f"-l2{self.l2.size_bytes // 1024}K{self.l2.assoc}w"
+            f"-{t.label()}-{t.counter_mode}{t.counter_bits}"
+            f"-m{self.memory.latency}-s{self.seed}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# The paper's evaluated configurations
+# ---------------------------------------------------------------------------
+
+#: Total L2 capacities evaluated in the paper (§VI), in MB.
+PAPER_TOTAL_L2_MB: Tuple[int, ...] = (1, 2, 4, 8)
+
+#: Decay times evaluated in the paper, in cycles.
+PAPER_DECAY_CYCLES: Tuple[int, ...] = (512_000, 128_000, 64_000)
+
+
+def paper_techniques(scale: float = 1.0) -> Dict[str, TechniqueConfig]:
+    """The seven technique configurations of the paper's figures.
+
+    ``scale`` multiplies the decay times; the harness uses it together with
+    workload time-dilation so short CI runs keep the paper's occupancy and
+    miss-rate shapes (see DESIGN.md §5).  Labels keep the *nominal* decay
+    times so bench output matches the paper's figure legends.
+    """
+    out: Dict[str, TechniqueConfig] = {
+        "protocol": TechniqueConfig(name=PROTOCOL),
+    }
+    for d in PAPER_DECAY_CYCLES:
+        scaled = max(1, int(round(d * scale)))
+        k = d // 1000
+        out[f"decay{k}K"] = TechniqueConfig(name=DECAY, decay_cycles=scaled)
+        out[f"sel_decay{k}K"] = TechniqueConfig(
+            name=SELECTIVE_DECAY, decay_cycles=scaled
+        )
+    return out
+
+
+def paper_technique_order() -> Tuple[str, ...]:
+    """Left-to-right technique order used by every figure of the paper."""
+    return (
+        "protocol",
+        "decay512K",
+        "decay128K",
+        "decay64K",
+        "sel_decay512K",
+        "sel_decay128K",
+        "sel_decay64K",
+    )

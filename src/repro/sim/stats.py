@@ -1,0 +1,245 @@
+"""Statistics collected during simulation.
+
+Plain mutable dataclasses of counters, one per hardware structure, plus the
+:class:`SimResult` aggregate the harness consumes.  Derived metrics
+(occupancy, miss rates, AMAT, bandwidth, energy) are computed *from* these
+counters by :mod:`repro.harness.metrics` and :mod:`repro.power.energy` —
+the simulator only counts events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class L1Stats:
+    """Per-core L1 activity."""
+
+    loads: int = 0
+    stores: int = 0
+    load_hits: int = 0
+    store_hits: int = 0          #: write-through store that found the line in L1
+    load_misses: int = 0
+    fills: int = 0
+    evictions: int = 0
+    upper_invalidations: int = 0  #: L1 lines dropped because L2 gated/invalidated
+    load_latency_sum: int = 0     #: Σ full load latency (AMAT numerator)
+    mshr_merges: int = 0
+
+    @property
+    def load_miss_rate(self) -> float:
+        """L1 load miss ratio."""
+        return self.load_misses / self.loads if self.loads else 0.0
+
+    @property
+    def amat(self) -> float:
+        """Average (load) memory access time in cycles."""
+        return self.load_latency_sum / self.loads if self.loads else 0.0
+
+
+@dataclass
+class L2Stats:
+    """Per-cache L2 activity.
+
+    ``gated_*`` counters split turn-offs by cause; ``decay_induced_misses``
+    counts misses whose line would still have been resident under LRU had
+    it not been gated (ghost-entry attribution, DESIGN.md §5).
+    """
+
+    reads: int = 0
+    writes: int = 0
+    read_misses: int = 0
+    write_misses: int = 0
+    decay_induced_misses: int = 0
+    fills: int = 0
+    evictions: int = 0
+    writebacks: int = 0            #: dirty lines written to memory (any cause)
+    cache_to_cache: int = 0        #: fills supplied by a sibling's flush
+    snoops_observed: int = 0
+    snoop_invalidations: int = 0   #: lines invalidated by remote BusRdX/BusUpgr
+    gated_protocol: int = 0        #: turn-offs riding a protocol invalidation
+    gated_decay_clean: int = 0     #: decay turn-offs of S/E lines
+    gated_decay_dirty: int = 0     #: decay turn-offs of M lines (TD path)
+    gate_denied_pending: int = 0   #: Table I "pending write" denials
+    gate_deferred_transient: int = 0
+    wakes: int = 0                 #: fills that re-powered a gated frame
+    upper_invalidations: int = 0   #: L1 invalidations this L2 commanded
+    on_line_cycles: int = 0        #: Σ_lines powered-on cycles (occupancy numerator)
+
+    @property
+    def accesses(self) -> int:
+        """Total demand accesses (reads + write-buffer drains)."""
+        return self.reads + self.writes
+
+    @property
+    def misses(self) -> int:
+        """Total misses."""
+        return self.read_misses + self.write_misses
+
+    @property
+    def miss_rate(self) -> float:
+        """Miss ratio over all L2 accesses."""
+        acc = self.accesses
+        return self.misses / acc if acc else 0.0
+
+    @property
+    def gated_total(self) -> int:
+        """All turn-offs regardless of cause."""
+        return (
+            self.gated_protocol + self.gated_decay_clean + self.gated_decay_dirty
+        )
+
+
+@dataclass
+class CoreStats:
+    """Per-core execution statistics."""
+
+    instructions: int = 0
+    cycles: int = 0
+    loads: int = 0
+    stores: int = 0
+    exposed_memory_cycles: int = 0  #: stall beyond the overlap budget
+    mshr_stall_cycles: int = 0
+    wb_full_stall_cycles: int = 0
+    barrier_wait_cycles: int = 0
+    barriers: int = 0
+
+    @property
+    def ipc(self) -> float:
+        """Committed instructions per cycle."""
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+
+@dataclass
+class MemoryStats:
+    """External memory port traffic (the paper's Fig 4(a) bandwidth)."""
+
+    line_reads: int = 0
+    line_writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    busy_cycles: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        """All off-chip traffic in bytes."""
+        return self.bytes_read + self.bytes_written
+
+
+@dataclass
+class ActivitySample:
+    """Per-interval activity snapshot used by the transient thermal model."""
+
+    interval: int
+    core_instructions: List[int]
+    l2_on_line_cycles: List[int]
+    l2_accesses: List[int]
+
+
+@dataclass
+class SimResult:
+    """Everything a simulation run produced.
+
+    The harness serializes this (via :meth:`to_dict`) into the result
+    cache; the energy pipeline consumes it together with the config.
+    """
+
+    config_key: str
+    workload_name: str
+    total_cycles: int = 0
+    n_lines_per_l2: int = 0
+    l1: List[L1Stats] = field(default_factory=list)
+    l2: List[L2Stats] = field(default_factory=list)
+    cores: List[CoreStats] = field(default_factory=list)
+    memory: MemoryStats = field(default_factory=MemoryStats)
+    bus_txn_counts: Dict[str, int] = field(default_factory=dict)
+    bus_data_bytes: int = 0
+    bus_busy_cycles: int = 0
+    decay_counter_resets: int = 0   #: per-line counter reset events (energy)
+    decay_counter_ticks: int = 0    #: global-tick distribution events (energy)
+    samples: List[ActivitySample] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Paper metrics (raw; ratios vs. baseline are computed by the harness)
+    # ------------------------------------------------------------------
+    @property
+    def occupancy(self) -> float:
+        """Aggregate L2 occupation rate (paper Fig 3(a) definition).
+
+        ``Σ_j Σ_i on_cycles_ij / (#L2s × #lines × total_cycles)``.
+        """
+        if not self.l2 or not self.total_cycles or not self.n_lines_per_l2:
+            return 0.0
+        num = sum(s.on_line_cycles for s in self.l2)
+        den = len(self.l2) * self.n_lines_per_l2 * self.total_cycles
+        return num / den
+
+    @property
+    def l2_miss_rate(self) -> float:
+        """Aggregate L2 miss rate over all private L2s (Fig 3(b))."""
+        acc = sum(s.accesses for s in self.l2)
+        miss = sum(s.misses for s in self.l2)
+        return miss / acc if acc else 0.0
+
+    @property
+    def memory_bytes_per_cycle(self) -> float:
+        """Off-chip traffic density (Fig 4(a) numerator)."""
+        return self.memory.total_bytes / self.total_cycles if self.total_cycles else 0.0
+
+    @property
+    def amat(self) -> float:
+        """Load AMAT averaged over cores, weighted by load count (Fig 4(b))."""
+        loads = sum(s.loads for s in self.l1)
+        lat = sum(s.load_latency_sum for s in self.l1)
+        return lat / loads if loads else 0.0
+
+    @property
+    def ipc(self) -> float:
+        """System IPC: total committed instructions / parallel run time."""
+        if not self.total_cycles:
+            return 0.0
+        return sum(c.instructions for c in self.cores) / self.total_cycles
+
+    @property
+    def total_instructions(self) -> int:
+        """Committed instructions across all cores."""
+        return sum(c.instructions for c in self.cores)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serializable representation (result cache format)."""
+        d = asdict(self)
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SimResult":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            config_key=d["config_key"],
+            workload_name=d["workload_name"],
+            total_cycles=d["total_cycles"],
+            n_lines_per_l2=d["n_lines_per_l2"],
+            l1=[L1Stats(**x) for x in d["l1"]],
+            l2=[L2Stats(**x) for x in d["l2"]],
+            cores=[CoreStats(**x) for x in d["cores"]],
+            memory=MemoryStats(**d["memory"]),
+            bus_txn_counts=dict(d.get("bus_txn_counts", {})),
+            bus_data_bytes=d.get("bus_data_bytes", 0),
+            bus_busy_cycles=d.get("bus_busy_cycles", 0),
+            decay_counter_resets=d.get("decay_counter_resets", 0),
+            decay_counter_ticks=d.get("decay_counter_ticks", 0),
+            samples=[ActivitySample(**s) for s in d.get("samples", [])],
+        )
+
+    def summary(self) -> str:
+        """Multi-line human-readable digest."""
+        lines = [
+            f"workload={self.workload_name} config={self.config_key}",
+            f"cycles={self.total_cycles:,} IPC={self.ipc:.3f} "
+            f"instr={self.total_instructions:,}",
+            f"L2 occupancy={self.occupancy:.1%} miss-rate={self.l2_miss_rate:.2%}",
+            f"AMAT={self.amat:.2f}cy mem-traffic={self.memory_bytes_per_cycle:.3f} B/cy",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,13 @@
+"""HotSpot-style thermal modeling: floorplan + lumped RC network."""
+
+from .floorplan import Block, Floorplan, cmp_floorplan
+from .rc_model import T_AMBIENT, ThermalParams, ThermalRCModel
+
+__all__ = [
+    "Block",
+    "Floorplan",
+    "cmp_floorplan",
+    "T_AMBIENT",
+    "ThermalParams",
+    "ThermalRCModel",
+]

@@ -1,0 +1,135 @@
+"""CMP floorplan for the thermal model.
+
+A HotSpot-style block floorplan of the paper's 4-core CMP: four cores
+along the die edges, each with its private L2 bank adjacent, and the
+shared bus as a central spine.  Blocks carry areas (cores fixed, L2 banks
+from the CACTI area model) and rectangle coordinates; adjacency (shared
+boundary lengths) feeds the lateral thermal conductances of the RC model.
+
+The layout is parametric in the L2 size so the 1–8 MB sweep produces
+physically growing dies, which is what makes bigger caches run slightly
+cooler per watt (more spreading area) — a second-order effect HotSpot
+captures and we keep.
+
+The adjacency computation uses a networkx graph so tests can reason about
+connectivity directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import networkx as nx
+
+#: Area of one Alpha-21264-class core at 70 nm, mm^2 (includes L1s).
+CORE_AREA_MM2 = 11.0
+#: Width of the central bus spine, mm.
+BUS_WIDTH_MM = 0.6
+
+
+@dataclass(frozen=True)
+class Block:
+    """One floorplan rectangle (mm units)."""
+
+    name: str
+    x: float
+    y: float
+    w: float
+    h: float
+
+    @property
+    def area(self) -> float:
+        """Block area in mm^2."""
+        return self.w * self.h
+
+    def shared_edge(self, other: "Block") -> float:
+        """Length of the boundary shared with ``other`` (0 if not adjacent)."""
+        eps = 1e-9
+        # vertical adjacency (side by side)
+        if abs((self.x + self.w) - other.x) < eps or abs((other.x + other.w) - self.x) < eps:
+            lo = max(self.y, other.y)
+            hi = min(self.y + self.h, other.y + other.h)
+            return max(0.0, hi - lo)
+        # horizontal adjacency (stacked)
+        if abs((self.y + self.h) - other.y) < eps or abs((other.y + other.h) - self.y) < eps:
+            lo = max(self.x, other.x)
+            hi = min(self.x + self.w, other.x + other.w)
+            return max(0.0, hi - lo)
+        return 0.0
+
+
+@dataclass
+class Floorplan:
+    """A named set of blocks plus the adjacency graph."""
+
+    blocks: List[Block]
+    graph: nx.Graph = field(default_factory=nx.Graph)
+
+    def __post_init__(self) -> None:
+        g = nx.Graph()
+        for b in self.blocks:
+            g.add_node(b.name, area=b.area)
+        for i, a in enumerate(self.blocks):
+            for b in self.blocks[i + 1:]:
+                edge = a.shared_edge(b)
+                if edge > 1e-9:
+                    g.add_edge(a.name, b.name, length=edge)
+        self.graph = g
+
+    def names(self) -> List[str]:
+        """Block names in declaration order."""
+        return [b.name for b in self.blocks]
+
+    def block(self, name: str) -> Block:
+        """Look up a block."""
+        for b in self.blocks:
+            if b.name == name:
+                return b
+        raise KeyError(name)
+
+    @property
+    def die_area(self) -> float:
+        """Total die area, mm^2."""
+        return sum(b.area for b in self.blocks)
+
+
+def cmp_floorplan(n_cores: int, l2_bank_area_mm2: float) -> Floorplan:
+    """Build the 4-core + private-L2 + bus floorplan.
+
+    Layout (2x2 CMP)::
+
+        +--------+--------+ +--------+--------+
+        | core0  |  L2 0  | |  L2 1  | core1  |
+        +--------+--------+B+--------+--------+
+        | core2  |  L2 2  |U|  L2 3  | core3  |
+        +--------+--------+S+--------+--------+
+
+    Cores sit on the outer edges, L2 banks inside, the bus spine in the
+    middle — the arrangement the paper's Figure 1 implies (L2s snoop the
+    shared bus directly).  Heights are normalized per row; widths derive
+    from areas so every block keeps its required silicon.
+    """
+    if n_cores < 1:
+        raise ValueError("need at least one core")
+    rows = max(1, (n_cores + 1) // 2)
+    row_h = max(2.0, (CORE_AREA_MM2 ** 0.5))
+    core_w = CORE_AREA_MM2 / row_h
+    l2_w = l2_bank_area_mm2 / row_h
+
+    blocks: List[Block] = []
+    for r in range(rows):
+        y = r * row_h
+        left = n_cores > 2 * r
+        right = n_cores > 2 * r + 1
+        if left:
+            cid = 2 * r
+            blocks.append(Block(f"core{cid}", 0.0, y, core_w, row_h))
+            blocks.append(Block(f"l2_{cid}", core_w, y, l2_w, row_h))
+        if right:
+            cid = 2 * r + 1
+            bx = core_w + l2_w + BUS_WIDTH_MM
+            blocks.append(Block(f"l2_{cid}", bx, y, l2_w, row_h))
+            blocks.append(Block(f"core{cid}", bx + l2_w, y, core_w, row_h))
+    blocks.append(Block("bus", core_w + l2_w, 0.0, BUS_WIDTH_MM, rows * row_h))
+    return Floorplan(blocks)

@@ -1,0 +1,148 @@
+"""Workload registry: name → builder, plus simple synthetic workloads.
+
+``get_workload`` is the single entry point used by the harness, examples
+and benches.  Besides the six paper benchmarks it registers three plain
+synthetic workloads used in tests and the quickstart example.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .address_space import AddressSpace
+from .alpbench import facerec, mpeg2dec, mpeg2enc
+from .patterns import ColdStream, HotSet
+from .phases import PhaseSpec, phased_workload
+from .scaling import accesses_per_core, check_scale
+from .splash2 import fmm, volrend, water_ns
+from .trace import ILP_MODERATE, ILP_STREAMING, Workload
+
+Builder = Callable[..., Workload]
+
+
+def _uniform(
+    n_cores: int = 4, scale: float = 1.0, seed: int = 1, line_bytes: int = 64
+) -> Workload:
+    """Uniform random accesses over a private 256 KB region per core."""
+    check_scale(scale)
+    total = accesses_per_core(scale)
+    space = AddressSpace()
+    privs = [space.alloc_kb(f"heap{c}", 256) for c in range(n_cores)]
+
+    def phase_factory(cid: int) -> List[PhaseSpec]:
+        comp = HotSet(privs[cid], line_bytes, seed * 131 + cid,
+                      write_frac=0.3, ilp=ILP_MODERATE)
+        return [PhaseSpec([comp], [1.0], total, mean_gap=10.0)]
+
+    return phased_workload(
+        name="uniform", suite="synthetic", kind="synthetic",
+        phase_factory=phase_factory, n_cores=n_cores,
+        accesses_per_core=total, footprint_bytes=privs[0].size,
+        shared_bytes=0, seed=seed,
+        description="uniform random over 256KB/core (test workload)",
+    )
+
+
+def _streaming(
+    n_cores: int = 4, scale: float = 1.0, seed: int = 1, line_bytes: int = 64
+) -> Workload:
+    """Pure streaming over a large private region (decay's best case)."""
+    check_scale(scale)
+    total = accesses_per_core(scale)
+    space = AddressSpace()
+    privs = [space.alloc_kb(f"stream{c}", 2048) for c in range(n_cores)]
+
+    def phase_factory(cid: int) -> List[PhaseSpec]:
+        comp = ColdStream(privs[cid], line_bytes, seed * 137 + cid,
+                          write_frac=0.2, ilp=ILP_STREAMING)
+        return [PhaseSpec([comp], [1.0], total, mean_gap=8.0)]
+
+    return phased_workload(
+        name="streaming", suite="synthetic", kind="synthetic",
+        phase_factory=phase_factory, n_cores=n_cores,
+        accesses_per_core=total, footprint_bytes=privs[0].size,
+        shared_bytes=0, seed=seed,
+        description="pure streaming over 2MB/core (test workload)",
+    )
+
+
+def _pingpong(
+    n_cores: int = 4, scale: float = 1.0, seed: int = 1, line_bytes: int = 64
+) -> Workload:
+    """All cores read-modify-write one small shared region (worst-case
+    invalidation traffic; exercises the Protocol technique heavily)."""
+    check_scale(scale)
+    total = accesses_per_core(scale)
+    space = AddressSpace()
+    shared = space.alloc_kb("pingpong", 64, shared=True)
+
+    def phase_factory(cid: int) -> List[PhaseSpec]:
+        comp = HotSet(shared, line_bytes, seed * 139 + cid,
+                      write_frac=0.5, ilp=ILP_MODERATE)
+        return [PhaseSpec([comp], [1.0], total, mean_gap=12.0)]
+
+    return phased_workload(
+        name="pingpong", suite="synthetic", kind="synthetic",
+        phase_factory=phase_factory, n_cores=n_cores,
+        accesses_per_core=total, footprint_bytes=shared.size,
+        shared_bytes=shared.size, seed=seed,
+        description="64KB shared RMW ping-pong (test workload)",
+    )
+
+
+_REGISTRY: Dict[str, Builder] = {
+    # the paper's six benchmarks
+    "water_ns": water_ns,
+    "fmm": fmm,
+    "volrend": volrend,
+    "mpeg2enc": mpeg2enc,
+    "mpeg2dec": mpeg2dec,
+    "facerec": facerec,
+    # synthetic workloads for tests/examples
+    "uniform": _uniform,
+    "streaming": _streaming,
+    "pingpong": _pingpong,
+}
+
+#: The six benchmarks of the paper's evaluation, figure order.
+PAPER_BENCHMARKS = (
+    "mpeg2enc",
+    "mpeg2dec",
+    "facerec",
+    "water_ns",
+    "fmm",
+    "volrend",
+)
+
+#: The paper's benchmark groups.
+SCIENTIFIC = ("water_ns", "fmm", "volrend")
+MULTIMEDIA = ("mpeg2enc", "mpeg2dec", "facerec")
+
+
+def list_workloads() -> List[str]:
+    """All registered workload names."""
+    return sorted(_REGISTRY)
+
+
+def get_workload(
+    name: str,
+    n_cores: int = 4,
+    scale: float = 1.0,
+    seed: int = 1,
+    line_bytes: int = 64,
+) -> Workload:
+    """Build a workload by name."""
+    try:
+        builder = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r}; available: {', '.join(list_workloads())}"
+        ) from None
+    return builder(n_cores=n_cores, scale=scale, seed=seed, line_bytes=line_bytes)
+
+
+def register_workload(name: str, builder: Builder) -> None:
+    """Register a custom workload builder (examples/tests extension point)."""
+    if name in _REGISTRY:
+        raise ValueError(f"workload {name!r} already registered")
+    _REGISTRY[name] = builder

@@ -1,0 +1,96 @@
+"""Time-dilation support for workload construction (DESIGN.md §5).
+
+The paper runs benchmarks to completion (hundreds of millions of cycles)
+with decay times of 64K–512K cycles.  Reproduction runs are shorter by a
+factor ``scale``; the harness scales the decay times by the same factor,
+and workload builders use the helpers here so every *temporal* pattern
+parameter is expressed relative to the scaled decay times:
+
+* ``decay_unit(scale)`` — the scaled 64K-cycle unit ``D``; reuse-lag mass
+  is positioned at multiples of ``D`` (e.g. ``2.5 * D`` sits between the
+  scaled 128K and 512K decay times, so it survives only the longest);
+* hot sets are sized so their reuse stays far below the *smallest* scaled
+  decay time (they must never decay at any supported scale);
+* phase-periodic patterns (migratory, producer/consumer) are naturally
+  invariant: phase lengths and decay times both scale together.
+
+Spatial parameters (footprints) are physical bytes and do *not* scale;
+at very small scales a run may not cover a large footprint, which shifts
+Protocol-technique occupancy — ``coverage_fraction`` lets callers report
+this distortion honestly.
+"""
+
+from __future__ import annotations
+
+#: Nominal (unscaled) decay times of the paper, cycles.
+NOMINAL_DECAY_SHORT = 64_000
+NOMINAL_DECAY_MID = 128_000
+NOMINAL_DECAY_LONG = 512_000
+
+#: Accesses per core of a scale-1.0 run.
+BASE_ACCESSES_PER_CORE = 2_000_000
+
+#: Smallest scale the workload models are designed for (hot-set L2 reuse
+#: keeps a comfortable tail margin below the smallest decay time down to
+#: this point).
+MIN_SUPPORTED_SCALE = 0.04
+
+
+def decay_unit(scale: float) -> float:
+    """The scaled 64K-cycle decay unit ``D``."""
+    return NOMINAL_DECAY_SHORT * scale
+
+
+def accesses_per_core(scale: float) -> int:
+    """Run length per core at ``scale``."""
+    return max(1000, int(BASE_ACCESSES_PER_CORE * scale))
+
+
+def check_scale(scale: float) -> float:
+    """Validate a scale factor; returns it unchanged."""
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    if scale < MIN_SUPPORTED_SCALE:
+        raise ValueError(
+            f"scale {scale} below supported minimum {MIN_SUPPORTED_SCALE}: "
+            f"hot-set reuse would cross the smallest decay time and the "
+            f"paper's shapes would no longer be preserved"
+        )
+    return scale
+
+
+def hot_set_lines(weight: float, write_frac: float, mean_gap: float,
+                  issue_width: int = 4, tail_margin: float = 7.0) -> int:
+    """Largest hot set whose *L2-visible* reuse never crosses the smallest
+    decay time.
+
+    The L1 absorbs hot *loads*; the private L2 sees a hot line only when a
+    buffered store to it drains.  The per-line L2 touch interval is
+    therefore ``N / (weight × write_frac)`` accesses.  Intervals are
+    roughly geometric, so requiring
+
+        mean_interval ≤ smallest_scaled_decay / tail_margin
+
+    keeps the probability of a spurious hot-line decay below
+    ``exp(-tail_margin)`` (≈1e-3 at the default 7).  Evaluated at
+    :data:`MIN_SUPPORTED_SCALE` so the hot set has the same physical size
+    at every scale and occupancy floors stay comparable across runs.
+    """
+    from .phases import estimate_cycles_per_access
+
+    cpa = estimate_cycles_per_access(mean_gap, issue_width)
+    budget_cycles = NOMINAL_DECAY_SHORT * MIN_SUPPORTED_SCALE / tail_margin
+    touch_rate = max(1e-6, weight * write_frac)
+    n = int(budget_cycles * touch_rate / cpa)
+    return max(8, n)
+
+
+def coverage_fraction(
+    region_bytes: int, weight: float, n_accesses: int, line_bytes: int
+) -> float:
+    """Fraction of a cold-swept region a run will touch (≤ 1.0)."""
+    lines = region_bytes // line_bytes
+    if lines == 0:
+        return 1.0
+    touched = weight * n_accesses
+    return min(1.0, touched / lines)

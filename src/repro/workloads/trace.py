@@ -1,0 +1,140 @@
+"""Trace record format shared by workload generators and the CPU model.
+
+A workload is one access stream per core.  Each record is a plain tuple
+``(gap, addr, flags)``:
+
+* ``gap`` — non-memory instructions executed before this operation (the
+  core charges them at its issue width);
+* ``addr`` — byte address touched (ignored for barriers);
+* ``flags`` — bit 0: write; bits 1–2: ILP class (how much of a miss the
+  out-of-order window can hide — 0 dependent, 1 moderate, 2 streaming);
+  bit 3: barrier marker (global synchronization point).
+
+Tuples instead of objects keep the generator→core hot path allocation-
+light; the helpers below are for tests and workload authors, not the
+simulator loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+FLAG_WRITE = 0x1
+ILP_SHIFT = 1
+ILP_MASK = 0x3
+FLAG_BARRIER = 0x8
+
+#: ILP classes
+ILP_DEPENDENT = 0   #: pointer-chase style loads; little latency hiding
+ILP_MODERATE = 1    #: typical compute loops
+ILP_STREAMING = 2   #: prefetch-friendly sequential streams
+
+Record = Tuple[int, int, int]
+
+
+def make_flags(write: bool, ilp: int = ILP_MODERATE, barrier: bool = False) -> int:
+    """Compose a flags word."""
+    if not 0 <= ilp <= 2:
+        raise ValueError(f"ilp class must be 0..2, got {ilp}")
+    f = (ilp & ILP_MASK) << ILP_SHIFT
+    if write:
+        f |= FLAG_WRITE
+    if barrier:
+        f |= FLAG_BARRIER
+    return f
+
+
+def barrier_record() -> Record:
+    """A synchronization record (no memory access)."""
+    return (0, 0, FLAG_BARRIER)
+
+
+def is_write(flags: int) -> bool:
+    """True for stores."""
+    return bool(flags & FLAG_WRITE)
+
+
+def ilp_class(flags: int) -> int:
+    """ILP class encoded in ``flags``."""
+    return (flags >> ILP_SHIFT) & ILP_MASK
+
+
+def is_barrier(flags: int) -> bool:
+    """True for barrier markers."""
+    return bool(flags & FLAG_BARRIER)
+
+
+@dataclass(frozen=True)
+class WorkloadMeta:
+    """Descriptive metadata attached to a workload.
+
+    ``suite`` is ``"splash2"``/``"alpbench"``/``"synthetic"``; ``kind`` is
+    ``"scientific"`` or ``"multimedia"`` (the paper groups results this
+    way).  Footprints are per core, in bytes, and include shared regions.
+    """
+
+    name: str
+    suite: str
+    kind: str
+    accesses_per_core: int
+    footprint_bytes: int
+    shared_bytes: int
+    description: str = ""
+
+
+class Workload:
+    """A named bundle of per-core access streams.
+
+    ``streams()`` returns fresh, independent iterators — a workload can be
+    replayed across techniques/cache sizes, which is how the harness keeps
+    comparisons paired.
+    """
+
+    def __init__(self, meta: WorkloadMeta, stream_factory) -> None:
+        self.meta = meta
+        self._factory = stream_factory
+
+    @property
+    def name(self) -> str:
+        """Workload name (e.g. ``water_ns``)."""
+        return self.meta.name
+
+    def streams(self, n_cores: int) -> list:
+        """Fresh per-core record iterators."""
+        return self._factory(n_cores)
+
+
+def validate_stream(records: Iterator[Record], max_records: int = 1_000_000) -> dict:
+    """Sanity-scan a stream; returns summary stats (test helper).
+
+    Checks gaps are non-negative, flags are well-formed, and addresses are
+    non-negative.  Stops after ``max_records``.
+    """
+    n = writes = barriers = 0
+    gaps = 0
+    min_addr, max_addr = None, None
+    for gap, addr, flags in records:
+        if gap < 0:
+            raise ValueError(f"negative gap at record {n}")
+        if addr < 0:
+            raise ValueError(f"negative address at record {n}")
+        gaps += gap
+        if is_barrier(flags):
+            barriers += 1
+        else:
+            if is_write(flags):
+                writes += 1
+            min_addr = addr if min_addr is None else min(min_addr, addr)
+            max_addr = addr if max_addr is None else max(max_addr, addr)
+        n += 1
+        if n >= max_records:
+            break
+    return {
+        "records": n,
+        "writes": writes,
+        "barriers": barriers,
+        "total_gap": gaps,
+        "min_addr": min_addr,
+        "max_addr": max_addr,
+    }

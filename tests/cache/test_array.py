@@ -1,0 +1,147 @@
+"""CacheArray: lookup/install/evict machinery and integrity checks."""
+
+import pytest
+
+from repro.cache.array import INVALID, CacheArray
+from repro.cache.geometry import CacheGeometry
+
+
+def small_array(sets=4, assoc=2, line=64):
+    return CacheArray(CacheGeometry(sets * assoc * line, line, assoc))
+
+
+class TestProbeInstall:
+    def test_probe_empty(self):
+        a = small_array()
+        assert a.probe(0x100) == -1
+
+    def test_install_then_probe(self):
+        a = small_array()
+        frame = a.choose_victim(0x100)
+        a.install(0x100, frame, state=1)
+        assert a.probe(0x100) == frame
+        assert a.tag_of(frame) == 0x100
+        assert a.state_of(frame) == 1
+
+    def test_install_evicts_old_tag(self):
+        a = small_array(sets=1, assoc=1)
+        f = a.choose_victim(0)
+        a.install(0, f, 1)
+        old = a.install(1, f, 2)
+        assert old == (0, 1)
+        assert a.probe(0) == -1
+        assert a.probe(1) == f
+
+    def test_same_set_different_tags(self):
+        a = small_array(sets=4, assoc=2)
+        # lines 0 and 4 map to set 0 (4 sets)
+        f0 = a.choose_victim(0)
+        a.install(0, f0, 1)
+        f1 = a.choose_victim(4)
+        a.install(4, f1, 1)
+        assert f0 != f1
+        assert a.set_of_frame(f0) == a.set_of_frame(f1) == 0
+
+    def test_frame_index_roundtrip(self):
+        a = small_array(sets=4, assoc=2)
+        for s in range(4):
+            for w in range(2):
+                f = a.frame_index(s, w)
+                assert a.set_of_frame(f) == s
+                assert a.way_of_frame(f) == w
+
+
+class TestVictimSelection:
+    def test_prefers_empty_frame(self):
+        a = small_array(sets=1, assoc=4)
+        f = a.choose_victim(0)
+        a.install(0, f, 1)
+        v = a.choose_victim(1)
+        assert a.tag_of(v) == -1  # empty preferred over LRU victim
+
+    def test_lru_when_full(self):
+        a = small_array(sets=1, assoc=2)
+        f0 = a.choose_victim(0); a.install(0, f0, 1)
+        f1 = a.choose_victim(1); a.install(1, f1, 1)
+        a.lookup(0)  # make line 0 most recent
+        v = a.choose_victim(2)
+        assert a.tag_of(v) == 1
+
+    def test_blocked_frames_skipped(self):
+        a = small_array(sets=1, assoc=2)
+        f0 = a.choose_victim(0); a.install(0, f0, 1)
+        f1 = a.choose_victim(1); a.install(1, f1, 1)
+        v = a.choose_victim(2, blocked=lambda f: f == f0)
+        assert v == f1
+
+    def test_all_blocked(self):
+        a = small_array(sets=1, assoc=2)
+        for n in range(2):
+            f = a.choose_victim(n)
+            a.install(n, f, 1)
+        assert a.choose_victim(5, blocked=lambda f: True) == -1
+
+
+class TestEvict:
+    def test_evict_clears(self):
+        a = small_array()
+        f = a.choose_victim(0x42)
+        a.install(0x42, f, 3)
+        tag, state = a.evict(f)
+        assert (tag, state) == (0x42, 3)
+        assert a.probe(0x42) == -1
+        assert a.state_of(f) == INVALID
+
+    def test_evict_empty_frame(self):
+        a = small_array()
+        tag, state = a.evict(0)
+        assert tag == -1
+
+    def test_evicted_frame_becomes_preferred_victim(self):
+        a = small_array(sets=1, assoc=4)
+        for n in range(4):
+            a.install(n, a.choose_victim(n), 1)
+        a.evict(2)
+        assert a.choose_victim(9) == 2
+
+
+class TestIntrospection:
+    def test_resident_lines(self):
+        a = small_array(sets=2, assoc=2)
+        a.install(0, a.choose_victim(0), 1)
+        a.install(1, a.choose_victim(1), 2)
+        resident = {(la, st) for _, la, st in a.resident_lines()}
+        assert resident == {(0, 1), (1, 2)}
+
+    def test_count_in_state(self):
+        a = small_array(sets=2, assoc=2)
+        a.install(0, a.choose_victim(0), 3)
+        a.install(1, a.choose_victim(1), 3)
+        a.install(2, a.choose_victim(2), 1)
+        assert a.count_in_state(3) == 2
+        assert a.count_in_state(1) == 1
+
+    def test_integrity_clean(self):
+        a = small_array()
+        for n in range(6):
+            f = a.choose_victim(n)
+            a.install(n, f, 1)
+        a.check_integrity()
+
+    def test_integrity_detects_corruption(self):
+        a = small_array()
+        f = a.choose_victim(0)
+        a.install(0, f, 1)
+        a.tags[f] = 99  # corrupt behind the lookup's back
+        with pytest.raises(AssertionError):
+            a.check_integrity()
+
+
+class TestSetStateDoesNotMoveTags:
+    def test_set_state(self):
+        a = small_array()
+        f = a.choose_victim(7)
+        a.install(7, f, 1)
+        a.set_state(f, 4)
+        assert a.state_of(f) == 4
+        assert a.probe(7) == f

@@ -1,0 +1,100 @@
+"""Cache geometry: address decomposition and validation."""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry, geometry_kb, is_pow2, log2_exact
+
+
+class TestPow2Helpers:
+    def test_is_pow2_accepts_powers(self):
+        for k in range(20):
+            assert is_pow2(1 << k)
+
+    def test_is_pow2_rejects_non_powers(self):
+        for x in (0, -1, -2, 3, 6, 12, 100):
+            assert not is_pow2(x)
+
+    def test_log2_exact(self):
+        assert log2_exact(1) == 0
+        assert log2_exact(64) == 6
+        assert log2_exact(1 << 20) == 20
+
+    def test_log2_exact_rejects(self):
+        with pytest.raises(ValueError):
+            log2_exact(48)
+
+
+class TestGeometryDerived:
+    def test_basic_quantities(self):
+        g = CacheGeometry(size_bytes=256 * 1024, line_bytes=64, assoc=8)
+        assert g.n_lines == 4096
+        assert g.n_sets == 512
+        assert g.line_shift == 6
+        assert g.index_bits == 9
+        assert g.offset_bits == 6
+
+    def test_fully_associative(self):
+        g = CacheGeometry(size_bytes=4096, line_bytes=64, assoc=64)
+        assert g.n_sets == 1
+        assert g.set_mask == 0
+
+    def test_direct_mapped(self):
+        g = CacheGeometry(size_bytes=4096, line_bytes=64, assoc=1)
+        assert g.n_sets == 64
+
+    def test_geometry_kb_helper(self):
+        g = geometry_kb(1024, line_bytes=64, assoc=8)
+        assert g.size_bytes == 1024 * 1024
+
+
+class TestAddressDecomposition:
+    def test_line_addr(self):
+        g = geometry_kb(16, 64, 4)
+        assert g.line_addr(0) == 0
+        assert g.line_addr(63) == 0
+        assert g.line_addr(64) == 1
+        assert g.line_addr(6400) == 100
+
+    def test_set_index_wraps(self):
+        g = geometry_kb(16, 64, 4)  # 64 sets
+        assert g.set_index(0) == 0
+        assert g.set_index(64 * 64) == 0  # one full wrap of the index
+        assert g.set_index(64 * 65) == 1
+
+    def test_set_index_of_line_consistent(self):
+        g = geometry_kb(16, 64, 4)
+        for addr in (0, 64, 1000, 12345, 1 << 30):
+            assert g.set_index(addr) == g.set_index_of_line(g.line_addr(addr))
+
+    def test_base_of_line_roundtrip(self):
+        g = geometry_kb(16, 64, 4)
+        for la in (0, 1, 77, 1 << 20):
+            assert g.line_addr(g.base_of_line(la)) == la
+
+    def test_same_line(self):
+        g = geometry_kb(16, 64, 4)
+        assert g.same_line(128, 190)
+        assert not g.same_line(128, 192)
+
+    def test_describe_mentions_sets(self):
+        g = geometry_kb(256, 64, 8)
+        assert "256KB" in g.describe()
+        assert "512 sets" in g.describe()
+
+
+class TestGeometryValidation:
+    def test_rejects_non_pow2_line(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(size_bytes=1024, line_bytes=48, assoc=2)
+
+    def test_rejects_non_divisible_size(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(size_bytes=1000, line_bytes=64, assoc=2)
+
+    def test_rejects_non_pow2_sets(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(size_bytes=3 * 64 * 2, line_bytes=64, assoc=2)
+
+    def test_rejects_zero_assoc(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(size_bytes=1024, line_bytes=64, assoc=0)

@@ -1,0 +1,98 @@
+"""MSHR file: allocation, merging, stalls, lazy release."""
+
+import pytest
+
+from repro.cache.mshr import MSHR
+
+
+class TestAllocation:
+    def test_allocate_and_len(self):
+        m = MSHR(2)
+        m.allocate(0x10, issue_time=0, complete_time=100, is_write=False)
+        assert len(m) == 1
+        assert not m.is_full()
+
+    def test_full(self):
+        m = MSHR(2)
+        m.allocate(1, 0, 100, False)
+        m.allocate(2, 0, 110, False)
+        assert m.is_full()
+
+    def test_allocate_on_full_raises(self):
+        m = MSHR(1)
+        m.allocate(1, 0, 100, False)
+        with pytest.raises(RuntimeError):
+            m.allocate(2, 0, 100, False)
+
+    def test_duplicate_allocation_raises(self):
+        m = MSHR(2)
+        m.allocate(1, 0, 100, False)
+        with pytest.raises(ValueError):
+            m.allocate(1, 0, 200, False)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            MSHR(0)
+
+
+class TestMergeAndRelease:
+    def test_outstanding_lookup(self):
+        m = MSHR(2)
+        e = m.allocate(5, 0, 50, False)
+        assert m.outstanding(5) is e
+        assert m.outstanding(6) is None
+
+    def test_merge_counts(self):
+        m = MSHR(2)
+        m.allocate(5, 0, 50, False)
+        m.merge(5)
+        m.merge(5)
+        assert m.outstanding(5).merged == 2
+        assert m.stats.merges == 2
+
+    def test_release_until_frees_completed(self):
+        m = MSHR(4)
+        m.allocate(1, 0, 50, False)
+        m.allocate(2, 0, 80, False)
+        freed = m.release_until(60)
+        assert freed == 1
+        assert m.outstanding(1) is None
+        assert m.outstanding(2) is not None
+
+    def test_release_boundary_inclusive(self):
+        m = MSHR(1)
+        m.allocate(1, 0, 50, False)
+        assert m.release_until(50) == 1
+
+    def test_earliest_completion(self):
+        m = MSHR(4)
+        m.allocate(1, 0, 90, False)
+        m.allocate(2, 0, 40, False)
+        assert m.earliest_completion() == 40
+
+    def test_earliest_on_empty_raises(self):
+        with pytest.raises(ValueError):
+            MSHR(1).earliest_completion()
+
+
+class TestStats:
+    def test_peak_occupancy(self):
+        m = MSHR(4)
+        for i in range(3):
+            m.allocate(i, 0, 100 + i, False)
+        m.release_until(200)
+        m.allocate(9, 0, 300, False)
+        assert m.stats.peak_occupancy == 3
+
+    def test_full_stall_accounting(self):
+        m = MSHR(1)
+        m.note_full_stall(12)
+        assert m.stats.full_stalls == 1
+        assert m.stats.full_stall_cycles == 12
+
+    def test_entries_snapshot_and_clear(self):
+        m = MSHR(2)
+        m.allocate(1, 0, 10, True)
+        assert len(m.entries()) == 1
+        m.clear()
+        assert len(m) == 0

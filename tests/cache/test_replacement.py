@@ -1,0 +1,132 @@
+"""Replacement policies: LRU exactness, PLRU behaviour, blocked victims."""
+
+import pytest
+
+from repro.cache.replacement import (
+    LRUPolicy,
+    RandomPolicy,
+    TreePLRUPolicy,
+    make_policy,
+)
+
+
+class TestLRU:
+    def test_initial_victim_is_last_way(self):
+        p = LRUPolicy(4, 4)
+        assert p.victim(0) == 3
+
+    def test_access_promotes(self):
+        p = LRUPolicy(1, 4)
+        p.on_access(0, 3)
+        assert p.victim(0) == 2
+        assert p.recency_order(0)[0] == 3
+
+    def test_victim_is_least_recent(self):
+        p = LRUPolicy(1, 4)
+        for way in (0, 1, 2, 3, 0, 1):
+            p.on_access(0, way)
+        assert p.victim(0) == 2
+
+    def test_invalidate_demotes(self):
+        p = LRUPolicy(1, 4)
+        for way in (0, 1, 2, 3):
+            p.on_access(0, way)
+        p.on_invalidate(0, 3)
+        assert p.victim(0) == 3
+
+    def test_blocked_victim_skipped(self):
+        p = LRUPolicy(1, 4)
+        for way in (0, 1, 2, 3):
+            p.on_access(0, way)
+        assert p.victim(0, blocked=lambda w: w == 0) == 1
+
+    def test_all_blocked_returns_minus_one(self):
+        p = LRUPolicy(1, 2)
+        assert p.victim(0, blocked=lambda w: True) == -1
+
+    def test_sets_are_independent(self):
+        p = LRUPolicy(2, 2)
+        p.on_access(0, 1)
+        assert p.victim(0) == 0
+        assert p.victim(1) == 1
+
+    def test_lru_sequence_matches_reference(self):
+        # Reference model: list ordered by recency.
+        import random
+
+        rng = random.Random(7)
+        p = LRUPolicy(1, 8)
+        ref = list(range(8))  # LRU at position 0 is front=MRU? keep explicit
+        order = list(range(8))  # index 0 = MRU
+        for _ in range(500):
+            w = rng.randrange(8)
+            p.on_access(0, w)
+            order.remove(w)
+            order.insert(0, w)
+            assert p.victim(0) == order[-1]
+
+
+class TestTreePLRU:
+    def test_requires_pow2(self):
+        with pytest.raises(ValueError):
+            TreePLRUPolicy(1, 3)
+
+    def test_single_way(self):
+        p = TreePLRUPolicy(1, 1)
+        assert p.victim(0) == 0
+
+    def test_victim_not_most_recent(self):
+        p = TreePLRUPolicy(1, 4)
+        for _ in range(20):
+            v = p.victim(0)
+            p.on_access(0, v)
+            assert p.victim(0) != v
+
+    def test_covers_all_ways_under_pressure(self):
+        p = TreePLRUPolicy(1, 8)
+        seen = set()
+        for _ in range(8):
+            v = p.victim(0)
+            seen.add(v)
+            p.on_access(0, v)
+        # PLRU guarantees full coverage when always touching the victim
+        assert seen == set(range(8))
+
+    def test_blocked_fallback(self):
+        p = TreePLRUPolicy(1, 4)
+        v = p.victim(0, blocked=lambda w: w != 2)
+        assert v == 2
+
+    def test_invalidate_prefers_way(self):
+        p = TreePLRUPolicy(1, 4)
+        for w in range(4):
+            p.on_access(0, w)
+        p.on_invalidate(0, 1)
+        assert p.victim(0) == 1
+
+
+class TestRandom:
+    def test_deterministic_with_seed(self):
+        a = RandomPolicy(1, 8, seed=42)
+        b = RandomPolicy(1, 8, seed=42)
+        assert [a.victim(0) for _ in range(50)] == [b.victim(0) for _ in range(50)]
+
+    def test_respects_blocked(self):
+        p = RandomPolicy(1, 4, seed=1)
+        for _ in range(50):
+            assert p.victim(0, blocked=lambda w: w != 3) == 3
+
+    def test_all_blocked(self):
+        p = RandomPolicy(1, 4, seed=1)
+        assert p.victim(0, blocked=lambda w: True) == -1
+
+
+class TestFactory:
+    def test_make_by_name(self):
+        assert isinstance(make_policy("lru", 2, 2), LRUPolicy)
+        assert isinstance(make_policy("tree-plru", 2, 2), TreePLRUPolicy)
+        assert isinstance(make_policy("random", 2, 2), RandomPolicy)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_policy("mru", 2, 2)

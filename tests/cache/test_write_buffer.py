@@ -1,0 +1,100 @@
+"""Write buffer: coalescing FIFO semantics and the pending-write check."""
+
+import pytest
+
+from repro.cache.write_buffer import WriteBuffer
+
+
+class TestInsertCoalesce:
+    def test_insert(self):
+        wb = WriteBuffer(4, drain_latency=3)
+        assert not wb.insert(0x10, now=5)
+        assert len(wb) == 1
+        assert wb.head_ready_time() == 8
+
+    def test_coalesce_same_line(self):
+        wb = WriteBuffer(2, drain_latency=1)
+        wb.insert(1, 0)
+        assert wb.insert(1, 5)  # coalesced
+        assert len(wb) == 1
+        assert wb.stats.coalesced == 1
+        assert wb.stats.inserts == 2
+
+    def test_coalesce_does_not_extend_ready(self):
+        wb = WriteBuffer(2, drain_latency=1)
+        wb.insert(1, 0)
+        wb.insert(1, 100)
+        assert wb.head_ready_time() == 1  # original entry timing kept
+
+    def test_full_and_can_accept(self):
+        wb = WriteBuffer(2, drain_latency=1)
+        wb.insert(1, 0)
+        wb.insert(2, 0)
+        assert wb.is_full()
+        assert wb.can_accept(1)      # coalesce still possible
+        assert not wb.can_accept(3)
+
+    def test_insert_on_full_raises(self):
+        wb = WriteBuffer(1, drain_latency=1)
+        wb.insert(1, 0)
+        with pytest.raises(RuntimeError):
+            wb.insert(2, 0)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            WriteBuffer(0)
+
+
+class TestDrain:
+    def test_pop_ready_fifo_order(self):
+        wb = WriteBuffer(4, drain_latency=1)
+        wb.insert(10, 0)
+        wb.insert(20, 0)
+        assert wb.pop_ready(100) == 10
+        assert wb.pop_ready(100) == 20
+        assert wb.pop_ready(100) == -1
+
+    def test_pop_respects_ready_time(self):
+        wb = WriteBuffer(4, drain_latency=10)
+        wb.insert(10, 0)
+        assert wb.pop_ready(5) == -1
+        assert wb.pop_ready(10) == 10
+
+    def test_head_ready_time_empty(self):
+        assert WriteBuffer(2).head_ready_time() == -1
+
+    def test_drain_stats(self):
+        wb = WriteBuffer(4, drain_latency=0)
+        wb.insert(1, 0)
+        wb.pop_ready(0)
+        assert wb.stats.drains == 1
+
+
+class TestPendingWriteCheck:
+    """Table I's 'if no pending write' condition."""
+
+    def test_pending_while_buffered(self):
+        wb = WriteBuffer(4, drain_latency=5)
+        wb.insert(0x77, 0)
+        assert wb.has_pending(0x77)
+        assert not wb.has_pending(0x78)
+
+    def test_not_pending_after_drain(self):
+        wb = WriteBuffer(4, drain_latency=1)
+        wb.insert(0x77, 0)
+        wb.pop_ready(10)
+        assert not wb.has_pending(0x77)
+
+    def test_pending_lines_order(self):
+        wb = WriteBuffer(4, drain_latency=1)
+        wb.insert(3, 0)
+        wb.insert(1, 0)
+        wb.insert(2, 0)
+        assert wb.pending_lines() == [3, 1, 2]
+
+    def test_clear(self):
+        wb = WriteBuffer(4)
+        wb.insert(1, 0)
+        wb.clear()
+        assert len(wb) == 0
+        assert not wb.has_pending(1)

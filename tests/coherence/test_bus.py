@@ -1,0 +1,108 @@
+"""Shared snoopy bus: arbitration, occupancy, traffic accounting."""
+
+import pytest
+
+from repro.coherence.bus import BusConfig, SnoopyBus
+from repro.coherence.events import BUS_RD, BUS_RDX, BUS_UPGR, BUS_WB
+
+
+def make_bus(**kw):
+    return SnoopyBus(BusConfig(**kw), line_bytes=64)
+
+
+class TestOccupancy:
+    def test_address_only_txn(self):
+        bus = make_bus(clock_ratio=2, width_bytes=32, address_cycles=1)
+        assert bus.occupancy_core_cycles(BUS_UPGR, 0) == 2  # 1 bus cycle
+
+    def test_data_txn(self):
+        bus = make_bus(clock_ratio=2, width_bytes=32, address_cycles=1)
+        # 1 addr + ceil(64/32)=2 data cycles -> 3 bus cycles -> 6 core cycles
+        assert bus.occupancy_core_cycles(BUS_RD, 64) == 6
+
+    def test_partial_beat_rounds_up(self):
+        bus = make_bus(clock_ratio=1, width_bytes=48, address_cycles=1)
+        assert bus.occupancy_core_cycles(BUS_WB, 64) == 1 + 2
+
+    def test_snoop_latency_in_core_cycles(self):
+        bus = make_bus(clock_ratio=2, snoop_latency=2)
+        assert bus.snoop_response_core_cycles() == 4
+
+
+class TestArbitration:
+    def test_idle_bus_grants_immediately(self):
+        bus = make_bus()
+        grant, done = bus.transact(100, BUS_RD, 64)
+        assert grant == 100
+        assert done > grant
+
+    def test_fifo_backpressure(self):
+        bus = make_bus(clock_ratio=2, width_bytes=32, address_cycles=1)
+        g1, _ = bus.transact(0, BUS_RD, 64)    # occupies 6 core cycles
+        g2, _ = bus.transact(1, BUS_RD, 64)    # must wait until 6
+        assert g1 == 0
+        assert g2 == 6
+        assert bus.stats.wait_core_cycles == 5
+
+    def test_no_wait_after_gap(self):
+        bus = make_bus()
+        bus.transact(0, BUS_RD, 64)
+        g2, _ = bus.transact(1000, BUS_RD, 64)
+        assert g2 == 1000
+
+    def test_done_includes_snoop_response(self):
+        bus = make_bus(clock_ratio=2, width_bytes=32, address_cycles=1,
+                       snoop_latency=2)
+        _, done = bus.transact(0, BUS_RD, 64)
+        assert done == 6 + 4
+
+
+class TestTrafficAccounting:
+    def test_txn_counts(self):
+        bus = make_bus()
+        bus.read_miss(0)
+        bus.read_exclusive(0)
+        bus.upgrade(0)
+        bus.writeback(0)
+        bus.flush(0)
+        st = bus.stats
+        assert st.transactions == 5
+        assert st.count(BUS_RD) == 1
+        assert st.count(BUS_RDX) == 1
+        assert st.count(BUS_UPGR) == 1
+
+    def test_data_bytes_exclude_address_only(self):
+        bus = make_bus()
+        bus.upgrade(0)
+        assert bus.stats.data_bytes == 0
+        bus.read_miss(0)
+        assert bus.stats.data_bytes == 64
+
+    def test_busy_cycles_accumulate(self):
+        bus = make_bus(clock_ratio=2, width_bytes=32, address_cycles=1)
+        bus.transact(0, BUS_RD, 64)
+        bus.transact(50, BUS_UPGR, 0)
+        assert bus.stats.busy_core_cycles == 6 + 2
+
+    def test_utilization(self):
+        bus = make_bus(clock_ratio=2, width_bytes=32, address_cycles=1)
+        bus.transact(0, BUS_RD, 64)
+        assert bus.utilization(12) == pytest.approx(0.5)
+        assert bus.utilization(0) == 0.0
+
+    def test_summary_renders(self):
+        bus = make_bus()
+        bus.read_miss(0)
+        assert "BusRd=1" in bus.stats.summary()
+
+
+class TestConfigValidation:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            BusConfig(clock_ratio=0)
+        with pytest.raises(ValueError):
+            BusConfig(width_bytes=0)
+
+    def test_peak_bandwidth(self):
+        cfg = BusConfig(clock_ratio=2, width_bytes=32)
+        assert cfg.peak_bandwidth_bytes_per_core_cycle() == 16.0

@@ -1,0 +1,52 @@
+"""Event/action helper coverage: names, masks, classifications."""
+
+from repro.coherence.events import (
+    A_FLUSH,
+    A_GATE,
+    A_INV_UPPER,
+    A_NONE,
+    A_WRITEBACK,
+    BUS_FLUSH,
+    BUS_RD,
+    BUS_RDX,
+    BUS_UPGR,
+    BUS_WB,
+    DATA_TXNS,
+    MEMORY_TXNS,
+    action_names,
+    txn_name,
+)
+
+
+class TestTxnClassification:
+    def test_names(self):
+        assert txn_name(BUS_RD) == "BusRd"
+        assert txn_name(BUS_RDX) == "BusRdX"
+        assert txn_name(BUS_UPGR) == "BusUpgr"
+        assert txn_name(BUS_WB) == "BusWB"
+        assert txn_name(BUS_FLUSH) == "Flush"
+        assert "?" in txn_name(99)
+
+    def test_upgrade_is_address_only(self):
+        assert BUS_UPGR not in DATA_TXNS
+
+    def test_data_txns(self):
+        assert {BUS_RD, BUS_RDX, BUS_WB, BUS_FLUSH} == set(DATA_TXNS)
+
+    def test_flush_not_memory_txn(self):
+        # cache-to-cache supply does not touch the external port by itself
+        assert BUS_FLUSH not in MEMORY_TXNS
+        assert BUS_WB in MEMORY_TXNS
+
+
+class TestActionNames:
+    def test_empty(self):
+        assert action_names(A_NONE) == "-"
+
+    def test_single(self):
+        assert action_names(A_FLUSH) == "Flush"
+        assert action_names(A_GATE) == "Gate"
+
+    def test_combined(self):
+        s = action_names(A_INV_UPPER | A_WRITEBACK)
+        assert "InvUpp" in s and "WritebackMem" in s and "|" in s

@@ -1,0 +1,188 @@
+"""Exhaustive walk of the paper's Figure 2: MESI + turn-off extension.
+
+Every edge of the diagram — processor, snoop, turn-off, grant — is checked
+against the transition tables, including the defer rule for transients and
+the protocol-error cases.
+"""
+
+import pytest
+
+from repro.coherence.events import (
+    A_DEFER,
+    A_FLUSH,
+    A_GATE,
+    A_INV_UPPER,
+    A_NONE,
+    A_WRITEBACK,
+    BUS_RD,
+    BUS_RDX,
+    BUS_UPGR,
+)
+from repro.coherence.mesi import MESIProtocol, ProtocolError
+from repro.coherence.states import E, I, M, OFF, S, TC, TD
+
+
+@pytest.fixture
+def proto():
+    return MESIProtocol()
+
+
+class TestProcessorEdges:
+    """PrRd/- and PrWr edges of Figure 2."""
+
+    @pytest.mark.parametrize("state", [S, E, M])
+    def test_read_hit_keeps_state(self, proto, state):
+        nxt, actions = proto.read_hit(state)
+        assert nxt == state
+        assert actions == A_NONE
+
+    def test_read_hit_invalid_is_error(self, proto):
+        with pytest.raises(ProtocolError):
+            proto.read_hit(I)
+
+    def test_write_hit_e_to_m_silent(self, proto):
+        nxt, actions, txn = proto.write_hit(E)
+        assert nxt == M and txn is None
+
+    def test_write_hit_s_needs_upgrade(self, proto):
+        nxt, actions, txn = proto.write_hit(S)
+        assert nxt == M and txn == BUS_UPGR
+
+    def test_write_hit_m_stays(self, proto):
+        nxt, actions, txn = proto.write_hit(M)
+        assert nxt == M and txn is None
+
+    def test_miss_txns(self, proto):
+        assert proto.miss_txn(is_write=False) == BUS_RD
+        assert proto.miss_txn(is_write=True) == BUS_RDX
+
+    def test_fill_states(self, proto):
+        assert proto.fill_state(is_write=False, others_have_copy=False) == E
+        assert proto.fill_state(is_write=False, others_have_copy=True) == S
+        assert proto.fill_state(is_write=True, others_have_copy=True) == M
+
+
+class TestSnoopEdges:
+    """BusRd/BusRdX/BusUpgr observed remotely."""
+
+    def test_m_busrd_flushes_and_demotes(self, proto):
+        nxt, actions = proto.snoop(M, BUS_RD)
+        assert nxt == S
+        assert actions & A_FLUSH and actions & A_WRITEBACK
+
+    def test_m_busrdx_flushes_and_dies(self, proto):
+        nxt, actions = proto.snoop(M, BUS_RDX)
+        assert nxt == I and actions & A_FLUSH
+
+    def test_e_busrd_demotes_silently(self, proto):
+        assert proto.snoop(E, BUS_RD) == (S, A_NONE)
+
+    def test_e_busrdx_dies(self, proto):
+        assert proto.snoop(E, BUS_RDX) == (I, A_NONE)
+
+    def test_s_busrd_keeps(self, proto):
+        assert proto.snoop(S, BUS_RD) == (S, A_NONE)
+
+    def test_s_busrdx_dies(self, proto):
+        assert proto.snoop(S, BUS_RDX) == (I, A_NONE)
+
+    def test_s_upgrade_dies(self, proto):
+        assert proto.snoop(S, BUS_UPGR) == (I, A_NONE)
+
+    @pytest.mark.parametrize("state", [I, OFF])
+    @pytest.mark.parametrize("txn", [BUS_RD, BUS_RDX, BUS_UPGR])
+    def test_invalid_ignores_snoops(self, proto, state, txn):
+        assert proto.snoop(state, txn) == (state, A_NONE)
+
+    @pytest.mark.parametrize("state", [E, M])
+    def test_upgrade_against_exclusive_owner_is_error(self, proto, state):
+        with pytest.raises(ProtocolError):
+            proto.snoop(state, BUS_UPGR)
+
+
+class TestSnoopDuringTransients:
+    """Lines parked in TC/TD still participate in coherence."""
+
+    def test_td_busrd_supplies_dirty_data(self, proto):
+        nxt, actions = proto.snoop(TD, BUS_RD)
+        assert nxt == S and actions & A_FLUSH
+
+    def test_td_busrdx_aborts_gating(self, proto):
+        nxt, actions = proto.snoop(TD, BUS_RDX)
+        assert nxt == I and actions & A_FLUSH
+
+    def test_tc_busrd_keeps_waiting(self, proto):
+        assert proto.snoop(TC, BUS_RD) == (TC, A_NONE)
+
+    def test_tc_busrdx_aborts(self, proto):
+        assert proto.snoop(TC, BUS_RDX) == (I, A_NONE)
+
+
+class TestTurnOffEdges:
+    """The dashed edges: Turn-off/-, InvUpp, Grant."""
+
+    def test_m_enters_td_with_invupp_and_writeback(self, proto):
+        nxt, actions = proto.turn_off(M)
+        assert nxt == TD
+        assert actions & A_INV_UPPER and actions & A_WRITEBACK
+
+    @pytest.mark.parametrize("state", [S, E])
+    def test_clean_enters_tc_with_invupp(self, proto, state):
+        nxt, actions = proto.turn_off(state)
+        assert nxt == TC
+        assert actions & A_INV_UPPER
+        assert not actions & A_WRITEBACK
+
+    def test_invalid_gates_directly(self, proto):
+        nxt, actions = proto.turn_off(I)
+        assert nxt == OFF and actions & A_GATE
+
+    def test_off_idempotent(self, proto):
+        assert proto.turn_off(OFF) == (OFF, A_NONE)
+
+    @pytest.mark.parametrize("state", [TC, TD])
+    def test_transient_defers(self, proto, state):
+        nxt, actions = proto.turn_off(state)
+        assert nxt == state
+        assert actions & A_DEFER
+
+    def test_grant_td_gates_with_flush(self, proto):
+        nxt, actions = proto.grant(TD)
+        assert nxt == OFF and actions & A_GATE and actions & A_FLUSH
+
+    def test_grant_tc_gates(self, proto):
+        nxt, actions = proto.grant(TC)
+        assert nxt == OFF and actions & A_GATE
+
+    @pytest.mark.parametrize("state", [I, S, E, M, OFF])
+    def test_grant_only_from_transients(self, proto, state):
+        with pytest.raises(ProtocolError):
+            proto.grant(state)
+
+    def test_wake_state_is_invalid(self, proto):
+        assert proto.wake_state() == I
+
+
+class TestStatePredicates:
+    def test_stationary_states(self):
+        from repro.coherence.states import is_stationary
+
+        assert all(is_stationary(s) for s in (S, E, M))
+        assert not any(is_stationary(s) for s in (I, OFF, TC, TD))
+
+    def test_powered_states(self):
+        from repro.coherence.states import is_powered
+
+        assert all(is_powered(s) for s in (I, S, E, M, TC, TD))
+        assert not is_powered(OFF)
+
+    def test_dirty_states(self):
+        from repro.coherence.states import is_dirty
+
+        assert is_dirty(M) and is_dirty(TD)
+        assert not any(is_dirty(s) for s in (I, S, E, OFF, TC))
+
+    def test_names_unique(self):
+        from repro.coherence.states import STATE_NAMES
+
+        assert len(set(STATE_NAMES.values())) == len(STATE_NAMES)

@@ -1,0 +1,157 @@
+"""Table I (the turn-off legality matrix) and the TC/TD sequencer."""
+
+import pytest
+
+from repro.coherence.states import E, I, M, OFF, S, TC, TD
+from repro.coherence.turnoff import (
+    ALREADY_OFF,
+    DEFERRED,
+    DENIED_PENDING,
+    DONE,
+    IN_TRANSIENT,
+    MULTIPROCESSOR_WT,
+    ORGANISATIONS,
+    UNIPROCESSOR_WB,
+    UNIPROCESSOR_WT,
+    TurnOffSequencer,
+    decide,
+    table_rows,
+)
+
+
+class TestTableI:
+    """The six cells, verbatim from the paper."""
+
+    def test_uni_wb_clean(self):
+        d = decide(UNIPROCESSOR_WB, dirty=False)
+        assert d.allowed and not d.needs_writeback
+        assert not d.needs_upper_invalidate
+        assert not d.requires_no_pending_write
+
+    def test_uni_wb_dirty_writes_back(self):
+        d = decide(UNIPROCESSOR_WB, dirty=True)
+        assert d.allowed and d.needs_writeback
+        assert not d.needs_upper_invalidate
+
+    def test_uni_wt_clean_needs_no_pending_write(self):
+        d = decide(UNIPROCESSOR_WT, dirty=False)
+        assert d.allowed and d.requires_no_pending_write
+        assert not d.needs_writeback
+
+    def test_uni_wt_dirty(self):
+        d = decide(UNIPROCESSOR_WT, dirty=True)
+        assert d.allowed and d.requires_no_pending_write and d.needs_writeback
+
+    def test_cmp_clean_invalidates_upper(self):
+        d = decide(MULTIPROCESSOR_WT, dirty=False)
+        assert d.allowed and d.needs_upper_invalidate
+        assert d.requires_no_pending_write
+        assert not d.needs_writeback
+
+    def test_cmp_dirty_invalidates_upper_and_writes_back(self):
+        d = decide(MULTIPROCESSOR_WT, dirty=True)
+        assert d.allowed and d.needs_upper_invalidate and d.needs_writeback
+        assert not d.requires_no_pending_write
+
+    def test_all_cells_allow_turnoff(self):
+        # Table I's point: a turn-off mechanism exists for every design.
+        for org, dirty, d in table_rows():
+            assert d.allowed, (org, dirty)
+
+    def test_table_rows_covers_matrix(self):
+        rows = table_rows()
+        assert len(rows) == 6
+        assert {org for org, _, _ in rows} == set(ORGANISATIONS)
+
+    def test_unknown_organisation(self):
+        with pytest.raises(ValueError):
+            decide("smp-L1WB", dirty=False)
+
+    def test_describe_mentions_conditions(self):
+        assert "pending write" in decide(UNIPROCESSOR_WT, False).describe()
+        assert "upper level" in decide(MULTIPROCESSOR_WT, True).describe()
+
+
+class TestSequencerImmediate:
+    """auto_grant=True — the timing simulator's mode."""
+
+    @pytest.fixture
+    def seq(self):
+        return TurnOffSequencer()
+
+    def test_modified_line(self, seq):
+        state, r = seq.initiate(M)
+        assert state == OFF and r.outcome == DONE
+        assert r.invalidate_upper and r.writeback
+
+    @pytest.mark.parametrize("start", [S, E])
+    def test_clean_line(self, seq, start):
+        state, r = seq.initiate(start)
+        assert state == OFF and r.outcome == DONE
+        assert r.invalidate_upper and not r.writeback
+
+    def test_invalid_gates_for_free(self, seq):
+        state, r = seq.initiate(I)
+        assert state == OFF and r.outcome == DONE
+        assert not r.invalidate_upper and not r.writeback
+
+    def test_already_off(self, seq):
+        state, r = seq.initiate(OFF)
+        assert state == OFF and r.outcome == ALREADY_OFF
+
+    @pytest.mark.parametrize("start", [S, E])
+    def test_pending_write_denies_clean_gating(self, seq, start):
+        state, r = seq.initiate(start, pending_write=True)
+        assert state == start
+        assert r.outcome == DENIED_PENDING
+
+    def test_pending_write_does_not_block_dirty(self, seq):
+        # The M case invalidates the L1 copy, intercepting the store.
+        state, r = seq.initiate(M, pending_write=True)
+        assert state == OFF and r.outcome == DONE
+
+    @pytest.mark.parametrize("start", [TC, TD])
+    def test_transient_defers(self, seq, start):
+        state, r = seq.initiate(start)
+        assert state == start and r.outcome == DEFERRED
+
+
+class TestSequencerTwoPhase:
+    """auto_grant=False — observable TC/TD parking."""
+
+    @pytest.fixture
+    def seq(self):
+        return TurnOffSequencer()
+
+    def test_m_parks_in_td(self, seq):
+        state, r = seq.initiate(M, auto_grant=False)
+        assert state == TD and r.outcome == IN_TRANSIENT
+        assert r.invalidate_upper and r.writeback
+
+    def test_s_parks_in_tc(self, seq):
+        state, r = seq.initiate(S, auto_grant=False)
+        assert state == TC and r.outcome == IN_TRANSIENT
+
+    def test_grant_from_td(self, seq):
+        state, _ = seq.initiate(M, auto_grant=False)
+        final, r = seq.grant(state)
+        assert final == OFF and r.outcome == DONE and r.writeback
+
+    def test_grant_from_tc(self, seq):
+        state, _ = seq.initiate(E, auto_grant=False)
+        final, r = seq.grant(state)
+        assert final == OFF and r.outcome == DONE
+
+    def test_grant_rejects_stationary(self, seq):
+        with pytest.raises(ValueError):
+            seq.grant(M)
+
+    def test_can_act_now(self, seq):
+        assert all(seq.can_act_now(s) for s in (S, E, M, I, OFF))
+        assert not any(seq.can_act_now(s) for s in (TC, TD))
+
+    def test_gated_property(self, seq):
+        _, r = seq.initiate(S)
+        assert r.gated
+        _, r = seq.initiate(S, pending_write=True)
+        assert not r.gated

@@ -1,0 +1,86 @@
+"""Shared fixtures and factories for the test-suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.config import (
+    BASELINE,
+    DECAY,
+    PROTOCOL,
+    SELECTIVE_DECAY,
+    CMPConfig,
+    CoreConfig,
+    L1Config,
+    L2Config,
+    MemoryConfig,
+    TechniqueConfig,
+)
+
+
+def tiny_config(
+    technique: str = BASELINE,
+    decay_cycles: int = 2_000,
+    n_cores: int = 4,
+    l2_kb: int = 16,
+    l1_kb: int = 1,
+    counter_mode: str = "ideal",
+    **overrides,
+) -> CMPConfig:
+    """A miniature CMP for protocol-level tests.
+
+    Small caches keep tests fast while exercising real replacement,
+    inclusion and coherence behaviour.
+    """
+    return CMPConfig(
+        n_cores=n_cores,
+        core=CoreConfig(
+            write_buffer_drain_cycles=2,
+            l1_mshr_entries=4,
+            write_buffer_entries=4,
+        ),
+        l1=L1Config(size_bytes=l1_kb * 1024, assoc=2, line_bytes=64),
+        l2=L2Config(size_bytes=l2_kb * 1024, assoc=4, line_bytes=64,
+                    hit_latency=8),
+        memory=MemoryConfig(latency=50, contention=False),
+        technique=TechniqueConfig(
+            name=technique, decay_cycles=decay_cycles,
+            counter_mode=counter_mode),
+        **overrides,
+    )
+
+
+@pytest.fixture
+def baseline_cfg() -> CMPConfig:
+    """Tiny baseline config."""
+    return tiny_config(BASELINE)
+
+
+@pytest.fixture
+def protocol_cfg() -> CMPConfig:
+    """Tiny protocol-technique config."""
+    return tiny_config(PROTOCOL)
+
+
+@pytest.fixture
+def decay_cfg() -> CMPConfig:
+    """Tiny fixed-decay config (2000-cycle decay)."""
+    return tiny_config(DECAY)
+
+
+@pytest.fixture
+def sd_cfg() -> CMPConfig:
+    """Tiny selective-decay config."""
+    return tiny_config(SELECTIVE_DECAY)
+
+
+def make_system(cfg: CMPConfig):
+    """Fresh MemorySystem for a config."""
+    from repro.hierarchy.system import MemorySystem
+
+    return MemorySystem(cfg)
+
+
+def line(n: int) -> int:
+    """n-th distinct line address (spread across sets)."""
+    return 0x4000 + n

@@ -1,0 +1,77 @@
+"""Decay timers: ideal vs. hierarchical-counter quantization."""
+
+import pytest
+
+from repro.core.counters import DecayTimer
+from repro.sim.config import COUNTER_HIERARCHICAL, COUNTER_IDEAL
+
+
+class TestIdealTimer:
+    def test_exact_deadline(self):
+        t = DecayTimer(10_000, COUNTER_IDEAL)
+        assert t.deadline(0) == 10_000
+        assert t.deadline(777) == 10_777
+
+    def test_bounds_degenerate(self):
+        t = DecayTimer(10_000, COUNTER_IDEAL)
+        assert t.interval_bounds() == (10_000, 10_000)
+
+    def test_no_ticks(self):
+        assert DecayTimer(1000, COUNTER_IDEAL).ticks_in(100_000) == 0
+
+
+class TestHierarchicalTimer:
+    def test_global_tick_period(self):
+        t = DecayTimer(8192, COUNTER_HIERARCHICAL, bits=2)
+        assert t.global_tick == 2048
+        assert t.n_states == 4
+
+    def test_deadline_quantized_to_ticks(self):
+        t = DecayTimer(8192, COUNTER_HIERARCHICAL, bits=2)
+        for last in (0, 1, 100, 2047, 2048, 5000):
+            dl = t.deadline(last)
+            assert dl % t.global_tick == 0
+
+    def test_deadline_on_tick_boundary(self):
+        t = DecayTimer(8192, COUNTER_HIERARCHICAL, bits=2)
+        # Touched exactly on a tick: gates 4 ticks later.
+        assert t.deadline(2048) == 2048 + 4 * 2048
+
+    def test_observed_interval_in_bounds(self):
+        t = DecayTimer(8192, COUNTER_HIERARCHICAL, bits=2)
+        lo, hi = t.interval_bounds()
+        assert lo == 3 * 2048 + 1
+        assert hi == 4 * 2048
+        for last in range(0, 8192, 97):
+            interval = t.deadline(last) - last
+            assert lo <= interval <= hi
+
+    def test_nominal_time_is_upper_bound(self):
+        t = DecayTimer(8192, COUNTER_HIERARCHICAL, bits=2)
+        for last in range(0, 5000, 131):
+            assert t.deadline(last) - last <= 8192
+
+    def test_more_bits_tighter_quantization(self):
+        t2 = DecayTimer(65_536, COUNTER_HIERARCHICAL, bits=2)
+        t4 = DecayTimer(65_536, COUNTER_HIERARCHICAL, bits=4)
+        lo2, hi2 = t2.interval_bounds()
+        lo4, hi4 = t4.interval_bounds()
+        assert (hi4 - lo4) < (hi2 - lo2)
+
+    def test_ticks_in_window(self):
+        t = DecayTimer(8192, COUNTER_HIERARCHICAL, bits=2)
+        assert t.ticks_in(2048 * 10) == 10
+
+
+class TestValidation:
+    def test_rejects_zero_decay(self):
+        with pytest.raises(ValueError):
+            DecayTimer(0)
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            DecayTimer(1000, "approximate")
+
+    def test_rejects_decay_below_resolution(self):
+        with pytest.raises(ValueError):
+            DecayTimer(2, COUNTER_HIERARCHICAL, bits=2)

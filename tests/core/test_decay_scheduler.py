@@ -1,0 +1,107 @@
+"""DecayScheduler: lazy re-arm heap semantics."""
+
+from repro.core.counters import DecayTimer
+from repro.core.decay import DecayScheduler
+from repro.core.policy import FixedDecayPolicy
+from repro.coherence.states import E
+
+
+def make(decay=1000, n_lines=8, n_caches=2):
+    policies = [FixedDecayPolicy(n_lines, DecayTimer(decay))
+                for _ in range(n_caches)]
+    return policies, DecayScheduler(policies)
+
+
+class TestEnsure:
+    def test_push_once(self):
+        ps, sch = make()
+        ps[0].on_fill(3, E, 0)
+        sch.ensure(0, 3)
+        sch.ensure(0, 3)
+        assert sch.outstanding() == 1
+        assert sch.has_pending(0, 3)
+
+    def test_ignores_unarmed(self):
+        ps, sch = make()
+        sch.ensure(0, 3)  # never armed
+        assert sch.outstanding() == 0
+
+    def test_next_due(self):
+        ps, sch = make(decay=500)
+        ps[0].on_fill(1, E, 100)
+        sch.ensure(0, 1)
+        assert sch.next_due() == 600
+        assert DecayScheduler(ps).next_due() is None
+
+
+class TestProcessing:
+    def test_fires_idle_line_at_exact_deadline(self):
+        ps, sch = make(decay=1000)
+        ps[0].on_fill(2, E, 0)
+        sch.ensure(0, 2)
+        fired = []
+        sch.process_until(5000, lambda c, f, t: fired.append((c, f, t)))
+        assert fired == [(0, 2, 1000)]
+
+    def test_does_not_fire_early(self):
+        ps, sch = make(decay=1000)
+        ps[0].on_fill(2, E, 0)
+        sch.ensure(0, 2)
+        fired = []
+        sch.process_until(999, lambda *a: fired.append(a))
+        assert fired == []
+        assert sch.has_pending(0, 2)
+
+    def test_lazy_rearm_after_touch(self):
+        ps, sch = make(decay=1000)
+        ps[0].on_fill(2, E, 0)
+        sch.ensure(0, 2)
+        ps[0].on_touch(2, E, 800)  # no explicit ensure needed
+        fired = []
+        sch.process_until(1500, lambda c, f, t: fired.append(t))
+        assert fired == []           # refreshed, not fired
+        assert sch.refreshes == 1
+        sch.process_until(1800, lambda c, f, t: fired.append(t))
+        assert fired == [1800]
+
+    def test_disarmed_event_dropped(self):
+        ps, sch = make(decay=1000)
+        ps[0].on_fill(2, E, 0)
+        sch.ensure(0, 2)
+        ps[0].on_clear(2)  # invalidated
+        fired = []
+        sch.process_until(5000, lambda *a: fired.append(a))
+        assert fired == []
+        assert not sch.has_pending(0, 2)
+
+    def test_multiple_caches_ordered_by_deadline(self):
+        ps, sch = make(decay=1000, n_caches=2)
+        ps[0].on_fill(1, E, 500)
+        ps[1].on_fill(1, E, 100)
+        sch.ensure(0, 1)
+        sch.ensure(1, 1)
+        fired = []
+        sch.process_until(5000, lambda c, f, t: fired.append((c, t)))
+        assert fired == [(1, 1100), (0, 1500)]
+
+    def test_rearm_after_fire_via_fill(self):
+        ps, sch = make(decay=1000)
+        ps[0].on_fill(2, E, 0)
+        sch.ensure(0, 2)
+        def fire(c, f, t):
+            ps[c].on_clear(f)   # the L2 would gate the frame
+        sch.process_until(2000, fire)
+        # refill later: a fresh event must be accepted
+        ps[0].on_fill(2, E, 3000)
+        sch.ensure(0, 2)
+        fired = []
+        sch.process_until(10_000, lambda c, f, t: fired.append(t))
+        assert fired == [4000]
+
+    def test_stats_counters(self):
+        ps, sch = make(decay=100)
+        ps[0].on_fill(0, E, 0)
+        sch.ensure(0, 0)
+        sch.process_until(1000, lambda c, f, t: ps[c].on_clear(f))
+        assert sch.pops == 1
+        assert sch.fires == 1

@@ -1,0 +1,112 @@
+"""Occupancy tracker: exact powered line-cycle integrals."""
+
+import pytest
+
+from repro.core.occupancy import OccupancyTracker
+
+
+class TestBasicIntegral:
+    def test_always_on(self):
+        t = OccupancyTracker(10, start_powered=True)
+        assert t.finalize(100) == 1000
+        assert t.occupancy(100) == 1.0
+
+    def test_starts_gated(self):
+        t = OccupancyTracker(10, start_powered=False)
+        assert t.finalize(100) == 0
+        assert t.occupancy(100) == 0.0
+
+    def test_single_wake(self):
+        t = OccupancyTracker(4, start_powered=False)
+        t.wake(10)
+        assert t.finalize(20) == 10  # 1 line for 10 cycles
+        assert t.occupancy(20) == pytest.approx(10 / 80)
+
+    def test_wake_then_gate(self):
+        t = OccupancyTracker(4, start_powered=False)
+        t.wake(0)
+        t.gate(25)
+        assert t.finalize(100) == 25
+
+    def test_multiple_lines(self):
+        t = OccupancyTracker(4, start_powered=False)
+        t.wake(0)
+        t.wake(10)   # 2 lines on from 10
+        t.gate(20)   # back to 1
+        total = t.finalize(30)
+        assert total == 10 * 1 + 10 * 2 + 10 * 1
+
+    def test_gate_without_power_raises(self):
+        t = OccupancyTracker(2, start_powered=False)
+        with pytest.raises(RuntimeError):
+            t.gate(5)
+
+    def test_wake_beyond_capacity_raises(self):
+        t = OccupancyTracker(1, start_powered=True)
+        with pytest.raises(RuntimeError):
+            t.wake(5)
+
+    def test_clamps_small_backwards_steps(self):
+        t = OccupancyTracker(4, start_powered=False)
+        t.wake(100)
+        t.wake(90)  # snoop stamped slightly in the past: clamped
+        assert t.clamped_events == 1
+        assert t.on_lines == 2
+
+
+class TestRebase:
+    def test_rebase_discards_history(self):
+        t = OccupancyTracker(4, start_powered=True)
+        t.gate(10)
+        t.rebase(50)
+        assert t.finalize(150) == 3 * 100
+        assert t.gates == 0
+
+    def test_rebase_keeps_power_state(self):
+        t = OccupancyTracker(4, start_powered=False)
+        t.wake(0)
+        t.wake(5)
+        t.rebase(10)
+        assert t.on_lines == 2
+
+
+class TestBucketIntegrals:
+    def test_exact_bucket_distribution(self):
+        t = OccupancyTracker(4, start_powered=False, sample_interval=10)
+        t.wake(5)     # on from 5
+        t.gate(25)    # off at 25
+        t.finalize(40)
+        buckets = t.bucket_integrals()
+        # bucket 0: cycles 5..10 -> 5; bucket 1: 10..20 -> 10; bucket 2: 20..25 -> 5
+        assert buckets[0] == 5
+        assert buckets[1] == 10
+        assert buckets[2] == 5
+        assert sum(buckets) == t.on_line_cycles
+
+    def test_bucket_sum_matches_integral(self):
+        t = OccupancyTracker(8, start_powered=False, sample_interval=7)
+        events = [(3, "w"), (10, "w"), (20, "g"), (33, "w"), (60, "g")]
+        for time, kind in events:
+            (t.wake if kind == "w" else t.gate)(time)
+        t.finalize(100)
+        assert sum(t.bucket_integrals()) == t.on_line_cycles
+
+    def test_mean_on_lines(self):
+        t = OccupancyTracker(4, start_powered=True, sample_interval=10)
+        t.finalize(20)
+        assert t.bucket_mean_on_lines() == [4.0, 4.0]
+
+    def test_no_sampling_returns_empty(self):
+        t = OccupancyTracker(4, start_powered=True)
+        t.finalize(10)
+        assert t.bucket_mean_on_lines() == []
+
+
+class TestValidation:
+    def test_rejects_zero_lines(self):
+        with pytest.raises(ValueError):
+            OccupancyTracker(0, True)
+
+    def test_occupancy_zero_cycles(self):
+        t = OccupancyTracker(4, True)
+        assert t.occupancy(0) == 0.0

@@ -1,0 +1,162 @@
+"""Leakage policies: arming rules of §IV."""
+
+import pytest
+
+from repro.coherence.states import E, I, M, S
+from repro.core.policy import (
+    AlwaysOnPolicy,
+    FixedDecayPolicy,
+    ProtocolOffPolicy,
+    SelectiveDecayPolicy,
+    make_leakage_policy,
+)
+from repro.core.counters import DecayTimer
+from repro.sim.config import (
+    BASELINE,
+    DECAY,
+    PROTOCOL,
+    SELECTIVE_DECAY,
+    TechniqueConfig,
+)
+
+
+def timer(decay=1000):
+    return DecayTimer(decay)
+
+
+class TestAlwaysOn:
+    def test_flags(self):
+        p = AlwaysOnPolicy(16)
+        assert p.start_powered
+        assert not p.gates_on_invalidation
+        assert not p.decay_enabled
+
+    def test_never_has_deadline(self):
+        p = AlwaysOnPolicy(16)
+        p.on_fill(0, E, 10)
+        p.on_touch(0, E, 20)
+        assert p.deadline(0) == -1
+
+
+class TestProtocolOff:
+    def test_flags(self):
+        p = ProtocolOffPolicy(16)
+        assert not p.start_powered
+        assert p.gates_on_invalidation
+        assert not p.decay_enabled
+
+    def test_no_decay_deadlines(self):
+        p = ProtocolOffPolicy(16)
+        p.on_fill(3, M, 5)
+        assert p.deadline(3) == -1
+
+
+class TestFixedDecay:
+    def test_arms_on_fill_any_state(self):
+        p = FixedDecayPolicy(16, timer())
+        for state in (S, E, M):
+            p.on_fill(1, state, 100)
+            assert p.is_armed(1)
+            assert p.deadline(1) == 1100
+
+    def test_touch_resets_timer(self):
+        p = FixedDecayPolicy(16, timer())
+        p.on_fill(1, E, 0)
+        p.on_touch(1, E, 400)
+        assert p.deadline(1) == 1400
+
+    def test_modified_lines_still_decay(self):
+        # Plain Decay does NOT exempt M lines — that is SD's difference.
+        p = FixedDecayPolicy(16, timer())
+        p.on_fill(1, M, 0)
+        p.on_state_change(1, E, M, 0)
+        assert p.is_armed(1)
+
+    def test_clear_disarms(self):
+        p = FixedDecayPolicy(16, timer())
+        p.on_fill(1, E, 0)
+        p.on_clear(1)
+        assert p.deadline(1) == -1
+
+    def test_counter_resets_counted(self):
+        p = FixedDecayPolicy(16, timer())
+        p.on_fill(1, E, 0)
+        p.on_touch(1, E, 10)
+        p.on_touch(1, E, 20)
+        assert p.counter_resets == 3
+
+
+class TestSelectiveDecay:
+    """'a line is let to decay on the transitions leading to S or E'."""
+
+    def test_arms_on_clean_fill(self):
+        p = SelectiveDecayPolicy(16, timer())
+        p.on_fill(1, S, 0)
+        assert p.is_armed(1)
+        p.on_fill(2, E, 0)
+        assert p.is_armed(2)
+
+    def test_does_not_arm_on_m_fill(self):
+        p = SelectiveDecayPolicy(16, timer())
+        p.on_fill(1, M, 0)
+        assert not p.is_armed(1)
+        assert p.deadline(1) == -1
+
+    def test_disarms_entering_m(self):
+        p = SelectiveDecayPolicy(16, timer())
+        p.on_fill(1, E, 0)
+        p.on_state_change(1, E, M, 10)   # silent write upgrade
+        assert not p.is_armed(1)
+
+    def test_disarms_on_upgrade_from_s(self):
+        p = SelectiveDecayPolicy(16, timer())
+        p.on_fill(1, S, 0)
+        p.on_state_change(1, S, M, 10)
+        assert not p.is_armed(1)
+
+    def test_rearms_on_downgrade(self):
+        # Remote BusRd flushed our dirty line: M -> S, clean again.
+        p = SelectiveDecayPolicy(16, timer())
+        p.on_fill(1, M, 0)
+        p.on_state_change(1, M, S, 500)
+        assert p.is_armed(1)
+        assert p.deadline(1) == 1500
+
+    def test_touch_does_not_arm_m_line(self):
+        p = SelectiveDecayPolicy(16, timer())
+        p.on_fill(1, M, 0)
+        p.on_touch(1, M, 100)
+        assert not p.is_armed(1)
+
+    def test_touch_resets_armed_line(self):
+        p = SelectiveDecayPolicy(16, timer())
+        p.on_fill(1, E, 0)
+        p.on_touch(1, E, 700)
+        assert p.deadline(1) == 1700
+
+    def test_e_to_s_demotion_keeps_armed(self):
+        p = SelectiveDecayPolicy(16, timer())
+        p.on_fill(1, E, 0)
+        p.on_state_change(1, E, S, 100)
+        assert p.is_armed(1)
+
+
+class TestFactory:
+    def test_baseline(self):
+        p = make_leakage_policy(TechniqueConfig(name=BASELINE), 8)
+        assert isinstance(p, AlwaysOnPolicy)
+
+    def test_protocol(self):
+        p = make_leakage_policy(TechniqueConfig(name=PROTOCOL), 8)
+        assert isinstance(p, ProtocolOffPolicy)
+
+    def test_decay_gets_timer(self):
+        p = make_leakage_policy(
+            TechniqueConfig(name=DECAY, decay_cycles=4096), 8)
+        assert isinstance(p, FixedDecayPolicy)
+        assert p.timer.decay_cycles == 4096
+
+    def test_selective_decay(self):
+        p = make_leakage_policy(
+            TechniqueConfig(name=SELECTIVE_DECAY, decay_cycles=4096), 8)
+        assert isinstance(p, SelectiveDecayPolicy)

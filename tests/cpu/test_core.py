@@ -1,0 +1,134 @@
+"""Core timing model: issue, overlap budgets, barriers, warmup rebase."""
+
+import pytest
+
+from repro.cpu.core import AT_BARRIER, DONE, RUNNING, Core
+from repro.hierarchy.system import MemorySystem
+from repro.workloads.trace import (
+    ILP_DEPENDENT,
+    ILP_MODERATE,
+    ILP_STREAMING,
+    barrier_record,
+    make_flags,
+)
+from tests.conftest import tiny_config
+
+
+def run_core(records, cfg=None):
+    cfg = cfg or tiny_config()
+    sys = MemorySystem(cfg)
+    core = Core(0, cfg, sys.l1s[0], iter(records))
+    while core.state == RUNNING:
+        core.step()
+    core.finalize_stats()
+    return core, sys
+
+
+class TestComputeGaps:
+    def test_gap_charged_at_issue_width(self):
+        # 400 gap instructions at width 4 = 100 cycles + 1 issue + miss
+        records = [(400, 0x1000, make_flags(False, ILP_STREAMING))]
+        core, _ = run_core(records)
+        assert core.stats.instructions == 401
+        assert core.cycle >= 100
+
+    def test_issue_accumulator_no_loss(self):
+        # gaps of 1 at width 4 must still advance 1 cycle per 4 records
+        records = [(1, 0x1000, make_flags(False, ILP_STREAMING))
+                   for _ in range(40)]
+        core, _ = run_core(records)
+        # 40 gap instr -> 10 cycles of issue + 40 op cycles + memory
+        assert core.stats.instructions == 80
+
+    def test_done_state(self):
+        core, _ = run_core([])
+        assert core.state == DONE
+        assert core.next_time == float("inf")
+
+
+class TestOverlapBudgets:
+    def make(self, ilp):
+        return [(0, 0x2000, make_flags(False, ilp))]
+
+    def test_dependent_exposes_more_than_streaming(self):
+        cfg = tiny_config()
+        dep, _ = run_core(self.make(ILP_DEPENDENT), cfg)
+        stream, _ = run_core(self.make(ILP_STREAMING), cfg)
+        assert dep.stats.exposed_memory_cycles > \
+            stream.stats.exposed_memory_cycles
+
+    def test_l1_hit_fully_hidden(self):
+        recs = [(0, 0x2000, make_flags(False, ILP_MODERATE)),
+                (0, 0x2000, make_flags(False, ILP_MODERATE))]
+        core, _ = run_core(recs)
+        # second access hits L1 (latency 2 < overlap 120): no exposure added
+        assert core.stats.loads == 2
+
+    def test_exposure_never_negative(self):
+        core, _ = run_core(self.make(ILP_STREAMING))
+        assert core.stats.exposed_memory_cycles >= 0
+
+
+class TestStores:
+    def test_store_retires_quickly(self):
+        records = [(0, 0x3000, make_flags(True))]
+        core, sys = run_core(records)
+        assert core.stats.stores == 1
+        assert core.cycle <= 3  # 1 issue + 1 store
+        assert sys.l1s[0].has_pending_write(0x3000 >> 6)
+
+
+class TestBarriers:
+    def test_barrier_parks_core(self):
+        cfg = tiny_config()
+        sys = MemorySystem(cfg)
+        records = [(10, 0, make_flags(False, ILP_STREAMING)),
+                   barrier_record(),
+                   (10, 0, make_flags(False, ILP_STREAMING))]
+        core = Core(0, cfg, sys.l1s[0], iter(records))
+        core.step()
+        state = core.step()
+        assert state == AT_BARRIER
+        assert core.next_time == float("inf")
+
+    def test_release_accounts_wait(self):
+        cfg = tiny_config()
+        sys = MemorySystem(cfg)
+        core = Core(0, cfg, sys.l1s[0], iter([barrier_record()]))
+        core.step()
+        arrival = core.barrier_arrival
+        core.release_barrier(arrival + 500)
+        assert core.stats.barrier_wait_cycles == 500
+        assert core.state == DONE  # no more records
+
+    def test_barrier_counts_gap_instructions(self):
+        cfg = tiny_config()
+        sys = MemorySystem(cfg)
+        core = Core(0, cfg, sys.l1s[0], iter([(7, 0, make_flags(False) | 0x8)]))
+        core.step()
+        assert core.stats.instructions == 7
+        assert core.stats.barriers == 1
+
+
+class TestWarmupRebase:
+    def test_rebase_zeroes_counters(self):
+        records = [(10, 0x1000 + i * 64, make_flags(False, ILP_STREAMING))
+                   for i in range(20)]
+        cfg = tiny_config()
+        sys = MemorySystem(cfg)
+        core = Core(0, cfg, sys.l1s[0], iter(records))
+        for _ in range(10):
+            core.step()
+        core.rebase_stats()
+        assert core.stats.instructions == 0
+        while core.state == RUNNING:
+            core.step()
+        core.finalize_stats()
+        assert core.stats.instructions == 10 * 11
+        assert core.stats.cycles < core.cycle  # only post-rebase counted
+
+    def test_ipc_sane(self):
+        records = [(40, 0x5000, make_flags(True))] * 50
+        core, _ = run_core(records)
+        ipc = core.stats.instructions / core.stats.cycles
+        assert 1.0 < ipc <= 4.0  # bounded by issue width

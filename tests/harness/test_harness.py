@@ -1,0 +1,107 @@
+"""Harness: metrics, sweep runner caching, figure rendering, CLI."""
+
+import json
+import os
+
+import pytest
+
+from repro.harness.cli import main as cli_main
+from repro.harness.figures import FigureTable, run_experiment, table1
+from repro.harness.metrics import PointMetrics
+from repro.harness.runner import SweepRunner
+
+SCALE = 0.04
+
+
+@pytest.fixture
+def runner(tmp_path):
+    return SweepRunner(scale=SCALE, cache_dir=str(tmp_path / "cache"),
+                       verbose=False)
+
+
+class TestRunnerCaching:
+    def test_cache_roundtrip(self, runner, tmp_path):
+        r1, e1 = runner.run_point("uniform", 1, "baseline")
+        files = os.listdir(tmp_path / "cache")
+        assert len(files) == 1
+        r2, e2 = runner.run_point("uniform", 1, "baseline")
+        assert r2.total_cycles == r1.total_cycles
+        assert e2.total == pytest.approx(e1.total)
+
+    def test_cache_key_separates_techniques(self, runner, tmp_path):
+        runner.run_point("uniform", 1, "baseline")
+        runner.run_point("uniform", 1, "protocol")
+        assert len(os.listdir(tmp_path / "cache")) == 2
+
+    def test_technique_configs_cover_paper(self, runner):
+        techs = runner.technique_configs()
+        assert len(techs) == 8  # baseline + 7
+        assert techs["decay64K"].decay_cycles == int(64_000 * SCALE)
+
+    def test_metrics_for(self, runner):
+        m = runner.metrics_for("uniform", 1, "protocol")
+        assert isinstance(m, PointMetrics)
+        assert m.ipc_loss == pytest.approx(0.0, abs=1e-9)
+        assert 0 <= m.occupancy <= 1
+
+    def test_averaged(self, runner):
+        pts = [runner.metrics_for("uniform", 1, "protocol"),
+               runner.metrics_for("pingpong", 1, "protocol")]
+        avg = runner.averaged(pts, "occupancy")
+        assert (1, "protocol") in avg
+        expected = (pts[0].occupancy + pts[1].occupancy) / 2
+        assert avg[(1, "protocol")] == pytest.approx(expected)
+
+
+class TestFigureTable:
+    def test_render_contains_cells(self):
+        t = FigureTable("figX", "demo", ["a", "b"])
+        t.add_row("r1", ["1%", "2%"])
+        out = t.render()
+        assert "figX" in out and "r1" in out and "2%" in out
+
+    def test_row_length_checked(self):
+        t = FigureTable("figX", "demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row("r1", ["only-one"])
+
+    def test_table1_static(self):
+        out = table1().render()
+        assert "invalidate the upper level" in out
+        assert "pending write" in out
+
+    def test_fig_on_reduced_matrix(self, runner):
+        t = run_experiment(
+            "fig3a", runner,
+            sizes=[1], benchmarks=["uniform", "pingpong"])
+        out = t.render()
+        assert "protocol" in out and "decay64K" in out and "1MB" in out
+
+    def test_unknown_experiment(self, runner):
+        with pytest.raises(ValueError):
+            run_experiment("fig9z", runner)
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig5a" in out and "water_ns" in out
+
+    def test_table1(self, capsys):
+        assert cli_main(["table1"]) == 0
+        assert "Turn off" in capsys.readouterr().out
+
+    def test_point(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        rc = cli_main(["point", "uniform", "1", "protocol",
+                       "--scale", str(SCALE), "--quiet"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "occupancy" in out
+
+    def test_point_usage_error(self, capsys):
+        assert cli_main(["point", "uniform"]) == 2
+
+    def test_unknown_command(self, capsys):
+        assert cli_main(["frobnicate"]) == 2

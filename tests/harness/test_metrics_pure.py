@@ -1,0 +1,80 @@
+"""Pure metric functions on synthetic inputs (sign conventions etc.)."""
+
+import pytest
+
+from repro.harness import metrics
+from repro.power.energy import EnergyBreakdown
+from repro.sim.stats import L1Stats, L2Stats, MemoryStats, SimResult
+
+
+def result_with(amat_lat=100, loads=10, mem_bytes=1000, ipc_instr=2000,
+                cycles=1000):
+    res = SimResult("k", "w", total_cycles=cycles, n_lines_per_l2=10)
+    res.l1 = [L1Stats(loads=loads, load_latency_sum=amat_lat * loads)]
+    res.l2 = [L2Stats()]
+    res.memory = MemoryStats(bytes_read=mem_bytes)
+    from repro.sim.stats import CoreStats
+
+    res.cores = [CoreStats(instructions=ipc_instr, cycles=cycles)]
+    return res
+
+
+class TestRatioMetrics:
+    def test_bandwidth_increase_sign(self):
+        base = result_with(mem_bytes=1000)
+        worse = result_with(mem_bytes=1500)
+        assert metrics.bandwidth_increase(base, worse) == pytest.approx(0.5)
+        assert metrics.bandwidth_increase(base, base) == 0.0
+
+    def test_amat_increase(self):
+        base = result_with(amat_lat=100)
+        worse = result_with(amat_lat=110)
+        assert metrics.amat_increase(base, worse) == pytest.approx(0.10)
+
+    def test_ipc_loss(self):
+        base = result_with(cycles=1000)
+        slower = result_with(cycles=1250)
+        assert metrics.ipc_loss(base, slower) == pytest.approx(0.2)
+        assert metrics.ipc_loss(base, base) == 0.0
+
+    def test_energy_reduction(self):
+        a = EnergyBreakdown(core_dynamic=10.0)
+        b = EnergyBreakdown(core_dynamic=7.0)
+        assert metrics.energy_reduction(a, b) == pytest.approx(0.3)
+
+    def test_zero_baselines_guarded(self):
+        empty = result_with(mem_bytes=0, loads=0)
+        assert metrics.bandwidth_increase(empty, empty) == 0.0
+        assert metrics.amat_increase(result_with(amat_lat=0), empty) == 0.0
+        assert metrics.energy_reduction(EnergyBreakdown(),
+                                        EnergyBreakdown()) == 0.0
+
+
+class TestDecayInducedFraction:
+    def test_fraction(self):
+        res = result_with()
+        res.l2[0].reads = 90
+        res.l2[0].writes = 10
+        res.l2[0].decay_induced_misses = 5
+        assert metrics.decay_induced_miss_fraction(res) == pytest.approx(0.05)
+
+    def test_empty(self):
+        assert metrics.decay_induced_miss_fraction(result_with()) == 0.0
+
+
+class TestPointMetrics:
+    def test_compute_and_dict(self):
+        base = result_with()
+        opt = result_with(cycles=1100, mem_bytes=1200)
+        e_base = EnergyBreakdown(core_dynamic=10.0, l2_leakage=3.0,
+                                 temperatures={"core0": 350.0})
+        e_opt = EnergyBreakdown(core_dynamic=9.0, l2_leakage=1.0,
+                                temperatures={"core0": 345.0})
+        m = metrics.PointMetrics.compute(
+            "wl", 4, "decay64K", base, e_base, opt, e_opt)
+        assert m.total_mb == 4
+        assert m.ipc_loss > 0
+        assert m.energy_reduction > 0
+        d = m.as_dict()
+        assert d["technique"] == "decay64K"
+        assert d["peak_temp_c"] == pytest.approx(345.0 - 273.15)

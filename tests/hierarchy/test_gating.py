@@ -1,0 +1,185 @@
+"""Gating behaviour per technique: protocol invalidations, decay turn-offs,
+Table I conditions wired into the live hierarchy."""
+
+import pytest
+
+from repro.coherence.states import E, I, M, OFF, S
+from tests.conftest import make_system, tiny_config
+
+
+def state_of(l2, line):
+    f = l2.array.probe(line)
+    return l2.array.state[f] if f >= 0 else None
+
+
+class TestColdStart:
+    def test_baseline_starts_powered(self):
+        sys = make_system(tiny_config("baseline"))
+        l2 = sys.l2s[0]
+        assert l2.occupancy.on_lines == l2.geom.n_lines
+        assert all(s == I for s in l2.array.state)
+
+    @pytest.mark.parametrize("tech", ["protocol", "decay", "selective_decay"])
+    def test_gating_techniques_start_gated(self, tech):
+        sys = make_system(tiny_config(tech))
+        l2 = sys.l2s[0]
+        assert l2.occupancy.on_lines == 0
+        assert all(s == OFF for s in l2.array.state)
+
+    def test_fill_wakes_frame(self):
+        sys = make_system(tiny_config("protocol"))
+        l2 = sys.l2s[0]
+        l2.access(0x10, 0, False)
+        assert l2.occupancy.on_lines == 1
+        assert l2.stats.wakes == 1
+
+
+class TestProtocolGating:
+    def test_remote_invalidation_gates(self):
+        sys = make_system(tiny_config("protocol"))
+        sys.l2s[0].access(0x10, 0, False)
+        sys.l2s[1].access(0x10, 100, True)  # invalidates cache 0's copy
+        l2 = sys.l2s[0]
+        f = [f for f in range(l2.geom.n_lines) if l2.array.state[f] == OFF]
+        assert l2.stats.gated_protocol == 1
+        assert l2.occupancy.on_lines == 0  # its only line gated
+
+    def test_baseline_does_not_gate_on_invalidation(self):
+        sys = make_system(tiny_config("baseline"))
+        sys.l2s[0].access(0x10, 0, False)
+        sys.l2s[1].access(0x10, 100, True)
+        l2 = sys.l2s[0]
+        assert l2.stats.gated_protocol == 0
+        assert l2.occupancy.on_lines == l2.geom.n_lines
+
+    def test_upgrade_gates_remote_sharers(self):
+        sys = make_system(tiny_config("protocol"))
+        sys.l2s[0].access(0x10, 0, False)
+        sys.l2s[1].access(0x10, 10, False)   # both S
+        sys.l2s[1].access(0x10, 20, True)    # upgrade gates cache 0
+        assert sys.l2s[0].stats.gated_protocol == 1
+
+
+class TestDecayTurnOff:
+    def test_idle_clean_line_gates_at_deadline(self):
+        cfg = tiny_config("decay", decay_cycles=2000)
+        sys = make_system(cfg)
+        l2 = sys.l2s[0]
+        l2.access(0x10, 0, False)  # E
+        fired = sys.process_decay_until(5000)
+        assert fired == 1
+        assert state_of(l2, 0x10) is None
+        assert l2.stats.gated_decay_clean == 1
+        assert l2.stats.gated_decay_dirty == 0
+
+    def test_idle_dirty_line_writes_back_and_gates(self):
+        sys = make_system(tiny_config("decay", decay_cycles=2000))
+        l2 = sys.l2s[0]
+        l2.access(0x10, 0, True)   # M
+        wb_before = sys.memory.stats.line_writes
+        sys.process_decay_until(5000)
+        assert l2.stats.gated_decay_dirty == 1
+        assert sys.memory.stats.line_writes == wb_before + 1
+
+    def test_touched_line_survives(self):
+        sys = make_system(tiny_config("decay", decay_cycles=2000))
+        l2 = sys.l2s[0]
+        l2.access(0x10, 0, False)
+        l2.access(0x10, 1500, False)   # reset timer
+        sys.process_decay_until(3000)
+        assert state_of(l2, 0x10) == E
+        sys.process_decay_until(3501)  # 1500 + 2000 elapsed
+        assert state_of(l2, 0x10) is None
+
+    def test_decayed_line_access_is_decay_induced_miss(self):
+        sys = make_system(tiny_config("decay", decay_cycles=2000))
+        l2 = sys.l2s[0]
+        l2.access(0x10, 0, False)
+        sys.process_decay_until(3000)
+        l2.access(0x10, 4000, False)  # would have hit without decay
+        assert l2.stats.decay_induced_misses == 1
+
+    def test_natural_eviction_not_decay_induced(self):
+        sys = make_system(tiny_config("decay", decay_cycles=10**9))
+        l2 = sys.l2s[0]
+        n_sets = l2.geom.n_sets
+        for k in range(6):  # 4-way set: evicts two lines naturally
+            l2.access(k * n_sets, k, False)
+        l2.access(0, 100, False)  # miss: naturally evicted, not decay
+        assert l2.stats.decay_induced_misses == 0
+
+    def test_m_line_turn_off_invalidates_l1(self):
+        sys = make_system(tiny_config("decay", decay_cycles=2000))
+        l1, l2 = sys.l1s[0], sys.l2s[0]
+        l1.load(0x10, 0)              # L1 + L2 fill
+        l2.access(0x10, 5, True)      # make L2 copy M
+        assert l1.holds(0x10)
+        sys.process_decay_until(10_000)
+        assert not l1.holds(0x10)
+        assert l2.stats.upper_invalidations >= 1
+
+
+class TestPendingWriteDenial:
+    """Table I: clean line with buffered store must not gate."""
+
+    def test_denied_while_store_buffered(self):
+        sys = make_system(tiny_config("decay", decay_cycles=2000))
+        l1, l2 = sys.l1s[0], sys.l2s[0]
+        l2.access(0x10, 0, False)         # clean E line in L2
+        l1.write_buffer.insert(0x10, 100)  # pending store to same line
+        sys.process_decay_until(5000)
+        assert l2.stats.gate_denied_pending == 1
+        assert state_of(l2, 0x10) == E    # still alive
+
+    def test_gates_after_drain(self):
+        sys = make_system(tiny_config("decay", decay_cycles=2000))
+        l1, l2 = sys.l1s[0], sys.l2s[0]
+        l2.access(0x10, 0, False)
+        l1.write_buffer.insert(0x10, 100)
+        sys.process_decay_until(5000)      # denied
+        l1.drain_one(5000)                 # store drains (touches line, M)
+        sys.process_decay_until(20_000)    # decays from the drain touch
+        assert state_of(l2, 0x10) is None
+        assert l2.stats.gated_decay_dirty == 1
+
+
+class TestSelectiveDecayInHierarchy:
+    def test_m_lines_never_decay(self):
+        sys = make_system(tiny_config("selective_decay", decay_cycles=2000))
+        l2 = sys.l2s[0]
+        l2.access(0x10, 0, True)  # M
+        sys.process_decay_until(10**6)
+        assert state_of(l2, 0x10) == M
+
+    def test_clean_lines_decay(self):
+        sys = make_system(tiny_config("selective_decay", decay_cycles=2000))
+        l2 = sys.l2s[0]
+        l2.access(0x10, 0, False)  # E
+        sys.process_decay_until(5000)
+        assert state_of(l2, 0x10) is None
+
+    def test_downgraded_m_line_becomes_decayable(self):
+        sys = make_system(tiny_config("selective_decay", decay_cycles=2000))
+        sys.l2s[0].access(0x10, 0, True)        # M in cache 0
+        sys.l2s[1].access(0x10, 100, False)     # BusRd: M -> S downgrade
+        sys.process_decay_until(10_000)
+        assert state_of(sys.l2s[0], 0x10) is None  # decayed after downgrade
+
+    def test_sd_occupancy_at_least_decay(self):
+        """SD keeps M lines, so its powered-line count >= plain decay."""
+        import random
+
+        rng = random.Random(3)
+        ops = [(rng.randrange(4), rng.randrange(64), rng.random() < 0.4)
+               for _ in range(300)]
+        on_lines = {}
+        for tech in ("decay", "selective_decay"):
+            sys = make_system(tiny_config(tech, decay_cycles=500))
+            t = 0
+            for cid, ln, wr in ops:
+                sys.process_decay_until(t)
+                sys.l2s[cid].access(ln, t, wr)
+                t += 40
+            sys.process_decay_until(t + 5000)
+            on_lines[tech] = sum(l2.occupancy.on_lines for l2 in sys.l2s)
+        assert on_lines["selective_decay"] >= on_lines["decay"]

@@ -1,0 +1,164 @@
+"""L1 behaviour: write-through, write buffer, MSHR, inclusion maintenance."""
+
+import pytest
+
+from repro.coherence.states import M
+from tests.conftest import make_system, tiny_config
+
+
+class TestLoadPath:
+    def test_load_miss_fills_both_levels(self):
+        sys = make_system(tiny_config())
+        l1, l2 = sys.l1s[0], sys.l2s[0]
+        lat, stall = l1.load(0x20, 0)
+        assert l1.holds(0x20)
+        assert l2.array.probe(0x20) >= 0
+        assert lat > l1.hit_latency
+        assert stall == 0
+
+    def test_load_hit_is_cheap(self):
+        sys = make_system(tiny_config())
+        l1 = sys.l1s[0]
+        l1.load(0x20, 0)
+        lat, _ = l1.load(0x20, 500)
+        assert lat == l1.hit_latency
+
+    def test_inclusion_bit_set_on_l1_fill(self):
+        sys = make_system(tiny_config())
+        l1, l2 = sys.l1s[0], sys.l2s[0]
+        l1.load(0x20, 0)
+        frame = l2.array.probe(0x20)
+        assert l2.l1_present[frame] == 1
+
+    def test_l1_eviction_clears_inclusion_bit(self):
+        cfg = tiny_config(l1_kb=1)  # 16 lines, 2-way -> 8 sets
+        sys = make_system(cfg)
+        l1, l2 = sys.l1s[0], sys.l2s[0]
+        n_sets = l1.geom.n_sets
+        l1.load(0, 0)
+        l1.load(n_sets, 10)       # same L1 set
+        l1.load(2 * n_sets, 20)   # evicts line 0 from L1
+        frame = l2.array.probe(0)
+        assert frame >= 0
+        assert l2.l1_present[frame] == 0
+
+    def test_mshr_merge_on_secondary_miss(self):
+        sys = make_system(tiny_config())
+        l1 = sys.l1s[0]
+        l1.load(0x20, 0)
+        # Fake an outstanding entry by reaching into the MSHR.
+        l1.mshr.allocate(0x99, 0, 500, False)
+        lat, _ = l1.load(0x99, 10)
+        assert l1.stats.mshr_merges == 1
+        assert lat == 490  # completes with the primary miss
+
+    def test_mshr_full_stalls(self):
+        cfg = tiny_config()
+        sys = make_system(cfg)
+        l1 = sys.l1s[0]
+        cap = l1.mshr.capacity
+        for i in range(cap):
+            l1.mshr.allocate(0x1000 + i, 0, 10_000 + i, False)
+        lat, stall = l1.load(0x20, 0)
+        assert stall > 0
+        assert l1.mshr.stats.full_stalls == 1
+
+
+class TestStorePath:
+    def test_store_buffers_quickly(self):
+        sys = make_system(tiny_config())
+        l1 = sys.l1s[0]
+        lat, stall = l1.store(0x30, 0)
+        assert lat == 1 and stall == 0
+        assert l1.has_pending_write(0x30)
+
+    def test_store_no_allocate_on_miss(self):
+        sys = make_system(tiny_config())
+        l1 = sys.l1s[0]
+        l1.store(0x30, 0)
+        assert not l1.holds(0x30)
+
+    def test_store_hit_updates_l1(self):
+        sys = make_system(tiny_config())
+        l1 = sys.l1s[0]
+        l1.load(0x30, 0)
+        l1.store(0x30, 100)
+        assert l1.stats.store_hits == 1
+        assert l1.holds(0x30)
+
+    def test_drain_makes_l2_line_modified(self):
+        sys = make_system(tiny_config())
+        l1, l2 = sys.l1s[0], sys.l2s[0]
+        l1.store(0x30, 0)
+        assert l1.drain_one(100)
+        frame = l2.array.probe(0x30)
+        assert l2.array.state[frame] == M
+        assert not l1.has_pending_write(0x30)
+
+    def test_drain_respects_ready_time(self):
+        sys = make_system(tiny_config())
+        l1 = sys.l1s[0]
+        l1.store(0x30, 0)
+        ready = l1.next_drain_time()
+        assert ready > 0
+        assert not l1.drain_one(ready - 1)
+        assert l1.drain_one(ready)
+
+    def test_full_buffer_stalls_and_drains(self):
+        sys = make_system(tiny_config())
+        l1 = sys.l1s[0]
+        cap = l1.write_buffer.capacity
+        for i in range(cap):
+            l1.store(0x1000 + i * 64, 0)
+        lat, stall = l1.store(0x9000, 0)
+        assert stall > 0
+        assert l1.write_buffer.stats.full_stalls == 1
+        # the head was pushed to L2
+        assert sys.l2s[0].stats.writes == 1
+
+    def test_coalescing_store_never_stalls(self):
+        sys = make_system(tiny_config())
+        l1 = sys.l1s[0]
+        cap = l1.write_buffer.capacity
+        for i in range(cap):
+            l1.store(0x1000 + i * 64, 0)
+        lat, stall = l1.store(0x1000, 1)  # coalesces with entry 0
+        assert stall == 0
+
+
+class TestInclusionInvalidations:
+    def test_remote_write_invalidates_l1_too(self):
+        sys = make_system(tiny_config())
+        sys.l1s[0].load(0x40, 0)
+        assert sys.l1s[0].holds(0x40)
+        sys.l2s[1].access(0x40, 100, True)  # remote BusRdX
+        assert not sys.l1s[0].holds(0x40)
+        sys.l1s[0].check_inclusion()
+
+    def test_l2_capacity_eviction_invalidates_l1(self):
+        sys = make_system(tiny_config(l2_kb=16))
+        l1, l2 = sys.l1s[0], sys.l2s[0]
+        n_sets = l2.geom.n_sets
+        l1.load(0, 0)
+        for k in range(1, 5):  # fill the set, evicting line 0 from L2
+            l2.access(k * n_sets, k * 10, False)
+        assert not l1.holds(0)
+        l1.check_inclusion()
+
+    def test_inclusion_invariant_after_mixed_traffic(self):
+        import random
+
+        rng = random.Random(11)
+        sys = make_system(tiny_config())
+        t = 0
+        for _ in range(400):
+            cid = rng.randrange(4)
+            line = rng.randrange(48)
+            if rng.random() < 0.5:
+                sys.l1s[cid].load(line, t)
+            else:
+                sys.l1s[cid].store(line, t)
+                if rng.random() < 0.5:
+                    sys.l1s[cid].drain_one(t + 3)
+            t += 25
+        sys.check_invariants()

@@ -1,0 +1,51 @@
+"""External memory channel: latency, bandwidth accounting, contention."""
+
+from repro.hierarchy.memory import MainMemory
+from repro.sim.config import MemoryConfig
+
+
+class TestReads:
+    def test_fixed_latency_no_contention(self):
+        m = MainMemory(MemoryConfig(latency=100, contention=False), 64)
+        assert m.read_line(0) == 100
+        assert m.read_line(1) == 101
+
+    def test_traffic_counted(self):
+        m = MainMemory(MemoryConfig(latency=100), 64)
+        m.read_line(0)
+        m.write_line(0)
+        assert m.stats.line_reads == 1
+        assert m.stats.line_writes == 1
+        assert m.stats.total_bytes == 128
+
+    def test_contention_queues(self):
+        m = MainMemory(
+            MemoryConfig(latency=100, bytes_per_cycle=8.0, contention=True), 64)
+        t1 = m.read_line(0)       # occupies channel for 8 cycles
+        t2 = m.read_line(0)       # queued behind it
+        assert t1 == 100
+        assert t2 == 108
+
+    def test_idle_gap_no_queueing(self):
+        m = MainMemory(MemoryConfig(latency=100, contention=True), 64)
+        m.read_line(0)
+        assert m.read_line(1000) == 1100
+
+
+class TestWrites:
+    def test_writes_are_posted(self):
+        m = MainMemory(MemoryConfig(latency=100, contention=True), 64)
+        accepted = m.write_line(50)
+        assert accepted == 50  # nobody waits for the full latency
+
+    def test_writes_still_occupy_channel(self):
+        m = MainMemory(
+            MemoryConfig(latency=100, bytes_per_cycle=8.0, contention=True), 64)
+        m.write_line(0)
+        assert m.read_line(0) == 8 + 100
+
+    def test_reset_stats(self):
+        m = MainMemory(MemoryConfig(), 64)
+        m.read_line(0)
+        m.reset_stats()
+        assert m.stats.total_bytes == 0

@@ -1,0 +1,35 @@
+"""Periodic full-invariant checking on real benchmark traffic.
+
+Runs the paper benchmarks with the simulator's invariant-checking mode:
+every N events the complete suite (coherence single-writer, L1⊆L2
+inclusion, occupancy-tracker/array consistency) is verified while the
+techniques gate and wake lines mid-flight.
+"""
+
+import pytest
+
+from repro.sim.simulator import Simulator
+from repro.workloads.registry import get_workload
+from tests.conftest import tiny_config
+
+SCALE = 0.04
+
+
+@pytest.mark.parametrize("tech", ["protocol", "decay", "selective_decay"])
+@pytest.mark.parametrize("wname", ["water_ns", "mpeg2enc"])
+def test_invariants_hold_throughout_run(tech, wname):
+    wl = get_workload(wname, scale=SCALE)
+    cfg = tiny_config(tech, decay_cycles=2500, l2_kb=32)
+    sim = Simulator(cfg)
+    res = sim.run(wl, warmup_fraction=0.17, check_invariants_every=20_000)
+    sim.system.check_invariants()  # and once more at the very end
+    assert res.total_cycles > 0
+
+
+def test_invariants_with_hierarchical_counters():
+    wl = get_workload("fmm", scale=SCALE)
+    cfg = tiny_config("decay", decay_cycles=2560,
+                      counter_mode="hierarchical", l2_kb=32)
+    sim = Simulator(cfg)
+    sim.run(wl, check_invariants_every=25_000)
+    sim.system.check_invariants()

@@ -1,0 +1,53 @@
+"""Time-dilation invariance (DESIGN.md §5): joint scaling of run length
+and decay times preserves the technique shapes."""
+
+import pytest
+
+from repro import CMPConfig, TechniqueConfig, simulate
+from repro.workloads.registry import get_workload
+
+
+def occupancies(scale):
+    wl = get_workload("mpeg2dec", scale=scale)
+    out = {}
+    for name in ("protocol", "decay", "selective_decay"):
+        cfg = CMPConfig().with_total_l2_mb(4).with_technique(
+            TechniqueConfig(
+                name=name,
+                decay_cycles=max(64, int(512_000 * scale))))
+        res = simulate(cfg, wl, warmup_fraction=0.17)
+        out[name] = res.occupancy
+    return out
+
+
+class TestScaleInvariance:
+    def test_occupancy_shapes_stable_across_scales(self):
+        small = occupancies(0.04)
+        large = occupancies(0.08)
+        # orderings preserved
+        assert small["decay"] < small["selective_decay"] < small["protocol"]
+        assert large["decay"] < large["selective_decay"] < large["protocol"]
+        # decay/SD occupancies (window-driven) stay close across scales
+        assert small["decay"] == pytest.approx(large["decay"], abs=0.03)
+        assert small["selective_decay"] == pytest.approx(
+            large["selective_decay"], abs=0.07)
+
+    def test_ipc_loss_shape_stable(self):
+        losses = {}
+        for scale in (0.04, 0.08):
+            wl = get_workload("volrend", scale=scale)
+            base = simulate(CMPConfig().with_total_l2_mb(4), wl,
+                            warmup_fraction=0.17)
+            pair = []
+            for nominal in (64_000, 512_000):
+                cfg = CMPConfig().with_total_l2_mb(4).with_technique(
+                    TechniqueConfig(name="decay",
+                                    decay_cycles=max(64,
+                                                     int(nominal * scale))))
+                res = simulate(cfg, wl, warmup_fraction=0.17)
+                pair.append(1 - res.ipc / base.ipc)
+            losses[scale] = pair
+        # the decay-time sensitivity signature survives scaling:
+        # 64K hurts volrend visibly more than 512K at every scale
+        for scale, (short, long_) in losses.items():
+            assert short > long_ + 0.02, (scale, short, long_)

@@ -1,0 +1,123 @@
+"""End-to-end technique comparisons on the paper benchmarks (small scale).
+
+These are the repository's "does the reproduction reproduce?" tests: the
+qualitative claims of the paper's §VI, checked on fast scaled-down runs.
+"""
+
+import pytest
+
+from repro import CMPConfig, TechniqueConfig, simulate
+from repro.power.energy import EnergyModel, energy_reduction
+from repro.workloads.registry import get_workload
+
+SCALE = 0.04
+DECAY_LONG = int(512_000 * SCALE)
+DECAY_SHORT = int(64_000 * SCALE)
+
+
+@pytest.fixture(scope="module")
+def water_results():
+    """water_ns at 4MB across the four techniques (module-cached)."""
+    wl = get_workload("water_ns", scale=SCALE)
+    out = {}
+    for label, tech in [
+        ("baseline", TechniqueConfig(name="baseline")),
+        ("protocol", TechniqueConfig(name="protocol")),
+        ("decay", TechniqueConfig(name="decay", decay_cycles=DECAY_LONG)),
+        ("decay_short", TechniqueConfig(name="decay",
+                                        decay_cycles=DECAY_SHORT)),
+        ("sd", TechniqueConfig(name="selective_decay",
+                               decay_cycles=DECAY_LONG)),
+    ]:
+        cfg = CMPConfig().with_total_l2_mb(4).with_technique(tech)
+        res = simulate(cfg, wl, warmup_fraction=0.17)
+        out[label] = (res, EnergyModel(cfg).evaluate(res))
+    return out
+
+
+class TestPaperSection6Claims:
+    def test_occupancy_ordering(self, water_results):
+        r = {k: v[0].occupancy for k, v in water_results.items()}
+        assert r["baseline"] == pytest.approx(1.0)
+        assert r["decay"] < r["sd"] < r["protocol"] < 1.0
+
+    def test_protocol_zero_performance_loss(self, water_results):
+        base = water_results["baseline"][0]
+        prot = water_results["protocol"][0]
+        assert prot.ipc == pytest.approx(base.ipc, rel=1e-9)
+
+    def test_decay_hurts_ipc_sd_hurts_less(self, water_results):
+        base = water_results["baseline"][0].ipc
+        decay_loss = 1 - water_results["decay"][0].ipc / base
+        sd_loss = 1 - water_results["sd"][0].ipc / base
+        assert decay_loss > 0.01
+        assert sd_loss < decay_loss
+
+    def test_shorter_decay_hurts_more(self, water_results):
+        base = water_results["baseline"][0].ipc
+        long_loss = 1 - water_results["decay"][0].ipc / base
+        short_loss = 1 - water_results["decay_short"][0].ipc / base
+        assert short_loss > long_loss
+
+    def test_energy_savings_positive_and_ordered(self, water_results):
+        base_e = water_results["baseline"][1]
+        red = {k: energy_reduction(base_e, v[1])
+               for k, v in water_results.items() if k != "baseline"}
+        assert red["decay"] > red["protocol"] > 0
+        assert red["sd"] > 0
+
+    def test_decay_increases_memory_traffic(self, water_results):
+        base = water_results["baseline"][0].memory_bytes_per_cycle
+        dec = water_results["decay_short"][0].memory_bytes_per_cycle
+        assert dec > base
+
+    def test_protocol_does_not_increase_traffic(self, water_results):
+        base = water_results["baseline"][0].memory_bytes_per_cycle
+        prot = water_results["protocol"][0].memory_bytes_per_cycle
+        assert prot == pytest.approx(base, rel=1e-9)
+
+    def test_amat_ordering(self, water_results):
+        base = water_results["baseline"][0].amat
+        assert water_results["decay_short"][0].amat > base
+        assert water_results["protocol"][0].amat == pytest.approx(
+            base, rel=1e-9)
+
+
+class TestCacheSizeTrend:
+    def test_protocol_occupancy_decreases_with_size(self):
+        wl = get_workload("mpeg2dec", scale=SCALE)
+        occ = []
+        for mb in (1, 4):
+            cfg = CMPConfig().with_total_l2_mb(mb).with_technique(
+                TechniqueConfig(name="protocol"))
+            occ.append(simulate(cfg, wl, warmup_fraction=0.17).occupancy)
+        assert occ[1] < occ[0]
+
+    def test_energy_reduction_grows_with_size(self):
+        wl = get_workload("mpeg2dec", scale=SCALE)
+        reds = []
+        for mb in (1, 8):
+            base_cfg = CMPConfig().with_total_l2_mb(mb)
+            dec_cfg = base_cfg.with_technique(
+                TechniqueConfig(name="decay", decay_cycles=DECAY_LONG))
+            base = simulate(base_cfg, wl, warmup_fraction=0.17)
+            dec = simulate(dec_cfg, wl, warmup_fraction=0.17)
+            e_base = EnergyModel(base_cfg).evaluate(base)
+            e_dec = EnergyModel(dec_cfg).evaluate(dec)
+            reds.append(energy_reduction(e_base, e_dec))
+        assert reds[1] > reds[0]
+
+
+class TestHierarchicalCounters:
+    def test_quantized_decay_gates_no_later_than_nominal(self):
+        wl = get_workload("uniform", scale=SCALE)
+        from tests.conftest import tiny_config
+
+        ideal = simulate(
+            tiny_config("decay", decay_cycles=2048, counter_mode="ideal"),
+            wl)
+        quant = simulate(
+            tiny_config("decay", decay_cycles=2048,
+                        counter_mode="hierarchical"), wl)
+        # quantized intervals are in (0.75, 1.0] x nominal -> occupancy <=
+        assert quant.occupancy <= ideal.occupancy + 0.01

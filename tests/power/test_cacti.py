@@ -1,0 +1,65 @@
+"""CACTI-like model: scaling behaviour with size and associativity."""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.power.cacti import CacheEnergyModel, l1_model, l2_model
+
+
+class TestScaling:
+    def test_energy_grows_with_size(self):
+        sizes = [256, 512, 1024, 2048]
+        energies = [l2_model(kb * 1024).read_energy for kb in sizes]
+        assert all(a < b for a, b in zip(energies, energies[1:]))
+
+    def test_energy_sublinear_in_size(self):
+        # Doubling capacity must not double per-access energy (banking).
+        e1 = l2_model(512 * 1024).read_energy
+        e2 = l2_model(1024 * 1024).read_energy
+        assert e2 < 2 * e1
+
+    def test_energy_grows_with_assoc(self):
+        e4 = l2_model(1024 * 1024, assoc=4).read_energy
+        e16 = l2_model(1024 * 1024, assoc=16).read_energy
+        assert e16 > e4
+
+    def test_write_close_to_read(self):
+        m = l2_model(1024 * 1024)
+        assert 0.5 * m.read_energy < m.write_energy < 2.0 * m.read_energy
+
+    def test_l1_cheaper_than_l2(self):
+        assert l1_model().read_energy < l2_model(1024 * 1024).read_energy
+
+    def test_cell_count_includes_tags(self):
+        m = l2_model(1024 * 1024)
+        data_bits = 1024 * 1024 * 8
+        assert m.cell_count > data_bits
+
+    def test_area_scales_linearly(self):
+        a1 = l2_model(512 * 1024).area_mm2
+        a2 = l2_model(1024 * 1024).area_mm2
+        assert a2 == pytest.approx(2 * a1, rel=0.01)
+
+    def test_subarray_partitioning(self):
+        small = CacheEnergyModel.build(CacheGeometry(64 * 1024, 64, 8))
+        big = CacheEnergyModel.build(CacheGeometry(8 * 1024 * 1024, 64, 8))
+        assert small.subarrays == 1
+        assert big.subarrays > 1
+
+
+class TestAccessEnergy:
+    def test_mix(self):
+        m = l2_model(1024 * 1024)
+        e = m.access_energy(reads=10, writes=5)
+        assert e == pytest.approx(
+            10 * m.read_energy + 5 * m.write_energy)
+
+    def test_magnitude_reasonable(self):
+        # 1MB bank at 70nm: ~0.1-2 nJ per read
+        e = l2_model(1024 * 1024).read_energy
+        assert 0.05e-9 < e < 5e-9
+
+    def test_energy_per_kb_decreases(self):
+        small = l2_model(256 * 1024)
+        big = l2_model(2048 * 1024)
+        assert big.energy_per_kb() < small.energy_per_kb()

@@ -1,0 +1,64 @@
+"""Liao-style leakage model: temperature behaviour and gating."""
+
+import numpy as np
+import pytest
+
+from repro.power.leakage import (
+    LeakageModel,
+    activation_constant,
+    leakage_watts_per_mb,
+)
+
+
+class TestTemperatureBehaviour:
+    def test_monotone_in_temperature(self):
+        m = LeakageModel()
+        temps = [320, 340, 360, 380]
+        powers = [m.cell_power(t) for t in temps]
+        assert all(a < b for a, b in zip(powers, powers[1:]))
+
+    def test_reference_point(self):
+        m = LeakageModel()
+        assert m.cell_power(m.t_ref) == pytest.approx(m.p_cell_ref, rel=1e-9)
+
+    def test_doubling_interval_realistic(self):
+        # 70nm subthreshold leakage doubles roughly every 20-30 K.
+        d = LeakageModel().doubling_interval()
+        assert 15 < d < 40
+
+    def test_scale_vectorized(self):
+        m = LeakageModel()
+        arr = m.scale(np.array([340.0, 353.0, 370.0]))
+        assert arr.shape == (3,)
+        assert arr[1] == pytest.approx(1.0)
+
+    def test_gate_fraction_temperature_independent(self):
+        m = LeakageModel(gate_fraction=1.0)  # pure gate leakage
+        assert m.cell_power(320) == pytest.approx(m.cell_power(390))
+
+    def test_activation_constant(self):
+        assert activation_constant(0.33, 1.5) == pytest.approx(2553, rel=0.01)
+
+
+class TestGating:
+    def test_gated_cell_nearly_zero(self):
+        m = LeakageModel()
+        assert m.gated_cell_power(360) < 0.05 * m.cell_power(360)
+
+    def test_area_overhead_charged_on_powered(self):
+        m = LeakageModel()
+        with_gv = m.array_power(1000, 0, 360, gated_vdd_present=True)
+        without = m.array_power(1000, 0, 360, gated_vdd_present=False)
+        assert with_gv == pytest.approx(without * 1.05)
+
+    def test_gating_saves(self):
+        m = LeakageModel()
+        all_on = m.array_power(1000, 0, 360)
+        half = m.array_power(500, 500, 360)
+        assert half < 0.6 * all_on
+
+    def test_watts_per_mb_order_of_magnitude(self):
+        # Calibrated to the paper's implied shares: W-per-MB at 80C should
+        # be in the single-digit range (see power/calibration.py).
+        w = leakage_watts_per_mb(LeakageModel(), 353.0)
+        assert 1.0 < w < 15.0

@@ -1,0 +1,85 @@
+"""Property-based tests: cache array vs. a reference model, LRU oracle."""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.array import CacheArray
+from repro.cache.geometry import CacheGeometry
+
+LINE = 64
+SETS = 4
+ASSOC = 2
+
+
+class ReferenceCache:
+    """Trivially correct set-associative LRU cache."""
+
+    def __init__(self, sets, assoc):
+        self.sets = [OrderedDict() for _ in range(sets)]
+        self.assoc = assoc
+        self.n_sets = sets
+
+    def access(self, line_addr):
+        s = self.sets[line_addr % self.n_sets]
+        if line_addr in s:
+            s.move_to_end(line_addr)
+            return True  # hit
+        if len(s) >= self.assoc:
+            s.popitem(last=False)
+        s[line_addr] = True
+        return False
+
+
+addresses = st.lists(st.integers(min_value=0, max_value=31),
+                     min_size=1, max_size=300)
+
+
+class TestAgainstReference:
+    @given(addresses)
+    @settings(max_examples=60, deadline=None)
+    def test_hit_miss_sequence_matches_lru_reference(self, seq):
+        geom = CacheGeometry(SETS * ASSOC * LINE, LINE, ASSOC)
+        dut = CacheArray(geom, "lru")
+        ref = ReferenceCache(SETS, ASSOC)
+        for la in seq:
+            ref_hit = ref.access(la)
+            frame = dut.lookup(la)
+            dut_hit = frame >= 0
+            if not dut_hit:
+                victim = dut.choose_victim(la)
+                dut.install(la, victim, 1)
+            assert dut_hit == ref_hit, f"divergence at line {la}"
+
+    @given(addresses)
+    @settings(max_examples=60, deadline=None)
+    def test_integrity_always_holds(self, seq):
+        geom = CacheGeometry(SETS * ASSOC * LINE, LINE, ASSOC)
+        dut = CacheArray(geom, "lru")
+        for la in seq:
+            if dut.lookup(la) < 0:
+                dut.install(la, dut.choose_victim(la), 1)
+        dut.check_integrity()
+
+    @given(addresses)
+    @settings(max_examples=60, deadline=None)
+    def test_resident_count_bounded_by_capacity(self, seq):
+        geom = CacheGeometry(SETS * ASSOC * LINE, LINE, ASSOC)
+        dut = CacheArray(geom, "lru")
+        for la in seq:
+            if dut.lookup(la) < 0:
+                dut.install(la, dut.choose_victim(la), 1)
+        assert sum(1 for _ in dut.resident_lines()) <= geom.n_lines
+
+    @given(addresses, st.sampled_from(["lru", "tree-plru", "random"]))
+    @settings(max_examples=40, deadline=None)
+    def test_any_policy_keeps_most_recent_line(self, seq, policy):
+        """The line just accessed must always be resident."""
+        geom = CacheGeometry(SETS * ASSOC * LINE, LINE, ASSOC)
+        dut = CacheArray(geom, policy)
+        for la in seq:
+            if dut.lookup(la) < 0:
+                victim = dut.choose_victim(la)
+                dut.install(la, victim, 1)
+            assert dut.probe(la) >= 0

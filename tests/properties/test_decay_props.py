@@ -1,0 +1,97 @@
+"""Property-based decay tests: timer bounds, occupancy monotonicity."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.counters import DecayTimer
+from repro.core.occupancy import OccupancyTracker
+from repro.sim.config import COUNTER_HIERARCHICAL, COUNTER_IDEAL
+from tests.conftest import make_system, tiny_config
+
+
+class TestTimerProperties:
+    @given(st.integers(16, 10**7), st.integers(0, 10**9),
+           st.integers(1, 4))
+    @settings(max_examples=200, deadline=None)
+    def test_hierarchical_deadline_bounds(self, decay, last, bits):
+        t = DecayTimer(decay, COUNTER_HIERARCHICAL, bits=bits)
+        dl = t.deadline(last)
+        interval = dl - last
+        lo, hi = t.interval_bounds()
+        assert lo <= interval <= hi
+        assert interval <= decay
+
+    @given(st.integers(1, 10**7), st.integers(0, 10**9))
+    @settings(max_examples=100, deadline=None)
+    def test_ideal_deadline_exact(self, decay, last):
+        assert DecayTimer(decay, COUNTER_IDEAL).deadline(last) == last + decay
+
+    @given(st.integers(16, 10**6), st.lists(st.integers(0, 10**6),
+                                            min_size=2, max_size=20))
+    @settings(max_examples=100, deadline=None)
+    def test_deadline_monotone_in_touch_time(self, decay, touches):
+        t = DecayTimer(decay, COUNTER_HIERARCHICAL)
+        touches.sort()
+        deadlines = [t.deadline(x) for x in touches]
+        assert all(a <= b for a, b in zip(deadlines, deadlines[1:]))
+
+
+events_strategy = st.lists(
+    st.tuples(st.integers(1, 50), st.booleans()), min_size=0, max_size=80)
+
+
+class TestOccupancyProperties:
+    @given(events_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_integral_bounded(self, deltas):
+        n = 8
+        tr = OccupancyTracker(n, start_powered=False)
+        t = 0
+        for dt, wake in deltas:
+            t += dt
+            if wake and tr.on_lines < n:
+                tr.wake(t)
+            elif not wake and tr.on_lines > 0:
+                tr.gate(t)
+        total = tr.finalize(t + 10)
+        assert 0 <= total <= n * (t + 10)
+
+    @given(events_strategy, st.integers(2, 30))
+    @settings(max_examples=60, deadline=None)
+    def test_bucket_sum_equals_integral(self, deltas, interval):
+        n = 8
+        tr = OccupancyTracker(n, start_powered=False,
+                              sample_interval=interval)
+        t = 0
+        for dt, wake in deltas:
+            t += dt
+            if wake and tr.on_lines < n:
+                tr.wake(t)
+            elif not wake and tr.on_lines > 0:
+                tr.gate(t)
+        total = tr.finalize(t + 5)
+        assert sum(tr.bucket_integrals()) == total
+
+
+class TestDecayMonotonicity:
+    """Longer decay time => more powered line-cycles (same traffic)."""
+
+    @given(st.lists(st.tuples(st.integers(0, 3), st.integers(0, 15),
+                              st.booleans()),
+                    min_size=5, max_size=120))
+    @settings(max_examples=25, deadline=None)
+    def test_occupancy_monotone_in_decay_time(self, ops):
+        on_cycles = []
+        for decay in (400, 1600, 6400):
+            sys = make_system(tiny_config("decay", decay_cycles=decay))
+            t = 0
+            for cid, line, wr in ops:
+                sys.process_decay_until(t)
+                sys.l2s[cid].access(line, t, wr)
+                t += 50
+            end = t + 10_000
+            sys.process_decay_until(end)
+            sys.finalize(end)
+            on_cycles.append(
+                sum(l2.stats.on_line_cycles for l2 in sys.l2s))
+        assert on_cycles[0] <= on_cycles[1] <= on_cycles[2]

@@ -1,0 +1,66 @@
+"""Property-based workload tests: streams stay well-formed for any
+benchmark, seed and supported scale."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.registry import PAPER_BENCHMARKS, get_workload
+from repro.workloads.trace import is_barrier, is_write
+
+benchmark_names = st.sampled_from(PAPER_BENCHMARKS)
+seeds = st.integers(1, 10_000)
+scales = st.floats(0.04, 0.2)
+
+
+class TestStreamWellFormedness:
+    @given(benchmark_names, seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_records_well_formed(self, name, seed):
+        wl = get_workload(name, scale=0.04, seed=seed)
+        stream = wl.streams(4)[0]
+        for _, rec in zip(range(3000), stream):
+            gap, addr, flags = rec
+            assert gap >= 0
+            assert addr >= 0
+            assert 0 <= flags <= 0xF
+
+    @given(benchmark_names, seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_replay_determinism(self, name, seed):
+        wl = get_workload(name, scale=0.04, seed=seed)
+        a = [r for _, r in zip(range(1500), wl.streams(4)[2])]
+        b = [r for _, r in zip(range(1500), wl.streams(4)[2])]
+        assert a == b
+
+    @given(benchmark_names)
+    @settings(max_examples=8, deadline=None)
+    def test_write_fraction_sane(self, name):
+        wl = get_workload(name, scale=0.04)
+        stream = wl.streams(4)[0]
+        writes = total = 0
+        for _, (_, _, flags) in zip(range(5000), stream):
+            if is_barrier(flags):
+                continue
+            total += 1
+            writes += is_write(flags)
+        # every benchmark mixes loads and stores, stores are the minority
+        assert 0.03 < writes / total < 0.6
+
+    @given(benchmark_names, seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_all_cores_emit_expected_count(self, name, seed):
+        wl = get_workload(name, scale=0.04, seed=seed)
+        expected = wl.meta.accesses_per_core
+        for stream in wl.streams(4):
+            n = sum(1 for _, _, f in stream if not is_barrier(f))
+            # per-phase integer division may drop a handful of records
+            assert expected * 0.97 <= n <= expected
+
+    @given(benchmark_names)
+    @settings(max_examples=8, deadline=None)
+    def test_barrier_counts_match_across_cores(self, name):
+        wl = get_workload(name, scale=0.04)
+        counts = []
+        for stream in wl.streams(4):
+            counts.append(sum(1 for _, _, f in stream if is_barrier(f)))
+        assert len(set(counts)) == 1  # else the simulator would deadlock

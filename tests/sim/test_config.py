@@ -1,0 +1,105 @@
+"""Configuration dataclasses and the paper's technique matrix."""
+
+import pytest
+
+from repro.sim.config import (
+    BASELINE,
+    DECAY,
+    PAPER_DECAY_CYCLES,
+    PAPER_TOTAL_L2_MB,
+    PROTOCOL,
+    SELECTIVE_DECAY,
+    CMPConfig,
+    CoreConfig,
+    L1Config,
+    L2Config,
+    TechniqueConfig,
+    paper_technique_order,
+    paper_techniques,
+)
+
+
+class TestTechniqueConfig:
+    def test_labels(self):
+        assert TechniqueConfig(name=BASELINE).label() == "baseline"
+        assert TechniqueConfig(name=PROTOCOL).label() == "protocol"
+        assert TechniqueConfig(name=DECAY, decay_cycles=64_000).label() == \
+            "decay64K"
+        assert TechniqueConfig(
+            name=SELECTIVE_DECAY, decay_cycles=512_000).label() == \
+            "sel_decay512K"
+
+    def test_flags(self):
+        assert not TechniqueConfig(name=BASELINE).gates_lines
+        assert TechniqueConfig(name=PROTOCOL).gates_lines
+        assert not TechniqueConfig(name=PROTOCOL).is_decay_based
+        assert TechniqueConfig(name=DECAY).is_decay_based
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TechniqueConfig(name="drowsy")
+        with pytest.raises(ValueError):
+            TechniqueConfig(name=DECAY, decay_cycles=0)
+        with pytest.raises(ValueError):
+            TechniqueConfig(counter_mode="fuzzy")
+        with pytest.raises(ValueError):
+            TechniqueConfig(counter_bits=0)
+
+
+class TestCMPConfig:
+    def test_total_l2(self):
+        cfg = CMPConfig().with_total_l2_mb(4)
+        assert cfg.total_l2_bytes == 4 * 1024 * 1024
+        assert cfg.l2.size_bytes == 1024 * 1024  # per core
+
+    def test_with_technique_is_pure(self):
+        a = CMPConfig()
+        b = a.with_technique(TechniqueConfig(name=PROTOCOL))
+        assert a.technique.name == BASELINE
+        assert b.technique.name == PROTOCOL
+
+    def test_key_distinguishes_configs(self):
+        a = CMPConfig().with_total_l2_mb(4)
+        b = CMPConfig().with_total_l2_mb(8)
+        c = a.with_technique(TechniqueConfig(name=PROTOCOL))
+        assert len({a.key(), b.key(), c.key()}) == 3
+
+    def test_line_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            CMPConfig(l1=L1Config(line_bytes=32), l2=L2Config(line_bytes=64))
+
+    def test_core_count_validation(self):
+        with pytest.raises(ValueError):
+            CMPConfig(n_cores=0)
+
+
+class TestPaperMatrix:
+    def test_sizes(self):
+        assert PAPER_TOTAL_L2_MB == (1, 2, 4, 8)
+
+    def test_decay_times(self):
+        assert PAPER_DECAY_CYCLES == (512_000, 128_000, 64_000)
+
+    def test_seven_techniques(self):
+        techs = paper_techniques()
+        assert len(techs) == 7
+        assert set(paper_technique_order()) == set(techs)
+
+    def test_scaling_decay_times(self):
+        techs = paper_techniques(scale=0.1)
+        assert techs["decay64K"].decay_cycles == 6400
+        assert techs["decay64K"].label() == "decay6K"  # scaled label
+        assert techs["sel_decay512K"].decay_cycles == 51_200
+
+    def test_order_matches_figures(self):
+        order = paper_technique_order()
+        assert order[0] == "protocol"
+        assert order[1:4] == ("decay512K", "decay128K", "decay64K")
+
+
+class TestCoreConfig:
+    def test_overlap_lookup(self):
+        c = CoreConfig()
+        assert c.overlap_for(0) == c.overlap_dependent
+        assert c.overlap_for(1) == c.overlap_moderate
+        assert c.overlap_for(2) == c.overlap_streaming

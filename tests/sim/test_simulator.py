@@ -1,0 +1,125 @@
+"""End-to-end simulator runs on small synthetic workloads."""
+
+import pytest
+
+from repro import CMPConfig, TechniqueConfig, simulate
+from repro.sim.stats import SimResult
+from repro.workloads.registry import get_workload
+from tests.conftest import tiny_config
+
+SCALE = 0.04
+
+
+@pytest.fixture(scope="module")
+def uniform_wl():
+    return get_workload("uniform", scale=SCALE)
+
+
+class TestBasicRun:
+    def test_completes_and_counts(self, uniform_wl):
+        res = simulate(tiny_config(), uniform_wl)
+        expected = uniform_wl.meta.accesses_per_core
+        for core in res.cores:
+            assert core.loads + core.stores == expected
+        assert res.total_cycles > 0
+        assert res.ipc > 0
+
+    def test_baseline_occupancy_is_one(self, uniform_wl):
+        res = simulate(tiny_config("baseline"), uniform_wl)
+        assert res.occupancy == pytest.approx(1.0)
+
+    def test_deterministic(self, uniform_wl):
+        a = simulate(tiny_config(), uniform_wl)
+        b = simulate(tiny_config(), uniform_wl)
+        assert a.total_cycles == b.total_cycles
+        assert a.l2_miss_rate == b.l2_miss_rate
+        assert a.ipc == b.ipc
+
+    def test_serialization_roundtrip(self, uniform_wl):
+        res = simulate(tiny_config(), uniform_wl)
+        again = SimResult.from_dict(res.to_dict())
+        assert again.total_cycles == res.total_cycles
+        assert again.occupancy == res.occupancy
+        assert again.ipc == res.ipc
+
+    def test_summary_renders(self, uniform_wl):
+        res = simulate(tiny_config(), uniform_wl)
+        s = res.summary()
+        assert "IPC" in s and "occupancy" in s
+
+
+class TestBarrierWorkloads:
+    def test_phased_workload_completes(self):
+        wl = get_workload("water_ns", scale=SCALE)
+        res = simulate(tiny_config(), wl)
+        assert all(c.barriers >= 8 for c in res.cores)
+        # all cores end within one barrier release of each other
+        cycles = [c.cycles for c in res.cores]
+        assert max(cycles) > 0
+
+
+class TestWarmup:
+    def test_warmup_reduces_counted_work(self, uniform_wl):
+        full = simulate(tiny_config(), uniform_wl)
+        warm = simulate(tiny_config(), uniform_wl, warmup_fraction=0.5)
+        assert warm.total_instructions < full.total_instructions
+        assert warm.total_cycles < full.total_cycles
+
+    def test_warmup_validation(self, uniform_wl):
+        with pytest.raises(ValueError):
+            simulate(tiny_config(), uniform_wl, warmup_fraction=1.5)
+
+    def test_event_budget_guard(self, uniform_wl):
+        with pytest.raises(RuntimeError):
+            simulate(tiny_config(), uniform_wl, max_events=10)
+
+
+class TestTechniqueInvariants:
+    """Cross-technique orderings that must hold on any workload."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        wl = get_workload("uniform", scale=SCALE)
+        out = {}
+        for tech, kw in [
+            ("baseline", {}),
+            ("protocol", {}),
+            ("decay", {"decay_cycles": 3000}),
+            ("selective_decay", {"decay_cycles": 3000}),
+        ]:
+            out[tech] = simulate(
+                tiny_config(tech, l2_kb=64, **kw), wl)
+        return out
+
+    def test_occupancy_ordering(self, results):
+        assert results["baseline"].occupancy == pytest.approx(1.0)
+        assert results["protocol"].occupancy <= 1.0
+        assert results["decay"].occupancy <= results["selective_decay"].occupancy
+        assert results["selective_decay"].occupancy <= \
+            results["protocol"].occupancy + 1e-9
+
+    def test_protocol_matches_baseline_performance(self, results):
+        # "This technique does not incur in any performance loss."
+        assert results["protocol"].ipc == pytest.approx(
+            results["baseline"].ipc, rel=1e-6)
+        assert results["protocol"].l2_miss_rate == pytest.approx(
+            results["baseline"].l2_miss_rate, rel=1e-6)
+
+    def test_decay_misses_at_least_baseline(self, results):
+        assert results["decay"].l2_miss_rate >= \
+            results["baseline"].l2_miss_rate - 1e-9
+
+    def test_decay_not_faster(self, results):
+        assert results["decay"].ipc <= results["baseline"].ipc + 1e-9
+
+    def test_sampling_collects(self):
+        wl = get_workload("uniform", scale=SCALE)
+        cfg = tiny_config()
+        cfg = CMPConfig(
+            n_cores=cfg.n_cores, core=cfg.core, l1=cfg.l1, l2=cfg.l2,
+            memory=cfg.memory, technique=cfg.technique,
+            sample_interval=5_000)
+        res = simulate(cfg, wl)
+        assert len(res.samples) > 0
+        total_instr = sum(sum(s.core_instructions) for s in res.samples)
+        assert total_instr == res.total_instructions

@@ -1,0 +1,94 @@
+"""SimResult aggregation: the paper-metric properties on synthetic stats."""
+
+import pytest
+
+from repro.sim.stats import (
+    CoreStats,
+    L1Stats,
+    L2Stats,
+    MemoryStats,
+    SimResult,
+)
+
+
+def make_result(**overrides):
+    res = SimResult(config_key="k", workload_name="w", total_cycles=1000,
+                    n_lines_per_l2=100)
+    res.l2 = [L2Stats(), L2Stats()]
+    res.l1 = [L1Stats(), L1Stats()]
+    res.cores = [CoreStats(), CoreStats()]
+    res.memory = MemoryStats()
+    for k, v in overrides.items():
+        setattr(res, k, v)
+    return res
+
+
+class TestOccupancyDefinition:
+    def test_paper_formula(self):
+        res = make_result()
+        res.l2[0].on_line_cycles = 50_000   # half of 100 lines x 1000 cyc
+        res.l2[1].on_line_cycles = 100_000  # fully on
+        assert res.occupancy == pytest.approx(0.75)
+
+    def test_zero_guards(self):
+        res = make_result(total_cycles=0)
+        assert res.occupancy == 0.0
+        assert SimResult("k", "w").occupancy == 0.0
+
+
+class TestMissRate:
+    def test_aggregate_over_caches(self):
+        res = make_result()
+        res.l2[0].reads, res.l2[0].read_misses = 80, 8
+        res.l2[1].writes, res.l2[1].write_misses = 20, 2
+        assert res.l2_miss_rate == pytest.approx(0.10)
+
+    def test_no_accesses(self):
+        assert make_result().l2_miss_rate == 0.0
+
+
+class TestL2StatsDerived:
+    def test_gated_total(self):
+        s = L2Stats(gated_protocol=3, gated_decay_clean=4,
+                    gated_decay_dirty=5)
+        assert s.gated_total == 12
+
+    def test_accesses(self):
+        s = L2Stats(reads=7, writes=5)
+        assert s.accesses == 12
+        assert s.misses == 0
+
+
+class TestL1StatsDerived:
+    def test_amat(self):
+        s = L1Stats(loads=10, load_latency_sum=50)
+        assert s.amat == 5.0
+
+    def test_load_miss_rate(self):
+        s = L1Stats(loads=10, load_misses=2)
+        assert s.load_miss_rate == pytest.approx(0.2)
+
+
+class TestSystemMetrics:
+    def test_ipc(self):
+        res = make_result()
+        res.cores[0].instructions = 1500
+        res.cores[1].instructions = 500
+        assert res.ipc == pytest.approx(2.0)
+
+    def test_amat_weighted_by_loads(self):
+        res = make_result()
+        res.l1[0].loads, res.l1[0].load_latency_sum = 10, 100
+        res.l1[1].loads, res.l1[1].load_latency_sum = 30, 60
+        assert res.amat == pytest.approx(160 / 40)
+
+    def test_memory_bytes_per_cycle(self):
+        res = make_result()
+        res.memory.bytes_read = 600
+        res.memory.bytes_written = 400
+        assert res.memory_bytes_per_cycle == pytest.approx(1.0)
+
+    def test_core_stats_ipc(self):
+        c = CoreStats(instructions=100, cycles=50)
+        assert c.ipc == 2.0
+        assert CoreStats().ipc == 0.0

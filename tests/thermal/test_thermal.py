@@ -1,0 +1,101 @@
+"""Floorplan geometry and the RC thermal network."""
+
+import pytest
+
+from repro.thermal.floorplan import Block, cmp_floorplan
+from repro.thermal.rc_model import ThermalParams, ThermalRCModel
+
+
+class TestFloorplan:
+    def test_four_core_layout(self):
+        fp = cmp_floorplan(4, l2_bank_area_mm2=8.0)
+        names = fp.names()
+        assert {f"core{i}" for i in range(4)} <= set(names)
+        assert {f"l2_{i}" for i in range(4)} <= set(names)
+        assert "bus" in names
+
+    def test_l2_adjacent_to_its_core(self):
+        fp = cmp_floorplan(4, 8.0)
+        for i in range(4):
+            assert fp.graph.has_edge(f"core{i}", f"l2_{i}")
+
+    def test_l2_adjacent_to_bus(self):
+        fp = cmp_floorplan(4, 8.0)
+        for i in range(4):
+            assert fp.graph.has_edge(f"l2_{i}", "bus")
+
+    def test_cores_not_adjacent_to_bus(self):
+        fp = cmp_floorplan(4, 8.0)
+        for i in range(4):
+            assert not fp.graph.has_edge(f"core{i}", "bus")
+
+    def test_area_preserved(self):
+        fp = cmp_floorplan(4, 8.0)
+        for i in range(4):
+            assert fp.block(f"l2_{i}").area == pytest.approx(8.0, rel=0.01)
+
+    def test_die_grows_with_cache(self):
+        small = cmp_floorplan(4, 4.0).die_area
+        big = cmp_floorplan(4, 16.0).die_area
+        assert big > small
+
+    def test_shared_edge_detection(self):
+        a = Block("a", 0, 0, 2, 2)
+        b = Block("b", 2, 0, 2, 2)
+        c = Block("c", 10, 10, 1, 1)
+        assert a.shared_edge(b) == pytest.approx(2.0)
+        assert a.shared_edge(c) == 0.0
+
+
+class TestRCModel:
+    @pytest.fixture
+    def model(self):
+        return ThermalRCModel(cmp_floorplan(4, 8.0))
+
+    def test_zero_power_is_ambient(self, model):
+        t = model.steady_state({})
+        for v in t.values():
+            assert v == pytest.approx(model.params.t_ambient)
+
+    def test_heating_raises_hot_block_most(self, model):
+        t = model.steady_state({"core0": 10.0})
+        assert t["core0"] == max(t.values())
+        assert t["core0"] > model.params.t_ambient + 5
+
+    def test_neighbour_warmer_than_far_block(self, model):
+        t = model.steady_state({"core0": 10.0})
+        assert t["l2_0"] > t["core3"]
+
+    def test_superposition(self, model):
+        # The network is linear: T(P1+P2) = T(P1) + T(P2) - T(0).
+        t1 = model.steady_state({"core0": 5.0})
+        t2 = model.steady_state({"l2_1": 7.0})
+        t12 = model.steady_state({"core0": 5.0, "l2_1": 7.0})
+        amb = model.params.t_ambient
+        for nm in model.names:
+            assert t12[nm] == pytest.approx(t1[nm] + t2[nm] - amb, abs=1e-6)
+
+    def test_transient_converges_to_steady_state(self, model):
+        powers = {"core0": 8.0, "l2_0": 4.0}
+        steady = model.steady_state(powers)
+        trace = model.transient([powers] * 3000, dt_seconds=1e-2)
+        final = trace[-1]
+        for nm in model.names:
+            assert final[nm] == pytest.approx(steady[nm], abs=0.5)
+
+    def test_transient_monotone_warmup(self, model):
+        trace = model.transient([{"core0": 10.0}] * 50, dt_seconds=1e-4)
+        temps = [s["core0"] for s in trace]
+        assert all(a <= b + 1e-9 for a, b in zip(temps, temps[1:]))
+
+    def test_unknown_block_rejected(self, model):
+        with pytest.raises(KeyError):
+            model.steady_state({"gpu": 5.0})
+
+    def test_negative_power_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.steady_state({"core0": -1.0})
+
+    def test_thermal_resistance_positive(self, model):
+        r = model.thermal_resistance("core0")
+        assert r > 0

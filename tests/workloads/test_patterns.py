@@ -1,0 +1,187 @@
+"""Pattern components: coverage, reuse positions, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.address_space import AddressSpace
+from repro.workloads.patterns import (
+    ColdStream,
+    HotSet,
+    LaggedRevisit,
+    MigratoryChunk,
+    PointerChase,
+    ProducerConsumer,
+    SharedSweep,
+    TrailingRevisit,
+    WriteFracOverride,
+)
+
+LINE = 64
+
+
+@pytest.fixture
+def region():
+    return AddressSpace().alloc("r", 256 * LINE)
+
+
+def emit_n(comp, n, history=None):
+    history = history if history is not None else []
+    out = []
+    for _ in range(n):
+        rec = comp.emit(history)
+        history.append(rec[0])
+        out.append(rec)
+    return out
+
+
+class TestColdStream:
+    def test_sequential_coverage(self, region):
+        c = ColdStream(region, LINE, seed=1)
+        addrs = [r[0] for r in emit_n(c, 256)]
+        assert addrs == [region.base + i * LINE for i in range(256)]
+        assert c.wrapped == 1  # wrapped counts completed passes
+
+    def test_wraps(self, region):
+        c = ColdStream(region, LINE, seed=1)
+        emit_n(c, 300)
+        assert c.wrapped == 1
+        assert c.pos == 300 - 256
+        emit_n(c, 256)
+        assert c.wrapped == 2
+
+    def test_write_fraction_respected(self, region):
+        c = ColdStream(region, LINE, seed=1, write_frac=0.5)
+        writes = sum(1 for r in emit_n(c, 2000) if r[1])
+        assert 800 < writes < 1200
+
+    def test_stride(self, region):
+        c = ColdStream(region, LINE, seed=1, stride_lines=2)
+        addrs = [r[0] for r in emit_n(c, 3)]
+        assert addrs == [region.base, region.base + 2 * LINE,
+                         region.base + 4 * LINE]
+
+
+class TestHotSet:
+    def test_stays_inside_hot_lines(self, region):
+        h = HotSet(region, LINE, seed=1, hot_lines=8)
+        for addr, _, _ in emit_n(h, 500):
+            assert (addr - region.base) // LINE < 8
+
+    def test_uniform_covers_all(self, region):
+        h = HotSet(region, LINE, seed=1, hot_lines=8)
+        seen = {(a - region.base) // LINE for a, _, _ in emit_n(h, 500)}
+        assert seen == set(range(8))
+
+    def test_zipf_skew(self, region):
+        h = HotSet(region, LINE, seed=1, hot_lines=32, zipf_alpha=1.5)
+        from collections import Counter
+
+        counts = Counter((a - region.base) // LINE
+                         for a, _, _ in emit_n(h, 5000))
+        assert counts[0] > counts.get(31, 0) * 3
+
+    def test_deterministic(self, region):
+        a = emit_n(HotSet(region, LINE, seed=9, hot_lines=8), 100)
+        b = emit_n(HotSet(region, LINE, seed=9, hot_lines=8), 100)
+        assert a == b
+
+    def test_validation(self, region):
+        with pytest.raises(ValueError):
+            HotSet(region, LINE, 1, hot_lines=0)
+
+
+class TestTrailingRevisit:
+    def test_revisits_at_lag(self, region):
+        cold = ColdStream(region, LINE, seed=1)
+        tr = TrailingRevisit(cold, seed=2, lag_cold_steps=10, jitter_frac=0.0)
+        emit_n(cold, 50)
+        addr, _, _ = tr.emit([])
+        assert (addr - region.base) // LINE == 50 - 10
+
+    def test_fallback_before_coverage(self, region):
+        cold = ColdStream(region, LINE, seed=1)
+        hot = HotSet(region, LINE, seed=3, hot_lines=4)
+        tr = TrailingRevisit(cold, seed=2, lag_cold_steps=100,
+                             fallback=hot)
+        emit_n(cold, 5)  # not enough coverage for lag 100
+        addr, _, _ = tr.emit([])
+        assert (addr - region.base) // LINE < 4  # fell back to hot
+
+    def test_jitter_bounded(self, region):
+        cold = ColdStream(region, LINE, seed=1)
+        tr = TrailingRevisit(cold, seed=2, lag_cold_steps=20,
+                             jitter_frac=0.2)
+        emit_n(cold, 200)
+        for _ in range(100):
+            addr, _, _ = tr.emit([])
+            lag = 200 - (addr - region.base) // LINE
+            assert 16 <= lag <= 24
+
+    def test_validation(self, region):
+        cold = ColdStream(region, LINE, seed=1)
+        with pytest.raises(ValueError):
+            TrailingRevisit(cold, 1, lag_cold_steps=0)
+
+
+class TestLaggedRevisit:
+    def test_reads_history_at_lag(self):
+        lr = LaggedRevisit(LINE, seed=1, lag_accesses=5, jitter_frac=0.0)
+        history = [100 * i for i in range(20)]
+        addr, _, _ = lr.emit(history)
+        assert addr == history[15]
+
+    def test_fallback_on_short_history(self):
+        region = AddressSpace().alloc("f", 16 * LINE)
+        hot = HotSet(region, LINE, seed=1, hot_lines=2)
+        lr = LaggedRevisit(LINE, seed=1, lag_accesses=100, fallback=hot)
+        addr, _, _ = lr.emit([1, 2, 3])
+        assert region.contains(addr)
+
+
+class TestPointerChase:
+    def test_full_cycle_permutation(self, region):
+        pc = PointerChase(region, LINE, seed=1, n_nodes=32)
+        addrs = [pc.emit([])[0] for _ in range(32)]
+        assert len(set(addrs)) == 32  # visits every node once per cycle
+        again = [pc.emit([])[0] for _ in range(32)]
+        assert addrs == again  # same cycle order
+
+    def test_dependent_ilp(self, region):
+        from repro.workloads.trace import ILP_DEPENDENT
+
+        pc = PointerChase(region, LINE, seed=1, n_nodes=8)
+        assert pc.emit([])[2] == ILP_DEPENDENT
+
+
+class TestMigratoryAndProdCons:
+    def test_rmw_pairs_same_line(self, region):
+        m = MigratoryChunk(region, LINE, seed=1, rmw=True)
+        a1, w1, _ = m.emit([])
+        a2, w2, _ = m.emit([])
+        assert a1 == a2
+        assert (w1, w2) == (False, True)
+
+    def test_producer_writes_consumer_reads(self, region):
+        p = ProducerConsumer(region, LINE, seed=1, producing=True)
+        c = ProducerConsumer(region, LINE, seed=1, producing=False)
+        assert all(w for _, w, _ in emit_n(p, 50))
+        assert not any(w for _, w, _ in emit_n(c, 50))
+
+
+class TestSharedSweepAndOverride:
+    def test_staggered_start(self, region):
+        s0 = SharedSweep(region, LINE, seed=1, start_frac=0.0)
+        s1 = SharedSweep(region, LINE, seed=1, start_frac=0.5)
+        a0 = s0.emit([])[0]
+        a1 = s1.emit([])[0]
+        assert a1 - a0 == 128 * LINE
+
+    def test_write_frac_override_keeps_position(self, region):
+        cold = ColdStream(region, LINE, seed=1, write_frac=0.0)
+        ov = WriteFracOverride(cold, write_frac=1.0, seed=2)
+        assert all(w for _, w, _ in emit_n(ov, 20))
+        # position advanced through the wrapper
+        assert cold.pos == 20
+        addr, w, _ = cold.emit([])
+        assert (addr - region.base) // LINE == 20
+        assert not w  # original write_frac back in effect

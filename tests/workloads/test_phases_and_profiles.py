@@ -1,0 +1,167 @@
+"""Phase mixtures, barriers, benchmark profiles, registry."""
+
+import pytest
+
+from repro.workloads.address_space import AddressSpace
+from repro.workloads.patterns import ColdStream, HotSet
+from repro.workloads.phases import (
+    PhaseSpec,
+    estimate_cycles_per_access,
+    lag_accesses,
+    phase_stream,
+)
+from repro.workloads.profiles import build_profile_workload
+from repro.workloads.registry import (
+    MULTIMEDIA,
+    PAPER_BENCHMARKS,
+    SCIENTIFIC,
+    get_workload,
+    list_workloads,
+    register_workload,
+)
+from repro.workloads.splash2 import FMM, VOLREND, WATER_NS
+from repro.workloads.alpbench import FACEREC, MPEG2DEC, MPEG2ENC
+from repro.workloads.trace import (
+    is_barrier,
+    is_write,
+    validate_stream,
+)
+
+LINE = 64
+ALL_PROFILES = [WATER_NS, FMM, VOLREND, MPEG2ENC, MPEG2DEC, FACEREC]
+
+
+def components(region):
+    return [
+        HotSet(region, LINE, seed=1, hot_lines=4, write_frac=0.5),
+        ColdStream(region, LINE, seed=2),
+    ]
+
+
+class TestPhaseStream:
+    def test_record_count_and_barriers(self):
+        region = AddressSpace().alloc("r", 64 * LINE)
+        phases = [PhaseSpec(components(region), [0.5, 0.5], 100, 5.0)
+                  for _ in range(3)]
+        recs = list(phase_stream(phases, seed=1))
+        barriers = sum(1 for _, _, f in recs if is_barrier(f))
+        assert barriers == 2  # between phases only
+        assert len(recs) == 300 + 2
+
+    def test_mixture_weights_respected(self):
+        region = AddressSpace().alloc("r", 1024 * LINE)
+        comps = components(region)
+        phases = [PhaseSpec(comps, [0.9, 0.1], 5000, 5.0)]
+        recs = [r for r in phase_stream(phases, seed=1)]
+        hot_hits = sum(1 for a, _, _ in recs
+                       if (a - region.base) // LINE < 4)
+        assert hot_hits > 4000  # ~90%
+
+    def test_gap_mean(self):
+        region = AddressSpace().alloc("r", 64 * LINE)
+        phases = [PhaseSpec(components(region), [1, 1], 5000, 12.0)]
+        gaps = [g for g, _, _ in phase_stream(phases, seed=1)]
+        assert 10.5 < sum(gaps) / len(gaps) < 13.5
+
+    def test_deterministic(self):
+        region = AddressSpace().alloc("r", 64 * LINE)
+        a = list(phase_stream(
+            [PhaseSpec(components(region), [1, 1], 200, 5.0)], seed=7))
+        region2 = AddressSpace().alloc("r", 64 * LINE)
+        b = list(phase_stream(
+            [PhaseSpec(components(region2), [1, 1], 200, 5.0)], seed=7))
+        assert a == b
+
+    def test_spec_validation(self):
+        region = AddressSpace().alloc("r", 64 * LINE)
+        with pytest.raises(ValueError):
+            PhaseSpec(components(region), [1.0], 10)
+        with pytest.raises(ValueError):
+            PhaseSpec(components(region), [0.0, 0.0], 10)
+        with pytest.raises(ValueError):
+            PhaseSpec([], [], 10)
+
+
+class TestLagHelpers:
+    def test_cpa_monotonic_in_gap(self):
+        assert estimate_cycles_per_access(20) > estimate_cycles_per_access(5)
+
+    def test_lag_accesses_scales(self):
+        assert lag_accesses(10_000, 10) == pytest.approx(
+            10_000 / estimate_cycles_per_access(10), abs=1)
+        assert lag_accesses(1, 10) >= 1
+
+
+class TestProfiles:
+    @pytest.mark.parametrize("profile", ALL_PROFILES,
+                             ids=lambda p: p.name)
+    def test_weights_sum_to_one(self, profile):
+        assert profile.weight_sum() == pytest.approx(1.0, abs=1e-6)
+
+    @pytest.mark.parametrize("profile", ALL_PROFILES,
+                             ids=lambda p: p.name)
+    def test_builds_and_streams(self, profile):
+        wl = build_profile_workload(profile, n_cores=4, scale=0.04, seed=1)
+        streams = wl.streams(4)
+        assert len(streams) == 4
+        summary = validate_stream(streams[0], max_records=5000)
+        assert summary["records"] == 5000
+        assert summary["writes"] > 0
+
+    @pytest.mark.parametrize("profile", ALL_PROFILES,
+                             ids=lambda p: p.name)
+    def test_trail_refs_resolve(self, profile):
+        names = {c.name for c in profile.components}
+        for c in profile.components:
+            if c.kind == "trail":
+                assert c.ref in names
+
+    def test_streams_are_replayable(self):
+        wl = get_workload("water_ns", scale=0.04)
+        a = list(zip(range(2000), wl.streams(4)[0]))
+        b = list(zip(range(2000), wl.streams(4)[0]))
+        assert a == b
+
+    def test_cores_have_distinct_streams(self):
+        wl = get_workload("water_ns", scale=0.04)
+        s = wl.streams(4)
+        a = [next(s[0]) for _ in range(100)]
+        b = [next(s[1]) for _ in range(100)]
+        assert a != b
+
+    def test_scientific_flag(self):
+        for name in SCIENTIFIC:
+            assert get_workload(name, scale=0.04).meta.kind == "scientific"
+        for name in MULTIMEDIA:
+            assert get_workload(name, scale=0.04).meta.kind == "multimedia"
+
+
+class TestRegistry:
+    def test_paper_benchmarks_registered(self):
+        avail = list_workloads()
+        for name in PAPER_BENCHMARKS:
+            assert name in avail
+
+    def test_unknown_workload(self):
+        with pytest.raises(ValueError):
+            get_workload("linpack")
+
+    def test_register_custom(self):
+        def builder(n_cores=4, scale=1.0, seed=1, line_bytes=64):
+            return get_workload("uniform", n_cores, 0.04, seed, line_bytes)
+
+        register_workload("custom_x", builder)
+        assert "custom_x" in list_workloads()
+        with pytest.raises(ValueError):
+            register_workload("custom_x", builder)
+
+    def test_scale_guard(self):
+        with pytest.raises(ValueError):
+            get_workload("water_ns", scale=0.001)
+        with pytest.raises(ValueError):
+            get_workload("water_ns", scale=-1)
+
+    def test_wrong_core_count_rejected(self):
+        wl = get_workload("water_ns", n_cores=4, scale=0.04)
+        with pytest.raises(ValueError):
+            wl.streams(2)
