@@ -1,0 +1,83 @@
+"""Engineering benchmark: parallel sweep executor vs the serial runner.
+
+Not a paper figure — demonstrates the
+:class:`~repro.harness.executor.ParallelSweepRunner` speedup on a cold
+cache and re-checks that parallel execution is result-identical to the
+serial sweep it replaces.  The sweep matrix here is embarrassingly
+parallel (every point is an independent simulation), so wall-clock should
+scale near-linearly until the worker count reaches the physical core
+count; past that, workers time-share and the speedup flattens.
+
+Run standalone for a quick report::
+
+    PYTHONPATH=src python benchmarks/bench_sweep_parallel.py
+
+or via pytest (``pytest benchmarks/bench_sweep_parallel.py -s``).
+Environment knobs: ``REPRO_BENCH_SCALE`` (default 0.04; the ISSUE's
+reference demonstration uses 0.1), ``REPRO_BENCH_JOBS`` (default 4).
+"""
+
+import os
+import time
+
+from repro.harness.executor import ParallelSweepRunner
+from repro.harness.runner import SweepRunner
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.04"))
+JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "4"))
+
+#: small but multi-point matrix: 2 workloads × 2 sizes × 2 techniques
+#: (+ the 4 baseline twins) = 12 simulations
+BENCHMARKS = ("uniform", "pingpong")
+SIZES = (1, 2)
+TECHNIQUES = ("protocol", "decay64K")
+
+
+def _sweep(runner):
+    return runner.sweep(
+        benchmarks=BENCHMARKS, sizes=SIZES, techniques=TECHNIQUES
+    )
+
+
+def run_comparison(jobs: int = JOBS, scale: float = SCALE):
+    """Cold-cache serial vs parallel sweep; returns (speedup, n_points)."""
+    serial = SweepRunner(scale=scale, cache_dir=None, verbose=False)
+    t0 = time.perf_counter()
+    serial_metrics = _sweep(serial)
+    t_serial = time.perf_counter() - t0
+
+    parallel = ParallelSweepRunner(
+        scale=scale, cache_dir=None, verbose=False, jobs=jobs
+    )
+    t0 = time.perf_counter()
+    parallel_metrics = _sweep(parallel)
+    t_parallel = time.perf_counter() - t0
+
+    assert parallel_metrics == serial_metrics, (
+        "parallel sweep diverged from serial results"
+    )
+    speedup = t_serial / t_parallel if t_parallel > 0 else float("inf")
+    print(
+        f"\n[bench_sweep_parallel] scale={scale} jobs={jobs} "
+        f"cores={os.cpu_count()}: serial {t_serial:.1f}s, "
+        f"parallel {t_parallel:.1f}s, speedup {speedup:.2f}x",
+        flush=True,
+    )
+    return speedup, len(parallel_metrics)
+
+
+def test_parallel_sweep_speedup():
+    """Parallel == serial results; wall-clock speedup on multi-core hosts."""
+    speedup, n_points = run_comparison()
+    assert n_points == len(BENCHMARKS) * len(SIZES) * len(TECHNIQUES)
+    cores = os.cpu_count() or 1
+    if cores >= 4 and JOBS >= 4:
+        # the acceptance bar: >= 2x at 4 workers on a 4-core host
+        assert speedup >= 2.0, f"expected >= 2x speedup, got {speedup:.2f}x"
+    elif cores >= 2 and JOBS >= 2:
+        assert speedup >= 1.2, f"expected some speedup, got {speedup:.2f}x"
+    # single-core hosts: correctness checked, speedup not expected
+
+
+if __name__ == "__main__":
+    run_comparison()

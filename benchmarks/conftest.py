@@ -8,20 +8,25 @@ Environment knobs:
 * ``REPRO_BENCH_FULL=1`` — full paper matrix (6 benchmarks × 4 sizes);
   default is a reduced matrix (3 benchmarks × {1,4} MB) so
   ``pytest benchmarks/ --benchmark-only`` completes in minutes.
+* ``REPRO_BENCH_JOBS`` — sweep worker processes (default 0 = all cores;
+  results are byte-identical to a serial sweep regardless).
 
 All benches share the on-disk result cache (``.repro_cache``), so the
-sweep is simulated once and every figure re-renders from cache.
+sweep is simulated once — in parallel, via the
+:class:`~repro.harness.executor.ParallelSweepRunner` — and every figure
+re-renders from cache.
 """
 
 import os
 
 import pytest
 
-from repro.harness.runner import SweepRunner
+from repro.harness.executor import ParallelSweepRunner
 from repro.workloads.registry import PAPER_BENCHMARKS
 
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.04"))
 FULL = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "0"))
 
 SIZES = (1, 2, 4, 8) if FULL else (1, 4)
 BENCHMARKS = tuple(PAPER_BENCHMARKS) if FULL else (
@@ -33,9 +38,9 @@ FIG6_MB = 4
 
 @pytest.fixture(scope="session")
 def runner():
-    """Session-wide sweep runner with the shared cache."""
-    return SweepRunner(scale=BENCH_SCALE, cache_dir=".repro_cache",
-                       verbose=True)
+    """Session-wide parallel sweep runner with the shared cache."""
+    return ParallelSweepRunner(scale=BENCH_SCALE, cache_dir=".repro_cache",
+                               verbose=True, jobs=BENCH_JOBS or None)
 
 
 #: rendered figures are also appended here (pytest captures stdout)

@@ -1,9 +1,10 @@
 """Setup shim.
 
-The execution environment ships setuptools without the ``wheel`` package,
-so PEP 660 editable installs (which need ``bdist_wheel``) fail offline.
-Keeping a ``setup.py`` lets ``pip install -e .`` fall back to the legacy
-``develop`` path; all metadata lives in ``setup.cfg``.
+All project metadata lives in ``pyproject.toml`` (PEP 621).  This file
+exists only because the execution environment ships setuptools without
+the ``wheel`` package, so PEP 660 editable installs (which need
+``bdist_wheel``) fail offline; keeping a ``setup.py`` lets
+``pip install -e .`` fall back to the legacy ``develop`` path.
 """
 
 from setuptools import setup

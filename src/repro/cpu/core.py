@@ -16,6 +16,17 @@ core can hide; we model this with a per-access overlap budget:
 The core exposes ``next_time`` — the global cycle at which its next memory
 event occurs — so the simulator can interleave the four cores in exact
 global-time order (one-record lookahead).
+
+Event-time contract (relied on by the simulator's next-event heap):
+
+* while ``state == RUNNING``, ``next_time`` is finite and only changes
+  inside :meth:`Core.step` / :meth:`Core.release_barrier` — never behind
+  the simulator's back;
+* every :meth:`Core.step` strictly increases ``next_time`` (each access
+  costs at least one cycle), so a heap entry whose time no longer equals
+  the core's ``next_time`` is provably stale;
+* a non-RUNNING core's ``next_time`` is ``INFINITY`` and the core emits
+  no events until :meth:`Core.release_barrier` re-arms it.
 """
 
 from __future__ import annotations
@@ -76,6 +87,11 @@ class Core:
         # per-interval instruction counts (transient thermal model)
         self._sample_interval = cfg.sample_interval
         self._instr_buckets: list = []
+
+    @property
+    def runnable(self) -> bool:
+        """True while this core will emit further timed events."""
+        return self.state == RUNNING
 
     # ------------------------------------------------------------------
     def _fetch(self) -> None:

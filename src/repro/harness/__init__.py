@@ -1,5 +1,6 @@
-"""Experiment harness: sweep runner, result cache, figure regeneration."""
+"""Experiment harness: sweep runners, result cache, figure regeneration."""
 
+from .executor import ParallelSweepRunner, resolve_jobs
 from .figures import (
     EXPERIMENTS,
     FigureTable,
@@ -24,9 +25,15 @@ from .metrics import (
     l2_miss_rate,
     occupancy,
 )
+from .result_cache import CacheStats, PruneReport, ResultCache
 from .runner import CACHE_VERSION, DEFAULT_WARMUP, SweepRunner
 
 __all__ = [
+    "ParallelSweepRunner",
+    "resolve_jobs",
+    "CacheStats",
+    "PruneReport",
+    "ResultCache",
     "EXPERIMENTS",
     "FigureTable",
     "fig3a",

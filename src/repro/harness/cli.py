@@ -5,8 +5,12 @@ Examples::
     repro-cmp list                       # experiments and workloads
     repro-cmp table1                     # Table I, no simulation
     repro-cmp fig5a --scale 0.05         # regenerate Fig 5(a), small scale
+    repro-cmp fig5a --jobs 8             # same, sweep on 8 worker processes
     repro-cmp fig6b --sizes 4            # per-benchmark IPC loss
+    repro-cmp fig3a --csv fig3a.csv      # also write the table as CSV
     repro-cmp point water_ns 4 decay64K  # one sweep point, all metrics
+    repro-cmp cache stats                # result-cache footprint per version
+    repro-cmp cache prune                # drop stale/corrupt cache entries
 """
 
 from __future__ import annotations
@@ -17,8 +21,10 @@ from typing import List, Optional
 
 from ..sim.config import PAPER_TOTAL_L2_MB
 from ..workloads.registry import PAPER_BENCHMARKS, list_workloads
+from .executor import ParallelSweepRunner
 from .figures import EXPERIMENTS, run_experiment, table1
-from .runner import SweepRunner
+from .result_cache import ResultCache
+from .runner import CACHE_VERSION, SweepRunner
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -30,7 +36,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("command",
                    help="experiment id (fig3a..fig6b, table1), 'list', "
-                        "or 'point'")
+                        "'point', or 'cache'")
     p.add_argument("args", nargs="*", help="command-specific arguments")
     p.add_argument("--scale", type=float, default=0.1,
                    help="workload time-dilation factor (default 0.1; "
@@ -40,10 +46,53 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comma-separated total L2 MB (default 1,2,4,8)")
     p.add_argument("--benchmarks", type=str, default=None,
                    help="comma-separated workload names")
+    p.add_argument("--jobs", "-j", type=int, default=1,
+                   help="worker processes for the sweep (1 = serial, "
+                        "0 = all cores)")
+    p.add_argument("--cache-dir", type=str, default=".repro_cache",
+                   help="result cache directory (default .repro_cache)")
     p.add_argument("--no-cache", action="store_true",
                    help="disable the on-disk result cache")
+    p.add_argument("--csv", type=str, default=None, metavar="PATH",
+                   help="also write the experiment table as CSV to PATH")
     p.add_argument("--quiet", action="store_true")
     return p
+
+
+def _cache_command(args: argparse.Namespace) -> int:
+    """``repro-cmp cache stats|prune|manifest``."""
+    sub = args.args[0] if args.args else "stats"
+    cache = ResultCache(args.cache_dir, CACHE_VERSION)
+    if sub == "stats":
+        print(cache.stats().render())
+        return 0
+    if sub == "prune":
+        print(cache.prune().render())
+        return 0
+    if sub == "manifest":
+        print(cache.write_manifest())
+        return 0
+    print("usage: repro-cmp cache [stats|prune|manifest]", file=sys.stderr)
+    return 2
+
+
+def make_runner(args: argparse.Namespace) -> SweepRunner:
+    """Serial or parallel sweep runner per the ``--jobs`` flag."""
+    cache_dir = None if args.no_cache else args.cache_dir
+    if args.jobs == 1:
+        return SweepRunner(
+            scale=args.scale,
+            seed=args.seed,
+            cache_dir=cache_dir,
+            verbose=not args.quiet,
+        )
+    return ParallelSweepRunner(
+        scale=args.scale,
+        seed=args.seed,
+        cache_dir=cache_dir,
+        verbose=not args.quiet,
+        jobs=args.jobs,
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -60,12 +109,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(table1().render())
         return 0
 
-    runner = SweepRunner(
-        scale=args.scale,
-        seed=args.seed,
-        cache_dir=None if args.no_cache else ".repro_cache",
-        verbose=not args.quiet,
-    )
+    if args.command == "cache":
+        return _cache_command(args)
+
+    runner = make_runner(args)
 
     if args.command == "point":
         if len(args.args) != 3:
@@ -73,6 +120,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                   file=sys.stderr)
             return 2
         wl, mb, tech = args.args[0], int(args.args[1]), args.args[2]
+        known = runner.technique_configs()
+        if tech not in known:
+            print(f"unknown technique {tech!r}; one of: "
+                  f"{', '.join(runner.technique_order())}", file=sys.stderr)
+            return 2
         m = runner.metrics_for(wl, mb, tech)
         for k, v in m.as_dict().items():
             print(f"{k:22s} {v}")
@@ -87,10 +139,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.command.startswith("fig6"):
             kwargs["total_mb"] = sizes[0] if args.sizes else 4
             kwargs["benchmarks"] = benchmarks
+            if isinstance(runner, ParallelSweepRunner):
+                # fig6 figures walk metrics_for point by point; fan the
+                # matrix out first (figs 3-5 sweep, which prefetches itself)
+                runner.prefetch(
+                    benchmarks=benchmarks,
+                    sizes=[kwargs["total_mb"]],
+                    techniques=runner.technique_order(),
+                )
         else:
             kwargs["sizes"] = sizes
             kwargs["benchmarks"] = benchmarks
-        print(run_experiment(args.command, runner, **kwargs).render())
+        table = run_experiment(args.command, runner, **kwargs)
+        print(table.render())
+        if args.csv:
+            with open(args.csv, "w", newline="") as fh:
+                fh.write(table.to_csv())
+            if not args.quiet:
+                print(f"[csv] wrote {args.csv}")
         return 0
 
     print(f"unknown command {args.command!r}; try 'list'", file=sys.stderr)

@@ -8,6 +8,8 @@ numbers recorded in EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import csv
+import io
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -37,6 +39,15 @@ class FigureTable:
                 f"{len(self.columns)}")
         self.rows.append(name)
         self.cells[name] = list(values)
+
+    def to_csv(self) -> str:
+        """CSV rendering (header row, then one line per technique row)."""
+        buf = io.StringIO()
+        writer = csv.writer(buf, lineterminator="\n")
+        writer.writerow([self.exp_id, *self.columns])
+        for r in self.rows:
+            writer.writerow([r, *self.cells[r]])
+        return buf.getvalue()
 
     def render(self) -> str:
         """ASCII table in paper order."""

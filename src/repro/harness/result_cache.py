@@ -1,0 +1,328 @@
+"""Sharded, atomically-written on-disk result cache.
+
+Layout (one directory per schema version, 256 shards per version)::
+
+    <root>/
+        v8/
+            index.json          # manifest snapshot (write_manifest)
+            3f/
+                <key>.json      # one sweep point, shard = sha1(key)[:2]
+            a0/
+                ...
+
+Properties the sweep executor relies on:
+
+* **atomic writes** — entries are written to a ``.tmp-*`` file in the
+  final shard directory and published with :func:`os.replace`, so readers
+  (including concurrent pool workers) never observe a truncated blob and
+  two writers racing on the same key leave one complete entry;
+* **corrupt-entry recovery** — :meth:`ResultCache.get` deletes and
+  reports a miss for entries that fail to parse (e.g. a pre-fix truncated
+  write, or a crash mid-``json.dump`` on a non-atomic cache), so one bad
+  blob costs a resimulation instead of crashing every later load;
+* **version isolation** — bumping the schema version simply selects a
+  different subdirectory; stale versions are reclaimed by :meth:`prune`.
+
+The legacy flat layout (``<root>/v7-<key>.json`` files produced before
+the sharded cache existed) is never read; :meth:`prune` deletes it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Tuple
+
+from ..sim.config import stable_digest
+
+#: manifest file name inside each version directory
+MANIFEST_NAME = "index.json"
+
+_TMP_PREFIX = ".tmp-"
+
+
+def shard_of(key: str) -> str:
+    """Two-hex-digit shard of a cache key (256-way fanout)."""
+    return stable_digest(key)[:2]
+
+
+@dataclass
+class CacheStats:
+    """Aggregate cache statistics (``repro-cmp cache stats``)."""
+
+    root: str
+    current_version: int
+    #: version -> (entry count, total bytes)
+    versions: Dict[int, Tuple[int, int]] = field(default_factory=dict)
+    legacy_files: int = 0
+
+    @property
+    def entries(self) -> int:
+        """Entry count of the current version."""
+        return self.versions.get(self.current_version, (0, 0))[0]
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes across every version."""
+        return sum(b for _, b in self.versions.values())
+
+    def render(self) -> str:
+        """Human-readable multi-line summary."""
+        lines = [f"cache {self.root} (current v{self.current_version})"]
+        for ver in sorted(self.versions):
+            n, b = self.versions[ver]
+            mark = "*" if ver == self.current_version else " "
+            lines.append(f"  {mark} v{ver}: {n} entries, {b / 1e6:.2f} MB")
+        if not self.versions:
+            lines.append("    (empty)")
+        if self.legacy_files:
+            lines.append(
+                f"    {self.legacy_files} legacy flat files (prune removes)"
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class PruneReport:
+    """What :meth:`ResultCache.prune` removed."""
+
+    stale_versions: int = 0
+    stale_entries: int = 0
+    corrupt_entries: int = 0
+    legacy_files: int = 0
+    tmp_files: int = 0
+
+    @property
+    def removed(self) -> int:
+        """Total files/entries removed."""
+        return (
+            self.stale_entries
+            + self.corrupt_entries
+            + self.legacy_files
+            + self.tmp_files
+        )
+
+    def render(self) -> str:
+        """One-line summary."""
+        return (
+            f"pruned {self.removed} files: {self.stale_versions} stale "
+            f"version dirs ({self.stale_entries} entries), "
+            f"{self.corrupt_entries} corrupt, {self.legacy_files} legacy, "
+            f"{self.tmp_files} tmp"
+        )
+
+
+class ResultCache:
+    """Sharded JSON blob store keyed by sweep-point cache keys."""
+
+    def __init__(self, root: str, version: int) -> None:
+        self.root = root
+        self.version = int(version)
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    def version_dir(self, version: Optional[int] = None) -> str:
+        """Directory of one schema version."""
+        return os.path.join(
+            self.root, f"v{self.version if version is None else version}"
+        )
+
+    def path_for(self, key: str) -> str:
+        """Entry path of ``key`` in the current version."""
+        return os.path.join(self.version_dir(), shard_of(key), key + ".json")
+
+    # ------------------------------------------------------------------
+    # Entry I/O
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[dict]:
+        """Load an entry; ``None`` on miss.  Corrupt entries are deleted."""
+        path = self.path_for(key)
+        try:
+            with open(path) as fh:
+                blob = json.load(fh)
+        except OSError:
+            # transient I/O failure (or plain miss): the entry may be
+            # perfectly valid, so report a miss without deleting it
+            return None
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            self.invalidate(key)
+            return None
+        if not isinstance(blob, dict):
+            self.invalidate(key)
+            return None
+        return blob
+
+    def put(self, key: str, blob: dict) -> str:
+        """Atomically write an entry (tmp file + ``os.replace``)."""
+        path = self.path_for(key)
+        shard_dir = os.path.dirname(path)
+        os.makedirs(shard_dir, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=shard_dir, prefix=_TMP_PREFIX, suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(blob, fh)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def invalidate(self, key: str) -> bool:
+        """Delete one entry; True if it existed."""
+        try:
+            os.unlink(self.path_for(key))
+            return True
+        except OSError:
+            return False
+
+    def __contains__(self, key: str) -> bool:
+        return os.path.exists(self.path_for(key))
+
+    # ------------------------------------------------------------------
+    # Maintenance API
+    # ------------------------------------------------------------------
+    def iter_entries(
+        self, version: Optional[int] = None
+    ) -> Iterator[Tuple[str, str]]:
+        """Yield ``(key, path)`` for every entry of one version."""
+        vdir = self.version_dir(version)
+        try:
+            shards = sorted(os.listdir(vdir))
+        except OSError:
+            return
+        for shard in shards:
+            shard_dir = os.path.join(vdir, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if name.startswith(_TMP_PREFIX) or not name.endswith(".json"):
+                    continue
+                yield name[: -len(".json")], os.path.join(shard_dir, name)
+
+    def versions_present(self) -> Dict[int, str]:
+        """Schema versions on disk, as ``version -> directory``."""
+        out: Dict[int, str] = {}
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return out
+        for name in names:
+            path = os.path.join(self.root, name)
+            if name.startswith("v") and name[1:].isdigit() and os.path.isdir(path):
+                out[int(name[1:])] = path
+        return out
+
+    def _legacy_files(self) -> list:
+        """Flat ``v*-*.json`` files from the pre-sharded layout."""
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return []
+        return [
+            os.path.join(self.root, n)
+            for n in sorted(names)
+            if n.endswith(".json") and os.path.isfile(os.path.join(self.root, n))
+        ]
+
+    def stats(self) -> CacheStats:
+        """Entry counts and sizes per version plus legacy leftovers."""
+        st = CacheStats(root=self.root, current_version=self.version)
+        for ver in self.versions_present():
+            count = size = 0
+            for _, path in self.iter_entries(ver):
+                count += 1
+                try:
+                    size += os.path.getsize(path)
+                except OSError:
+                    pass
+            st.versions[ver] = (count, size)
+        st.legacy_files = len(self._legacy_files())
+        return st
+
+    def prune(self, validate: bool = True) -> PruneReport:
+        """Reclaim disk: stale versions, corrupt/tmp entries, legacy files.
+
+        ``validate`` additionally parses every current-version entry and
+        deletes the ones that fail to load.
+        """
+        report = PruneReport()
+        for ver, vdir in self.versions_present().items():
+            if ver == self.version:
+                continue
+            report.stale_entries += sum(1 for _ in self.iter_entries(ver))
+            shutil.rmtree(vdir, ignore_errors=True)
+            report.stale_versions += 1
+        for path in self._legacy_files():
+            os.unlink(path)
+            report.legacy_files += 1
+        vdir = self.version_dir()
+        if os.path.isdir(vdir):
+            for dirpath, _, names in os.walk(vdir):
+                for name in names:
+                    if name.startswith(_TMP_PREFIX):
+                        os.unlink(os.path.join(dirpath, name))
+                        report.tmp_files += 1
+        if validate:
+            for key, path in list(self.iter_entries()):
+                try:
+                    with open(path) as fh:
+                        json.load(fh)
+                except (json.JSONDecodeError, UnicodeDecodeError, OSError):
+                    os.unlink(path)
+                    report.corrupt_entries += 1
+        return report
+
+    def write_manifest(self) -> str:
+        """Write an atomic ``index.json`` snapshot of the current version.
+
+        The manifest is a convenience for humans and external tooling
+        (sync scripts, CI artifact diffing); lookups never consult it, so
+        a stale manifest can never serve stale results.
+        """
+        entries = {}
+        for key, path in self.iter_entries():
+            try:
+                entries[key] = {
+                    "bytes": os.path.getsize(path),
+                    "shard": shard_of(key),
+                }
+            except OSError:
+                continue
+        vdir = self.version_dir()
+        os.makedirs(vdir, exist_ok=True)
+        manifest = {
+            "version": self.version,
+            "count": len(entries),
+            "entries": entries,
+        }
+        fd, tmp = tempfile.mkstemp(dir=vdir, prefix=_TMP_PREFIX, suffix=".json")
+        target = os.path.join(vdir, MANIFEST_NAME)
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(manifest, fh, indent=1, sort_keys=True)
+            os.replace(tmp, target)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return target
+
+    def read_manifest(self) -> Optional[dict]:
+        """Load the manifest snapshot; ``None`` when absent/corrupt."""
+        path = os.path.join(self.version_dir(), MANIFEST_NAME)
+        try:
+            with open(path) as fh:
+                return json.load(fh)
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return None

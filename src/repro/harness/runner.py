@@ -1,19 +1,27 @@
-"""Sweep runner with an on-disk result cache.
+"""Sweep runner with a sharded on-disk result cache.
 
 Every figure of the paper draws from the same simulation matrix
 (6 benchmarks × 4 cache sizes × 8 technique configurations), so the eight
-per-figure benches share one JSON cache keyed by the full configuration.
+per-figure benches share one result cache keyed by the full configuration.
 A cache entry stores the serialized :class:`~repro.sim.stats.SimResult`
 plus the energy breakdown; cache misses simulate on demand.
 
+Storage is a :class:`~repro.harness.result_cache.ResultCache`: entries are
+sharded by key digest, written atomically (tmp file + ``os.replace``) so an
+interrupted run can never leave a truncated blob behind, and corrupt
+entries are skipped and resimulated instead of crashing every later load.
+Loaded and simulated points are additionally memoized in-process, which is
+what lets the parallel executor hand results straight to figure code.
+
 The cache key includes a schema version — bump :data:`CACHE_VERSION` when
 simulator semantics change so stale entries are never mixed into figures.
+For the (workload × size × technique) matrix itself, prefer
+:class:`~repro.harness.executor.ParallelSweepRunner`, which shards the
+matrix across a process pool.
 """
 
 from __future__ import annotations
 
-import json
-import os
 from dataclasses import asdict
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -30,12 +38,16 @@ from ..sim.simulator import simulate
 from ..sim.stats import SimResult
 from ..workloads.registry import PAPER_BENCHMARKS, get_workload
 from .metrics import PointMetrics
+from .result_cache import ResultCache
 
 #: bump when simulator/workload semantics change (invalidates caches)
-CACHE_VERSION = 7
+CACHE_VERSION = 8
 
 #: default warmup: skips the workloads' init phase (DESIGN.md §5)
 DEFAULT_WARMUP = 0.17
+
+#: (SimResult, EnergyBreakdown) of one sweep point
+PointResult = Tuple[SimResult, EnergyBreakdown]
 
 
 def _breakdown_to_dict(bd: EnergyBreakdown) -> dict:
@@ -44,6 +56,19 @@ def _breakdown_to_dict(bd: EnergyBreakdown) -> dict:
 
 def _breakdown_from_dict(d: dict) -> EnergyBreakdown:
     return EnergyBreakdown(**d)
+
+
+def decode_entry(blob: dict) -> PointResult:
+    """Decode one cache entry; raises on schema mismatch."""
+    return (
+        SimResult.from_dict(blob["result"]),
+        _breakdown_from_dict(blob["energy"]),
+    )
+
+
+def encode_entry(res: SimResult, energy: EnergyBreakdown) -> dict:
+    """Inverse of :func:`decode_entry` (the on-disk entry format)."""
+    return {"result": res.to_dict(), "energy": _breakdown_to_dict(energy)}
 
 
 class SweepRunner:
@@ -63,10 +88,10 @@ class SweepRunner:
         self.n_cores = n_cores
         self.warmup = warmup_fraction
         self.cache_dir = cache_dir
+        self.cache = ResultCache(cache_dir, CACHE_VERSION) if cache_dir else None
         self.verbose = verbose
         self._workloads: Dict[str, object] = {}
-        if cache_dir:
-            os.makedirs(cache_dir, exist_ok=True)
+        self._memo: Dict[str, PointResult] = {}
 
     # ------------------------------------------------------------------
     def technique_configs(self) -> Dict[str, TechniqueConfig]:
@@ -81,18 +106,21 @@ class SweepRunner:
 
     def config_for(self, total_mb: int, tech: TechniqueConfig) -> CMPConfig:
         """System config for one sweep point."""
-        return CMPConfig(n_cores=self.n_cores, seed=self.seed) \
-            .with_total_l2_mb(total_mb).with_technique(tech)
+        return (
+            CMPConfig(n_cores=self.n_cores, seed=self.seed)
+            .with_total_l2_mb(total_mb)
+            .with_technique(tech)
+        )
 
     # ------------------------------------------------------------------
-    def _cache_path(self, workload: str, cfg: CMPConfig) -> Optional[str]:
-        if not self.cache_dir:
-            return None
-        key = (
-            f"v{CACHE_VERSION}-{workload}-sc{self.scale}-w{self.warmup}"
-            f"-{cfg.key()}"
-        )
-        return os.path.join(self.cache_dir, key + ".json")
+    def cache_key(self, workload: str, cfg: CMPConfig) -> str:
+        """Full cache key of one point (workload context + config key)."""
+        return f"{workload}-sc{self.scale}-w{self.warmup}-{cfg.key()}"
+
+    def point_key(self, workload: str, total_mb: int, tech_label: str) -> str:
+        """Cache key of a point given by its matrix coordinates."""
+        tech = self.technique_configs()[tech_label]
+        return self.cache_key(workload, self.config_for(total_mb, tech))
 
     def _workload(self, name: str):
         if name not in self._workloads:
@@ -101,33 +129,70 @@ class SweepRunner:
             )
         return self._workloads[name]
 
+    # ------------------------------------------------------------------
+    def lookup(
+        self, workload: str, total_mb: int, tech_label: str
+    ) -> Optional[PointResult]:
+        """Memo/disk lookup of one point; ``None`` means "must simulate".
+
+        Corrupt or schema-stale disk entries are invalidated here, so the
+        caller's resimulation overwrites them with a good blob.
+        """
+        key = self.point_key(workload, total_mb, tech_label)
+        hit = self._memo.get(key)
+        if hit is not None:
+            return hit
+        if self.cache is None:
+            return None
+        blob = self.cache.get(key)
+        if blob is None:
+            return None
+        try:
+            pair = decode_entry(blob)
+        except (KeyError, TypeError, ValueError):
+            self.cache.invalidate(key)
+            return None
+        self._memo[key] = pair
+        return pair
+
+    def install(
+        self,
+        workload: str,
+        total_mb: int,
+        tech_label: str,
+        res: SimResult,
+        energy: EnergyBreakdown,
+        write_cache: bool = True,
+    ) -> None:
+        """Publish one point's results into the memo (and the disk cache).
+
+        The parallel executor calls this with results received from pool
+        workers; ``write_cache=False`` skips the disk write when the
+        worker already persisted the entry itself.
+        """
+        key = self.point_key(workload, total_mb, tech_label)
+        self._memo[key] = (res, energy)
+        if write_cache and self.cache is not None:
+            self.cache.put(key, encode_entry(res, energy))
+
     def run_point(
         self, workload: str, total_mb: int, tech_label: str
-    ) -> Tuple[SimResult, EnergyBreakdown]:
+    ) -> PointResult:
         """Simulate (or load) one point; returns (result, energy)."""
+        hit = self.lookup(workload, total_mb, tech_label)
+        if hit is not None:
+            return hit
+        if self.verbose:
+            print(
+                f"[sweep] simulating {workload} {total_mb}MB {tech_label} "
+                f"(scale={self.scale})",
+                flush=True,
+            )
         tech = self.technique_configs()[tech_label]
         cfg = self.config_for(total_mb, tech)
-        path = self._cache_path(workload, cfg)
-        if path and os.path.exists(path):
-            with open(path) as fh:
-                blob = json.load(fh)
-            return (
-                SimResult.from_dict(blob["result"]),
-                _breakdown_from_dict(blob["energy"]),
-            )
-        if self.verbose:
-            print(f"[sweep] simulating {workload} {total_mb}MB {tech_label} "
-                  f"(scale={self.scale})", flush=True)
-        res = simulate(cfg, self._workload(workload),
-                       warmup_fraction=self.warmup)
+        res = simulate(cfg, self._workload(workload), warmup_fraction=self.warmup)
         energy = EnergyModel(cfg).evaluate(res)
-        if path:
-            with open(path, "w") as fh:
-                json.dump(
-                    {"result": res.to_dict(),
-                     "energy": _breakdown_to_dict(energy)},
-                    fh,
-                )
+        self.install(workload, total_mb, tech_label, res, energy)
         return res, energy
 
     # ------------------------------------------------------------------
@@ -163,5 +228,6 @@ class SweepRunner:
         sums: Dict[Tuple[int, str], List[float]] = {}
         for p in points:
             sums.setdefault((p.total_mb, p.technique), []).append(
-                getattr(p, attr))
+                getattr(p, attr)
+            )
         return {k: sum(v) / len(v) for k, v in sums.items()}

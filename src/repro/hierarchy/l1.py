@@ -21,6 +21,8 @@ a line already being fetched.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..cache.array import CacheArray
 from ..cache.geometry import CacheGeometry
 from ..cache.mshr import MSHR
@@ -52,6 +54,9 @@ class L1Cache:
         self.l2 = l2
         self.stats = L1Stats()
         self.hit_latency = cfg.l1.hit_latency
+        #: set whenever the head drain deadline may have moved; the
+        #: simulator's event heap consumes it via consume_drain_event()
+        self._drain_dirty = False
 
     # ------------------------------------------------------------------
     def reset_stats(self) -> None:
@@ -129,6 +134,7 @@ class L1Cache:
         """
         st = self.stats
         st.stores += 1
+        head_before = self.write_buffer.head_ready_time()
 
         frame = self.array.lookup(line_addr)
         if frame >= 0 and self.array.state[frame] == L1_VALID:
@@ -146,6 +152,8 @@ class L1Cache:
             self.l2.access(drained, drain_at, True)
 
         self.write_buffer.insert(line_addr, now + stall)
+        if self.write_buffer.head_ready_time() != head_before:
+            self._drain_dirty = True
         return (1, stall)
 
     # ------------------------------------------------------------------
@@ -160,8 +168,23 @@ class L1Cache:
         line_addr = self.write_buffer.pop_ready(now)
         if line_addr < 0:
             return False
+        self._drain_dirty = True
         self.l2.access(line_addr, now, True)
         return True
+
+    def consume_drain_event(self) -> Optional[int]:
+        """Updated drain deadline since the last call, else ``None``.
+
+        The simulator's next-event heap polls this after every action that
+        can move the head of this L1's write buffer (a step of the owning
+        core, or a drain of this buffer).  The returned deadline is the
+        current :meth:`next_drain_time` (``-1`` when the buffer emptied);
+        ``None`` means the previously posted deadline is still current.
+        """
+        if not self._drain_dirty:
+            return None
+        self._drain_dirty = False
+        return self.write_buffer.head_ready_time()
 
     def has_pending_write(self, line_addr: int) -> bool:
         """Table I: is a buffered store to ``line_addr`` still in flight?"""

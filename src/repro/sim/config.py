@@ -12,10 +12,21 @@ harness can key its result cache on them.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field, replace
 from typing import Dict, Tuple
 
 from ..coherence.bus import BusConfig
+
+
+def stable_digest(text: str) -> str:
+    """Process-independent hex digest of a cache-key string.
+
+    The result cache shards entries by a prefix of this digest, and pool
+    workers compute it independently of the parent process — so it must
+    not depend on ``PYTHONHASHSEED`` (``hash()`` does; sha1 does not).
+    """
+    return hashlib.sha1(text.encode("utf-8")).hexdigest()
 
 # ---------------------------------------------------------------------------
 # Technique names (paper §IV)
@@ -190,6 +201,11 @@ class CMPConfig:
             f"-{t.label()}-{t.counter_mode}{t.counter_bits}"
             f"-m{self.memory.latency}-s{self.seed}"
         )
+
+    def key_digest(self, context: str = "") -> str:
+        """Hex digest of :meth:`key` (plus harness context such as the
+        workload name and scale) — the cache-shard selector."""
+        return stable_digest(context + self.key())
 
 
 # ---------------------------------------------------------------------------

@@ -13,6 +13,18 @@ sources exist, merged in exact global-time order:
   next core/drain action fire first, time-stamped with their exact
   deadlines, so occupancy integrals are cycle-accurate.
 
+Core and drain events are merged through an **incremental next-event
+heap** rather than a per-event scan of every core and write buffer: a
+dispatched core pushes its updated ``next_time`` back (its times strictly
+increase while RUNNING — see :mod:`repro.cpu.core`), and each L1 flags
+drain-deadline changes which the loop converts into heap entries
+(:meth:`~repro.hierarchy.l1.L1Cache.consume_drain_event`).  Entries are
+invalidated lazily: a popped entry whose time no longer matches its
+actor's current deadline is discarded.  Heap keys ``(time, kind, index)``
+with cores as kind 0 reproduce the historical scan's tie-breaking exactly
+(cores before drains, lower index first), so results are bit-identical to
+the O(n)-scan engine this replaced.
+
 Barriers release when every live core has arrived and all write buffers
 have drained; the release charges the configured synchronization cost.
 
@@ -23,6 +35,7 @@ all cores have executed their warmup share of accesses.
 
 from __future__ import annotations
 
+from heapq import heappop, heappush
 from typing import List, Optional
 
 from ..coherence.events import txn_name
@@ -85,6 +98,19 @@ class Simulator:
         last_event_time = 0
         events = 0
 
+        # ---- incremental next-event heap -------------------------------
+        # Entries are (time, kind, index) with kind 0 = core, 1 = drain;
+        # tuple order reproduces the legacy scan's tie-breaking (cores
+        # before same-cycle drains, lower index first).  Stale entries are
+        # skipped on pop by re-checking the actor's current deadline.
+        heap: List[tuple] = []
+        for i, core in enumerate(cores):
+            if core.state == RUNNING:
+                heappush(heap, (core.next_time, 0, i))
+            dr = l1s[i].consume_drain_event()
+            if dr is not None and dr >= 0:
+                heappush(heap, (dr, 1, i))
+
         while True:
             events += 1
             if max_events is not None and events > max_events:
@@ -92,21 +118,23 @@ class Simulator:
             if check_invariants_every and events % check_invariants_every == 0:
                 system.check_invariants()
 
-            # ---- find the earliest actor -------------------------------
-            t_min = _INF
+            # ---- pop the earliest still-valid event --------------------
             actor_kind = -1  # 0=core, 1=drain
             actor_idx = -1
-            for i, core in enumerate(cores):
-                if core.state == RUNNING and core.next_time < t_min:
-                    t_min = core.next_time
-                    actor_kind = 0
-                    actor_idx = i
-            for i, l1 in enumerate(l1s):
-                dr = l1.next_drain_time()
-                if dr >= 0 and dr < t_min:
-                    t_min = dr
-                    actor_kind = 1
-                    actor_idx = i
+            t_min = _INF
+            while heap:
+                t, kind, idx = heap[0]
+                if kind == 0:
+                    core = cores[idx]
+                    if core.state == RUNNING and core.next_time == t:
+                        heappop(heap)
+                        actor_kind, actor_idx, t_min = 0, idx, t
+                        break
+                elif l1s[idx].next_drain_time() == t:
+                    heappop(heap)
+                    actor_kind, actor_idx, t_min = 1, idx, t
+                    break
+                heappop(heap)  # stale: actor's deadline moved on
 
             if actor_kind < 0:
                 # No runnable core, no pending drain: barrier or completion.
@@ -118,6 +146,8 @@ class Simulator:
                     system.process_decay_until(release)
                 for c in live:
                     c.release_barrier(release)
+                    if c.state == RUNNING:
+                        heappush(heap, (c.next_time, 0, c.core_id))
                 last_event_time = max(last_event_time, release)
                 continue
 
@@ -131,12 +161,18 @@ class Simulator:
             if actor_kind == 0:
                 core = cores[actor_idx]
                 core.step()
+                if core.state == RUNNING:
+                    heappush(heap, (core.next_time, 0, actor_idx))
                 if core.cycle > last_event_time:
                     last_event_time = core.cycle
             else:
                 l1s[actor_idx].drain_one(int(t_min))
                 if t_min > last_event_time:
                     last_event_time = int(t_min)
+            # the step/drain may have moved this L1's drain deadline
+            dr = l1s[actor_idx].consume_drain_event()
+            if dr is not None and dr >= 0:
+                heappush(heap, (dr, 1, actor_idx))
 
             # ---- warmup boundary ----------------------------------------
             if not warmup_done and actor_kind == 0:

@@ -1,6 +1,5 @@
 """Harness: metrics, sweep runner caching, figure rendering, CLI."""
 
-import json
 import os
 
 import pytest
@@ -22,16 +21,32 @@ def runner(tmp_path):
 class TestRunnerCaching:
     def test_cache_roundtrip(self, runner, tmp_path):
         r1, e1 = runner.run_point("uniform", 1, "baseline")
-        files = os.listdir(tmp_path / "cache")
-        assert len(files) == 1
-        r2, e2 = runner.run_point("uniform", 1, "baseline")
+        assert runner.cache.stats().entries == 1
+        # a fresh runner must reload the same point from disk
+        fresh = SweepRunner(scale=SCALE, cache_dir=str(tmp_path / "cache"),
+                            verbose=False)
+        r2, e2 = fresh.run_point("uniform", 1, "baseline")
         assert r2.total_cycles == r1.total_cycles
         assert e2.total == pytest.approx(e1.total)
+
+    def test_memo_serves_repeat_lookups(self, runner):
+        r1, _ = runner.run_point("uniform", 1, "baseline")
+        r2, _ = runner.run_point("uniform", 1, "baseline")
+        assert r2 is r1  # in-process memo, no reload
 
     def test_cache_key_separates_techniques(self, runner, tmp_path):
         runner.run_point("uniform", 1, "baseline")
         runner.run_point("uniform", 1, "protocol")
-        assert len(os.listdir(tmp_path / "cache")) == 2
+        assert runner.cache.stats().entries == 2
+
+    def test_cache_entries_are_sharded_under_version_dir(self, runner,
+                                                         tmp_path):
+        runner.run_point("uniform", 1, "baseline")
+        from repro.harness.runner import CACHE_VERSION
+
+        assert os.listdir(tmp_path / "cache") == [f"v{CACHE_VERSION}"]
+        key = runner.point_key("uniform", 1, "baseline")
+        assert os.path.exists(runner.cache.path_for(key))
 
     def test_technique_configs_cover_paper(self, runner):
         techs = runner.technique_configs()
@@ -70,6 +85,7 @@ class TestFigureTable:
         assert "invalidate the upper level" in out
         assert "pending write" in out
 
+    @pytest.mark.slow
     def test_fig_on_reduced_matrix(self, runner):
         t = run_experiment(
             "fig3a", runner,

@@ -1,0 +1,169 @@
+"""Sharded result cache: atomicity, corruption recovery, maintenance."""
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro.harness.result_cache import (
+    MANIFEST_NAME,
+    ResultCache,
+    shard_of,
+)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(str(tmp_path / "cache"), version=8)
+
+
+class TestBasicIO:
+    def test_roundtrip(self, cache):
+        cache.put("k1", {"a": 1})
+        assert cache.get("k1") == {"a": 1}
+        assert "k1" in cache
+        assert "k2" not in cache
+
+    def test_miss(self, cache):
+        assert cache.get("absent") is None
+
+    def test_sharded_layout(self, cache):
+        cache.put("k1", {"a": 1})
+        path = cache.path_for("k1")
+        assert os.path.exists(path)
+        assert os.path.basename(os.path.dirname(path)) == shard_of("k1")
+        assert f"v{cache.version}" in path
+
+    def test_shard_is_hash_stable(self):
+        # sharding must not depend on PYTHONHASHSEED (pool workers compute
+        # shards independently of the parent process)
+        import hashlib
+
+        expected = hashlib.sha1(b"some-key").hexdigest()[:2]
+        assert shard_of("some-key") == expected
+
+    def test_put_leaves_no_tmp_files(self, cache):
+        for i in range(10):
+            cache.put(f"k{i}", {"i": i})
+        for dirpath, _, names in os.walk(cache.root):
+            assert not [n for n in names if n.startswith(".tmp-")]
+
+    def test_invalidate(self, cache):
+        cache.put("k1", {"a": 1})
+        assert cache.invalidate("k1")
+        assert cache.get("k1") is None
+        assert not cache.invalidate("k1")
+
+
+class TestCorruptionRecovery:
+    def test_truncated_entry_is_dropped(self, cache):
+        cache.put("k1", {"a": 1})
+        path = cache.path_for("k1")
+        with open(path, "w") as fh:
+            fh.write('{"a": 1')  # the pre-fix interrupted-write shape
+        assert cache.get("k1") is None
+        assert not os.path.exists(path)
+        # a later put works again
+        cache.put("k1", {"a": 2})
+        assert cache.get("k1") == {"a": 2}
+
+    def test_non_dict_entry_is_dropped(self, cache):
+        cache.put("k1", {"a": 1})
+        with open(cache.path_for("k1"), "w") as fh:
+            json.dump([1, 2, 3], fh)
+        assert cache.get("k1") is None
+
+    def test_prune_removes_corrupt(self, cache):
+        cache.put("ok", {"a": 1})
+        cache.put("bad", {"a": 1})
+        with open(cache.path_for("bad"), "w") as fh:
+            fh.write("not json")
+        report = cache.prune()
+        assert report.corrupt_entries == 1
+        assert cache.get("ok") == {"a": 1}
+
+
+class TestVersioning:
+    def test_version_bump_invalidates(self, tmp_path):
+        old = ResultCache(str(tmp_path), version=7)
+        old.put("k1", {"a": 1})
+        new = ResultCache(str(tmp_path), version=8)
+        assert new.get("k1") is None
+        # the old entry is untouched until pruned
+        assert old.get("k1") == {"a": 1}
+
+    def test_stats_per_version(self, tmp_path):
+        ResultCache(str(tmp_path), version=7).put("k1", {"a": 1})
+        cache = ResultCache(str(tmp_path), version=8)
+        cache.put("k2", {"a": 2})
+        st = cache.stats()
+        assert st.versions[7][0] == 1
+        assert st.versions[8][0] == 1
+        assert st.entries == 1  # current version only
+        assert "v8" in st.render()
+
+    def test_prune_drops_stale_versions_and_legacy(self, tmp_path):
+        ResultCache(str(tmp_path), version=7).put("k1", {"a": 1})
+        # legacy flat file from the pre-sharded layout
+        with open(tmp_path / "v7-old-key.json", "w") as fh:
+            json.dump({"a": 1}, fh)
+        cache = ResultCache(str(tmp_path), version=8)
+        cache.put("k2", {"a": 2})
+        report = cache.prune()
+        assert report.stale_versions == 1
+        assert report.stale_entries == 1
+        assert report.legacy_files == 1
+        assert cache.get("k2") == {"a": 2}
+        assert not os.path.exists(tmp_path / "v7")
+        assert not os.path.exists(tmp_path / "v7-old-key.json")
+
+
+class TestManifest:
+    def test_write_and_read(self, cache):
+        cache.put("k1", {"a": 1})
+        cache.put("k2", {"b": 2})
+        path = cache.write_manifest()
+        assert os.path.basename(path) == MANIFEST_NAME
+        manifest = cache.read_manifest()
+        assert manifest["count"] == 2
+        assert set(manifest["entries"]) == {"k1", "k2"}
+        assert manifest["entries"]["k1"]["shard"] == shard_of("k1")
+
+    def test_manifest_not_listed_as_entry(self, cache):
+        cache.put("k1", {"a": 1})
+        cache.write_manifest()
+        assert [k for k, _ in cache.iter_entries()] == ["k1"]
+        assert cache.stats().entries == 1
+
+
+def _hammer(args):
+    """Worker: write many entries into a shared cache."""
+    root, worker_id, n = args
+    cache = ResultCache(root, version=8)
+    for i in range(n):
+        # every worker also writes the contended shared key
+        cache.put("shared", {"worker": worker_id, "i": i})
+        cache.put(f"w{worker_id}-{i}", {"worker": worker_id, "i": i})
+    return worker_id
+
+
+class TestParallelWriters:
+    def test_concurrent_writers_do_not_clobber(self, tmp_path):
+        root = str(tmp_path / "cache")
+        n_workers, n_puts = 4, 25
+        with multiprocessing.get_context().Pool(n_workers) as pool:
+            done = pool.map(
+                _hammer, [(root, w, n_puts) for w in range(n_workers)]
+            )
+        assert sorted(done) == list(range(n_workers))
+        cache = ResultCache(root, version=8)
+        # every entry parses (atomic publication: no torn writes) ...
+        entries = dict(cache.iter_entries())
+        assert len(entries) == n_workers * n_puts + 1
+        for key in entries:
+            assert cache.get(key) is not None, key
+        # ... including the key all workers raced on
+        assert cache.get("shared")["i"] == n_puts - 1
+        # and no tmp droppings survived
+        assert cache.prune().removed == 0

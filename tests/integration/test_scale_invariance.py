@@ -6,6 +6,9 @@ import pytest
 from repro import CMPConfig, TechniqueConfig, simulate
 from repro.workloads.registry import get_workload
 
+#: multi-scale re-simulation of the matrix: nightly-lane material
+pytestmark = pytest.mark.slow
+
 
 def occupancies(scale):
     wl = get_workload("mpeg2dec", scale=scale)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import CMPConfig, TechniqueConfig, simulate
+from repro import CMPConfig, Simulator, TechniqueConfig, simulate
 from repro.sim.stats import SimResult
 from repro.workloads.registry import get_workload
 from tests.conftest import tiny_config
@@ -46,6 +46,22 @@ class TestBasicRun:
         res = simulate(tiny_config(), uniform_wl)
         s = res.summary()
         assert "IPC" in s and "occupancy" in s
+
+    def test_event_heap_loses_no_drains(self, uniform_wl):
+        # every buffered store must drain by completion: a dropped or
+        # stale-swallowed heap entry would leave a pending deadline
+        sim = Simulator(tiny_config())
+        res = sim.run(uniform_wl)
+        for l1 in sim.system.l1s:
+            assert l1.next_drain_time() == -1
+            assert l1.consume_drain_event() is None
+        drains = sum(l1.write_buffer.stats.drains for l1 in sim.system.l1s)
+        inserts = sum(l1.write_buffer.stats.inserts for l1 in sim.system.l1s)
+        coalesced = sum(
+            l1.write_buffer.stats.coalesced for l1 in sim.system.l1s
+        )
+        assert drains == inserts - coalesced
+        assert sum(s.writes for s in res.l2) == drains
 
 
 class TestBarrierWorkloads:
