@@ -1,0 +1,33 @@
+"""Pluggable sweep-execution backends (see ``docs/architecture.md``)."""
+
+from .base import (
+    PointSpec,
+    SweepBackend,
+    backend_names,
+    make_backend,
+    register_backend,
+)
+from .batch import (
+    BatchQueueBackend,
+    read_task_file,
+    run_batch_worker,
+    write_task_file,
+)
+from .local import LocalBackend, resolve_jobs
+from .socket_ws import SocketWorkStealingBackend, worker_main
+
+__all__ = [
+    "PointSpec",
+    "SweepBackend",
+    "backend_names",
+    "make_backend",
+    "register_backend",
+    "BatchQueueBackend",
+    "read_task_file",
+    "run_batch_worker",
+    "write_task_file",
+    "LocalBackend",
+    "resolve_jobs",
+    "SocketWorkStealingBackend",
+    "worker_main",
+]

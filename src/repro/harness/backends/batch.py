@@ -1,0 +1,324 @@
+"""Batch-queue sweep execution: a task file plus cache-shard ingest.
+
+Where the socket backend needs live connections, this backend needs only
+a directory that hosts can sync (NFS, rsync, a CI artifact store)::
+
+    <queue_dir>/
+        tasks.json              # runner params + the planned specs
+        results/
+            <worker_id>/        # one ResultCache root per worker
+                v8/...          #   sharded entries, standard layout
+                v8/index.json   #   manifest, written when the worker ends
+
+The coordinator *emits* ``tasks.json`` and then *ingests*: every cache
+root under ``results/`` is merged into the runner's own
+:class:`~repro.harness.result_cache.ResultCache` via
+:meth:`~repro.harness.result_cache.ResultCache.import_entries` — a
+manifest-driven, byte-for-byte copy, so figure tables come out identical
+to a serial sweep.  Workers (``repro-cmp work --queue-dir DIR`` anywhere
+the directory is synced, optionally sliced ``--slice i/n``) claim their
+share of the task list and write only inside their own subdirectory, so
+no two hosts ever contend on a file.
+
+Ingest is idempotent and crash-tolerant by construction: already-present
+entries are skipped after a byte comparison, manifest rows whose blob
+never arrived (a worker died before the copy) are counted as stale and
+simply re-awaited, and a worker that reran a task produced the same bytes
+anyway because points are deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+from typing import List, Optional, Sequence, Tuple
+
+from ..result_cache import MergeReport, ResultCache, atomic_write
+from ..runner import CACHE_VERSION, SweepRunner, decode_entry
+from .base import PointSpec, default_worker_id, register_backend
+
+#: task-file name inside the queue directory
+TASK_FILE = "tasks.json"
+
+#: per-worker result roots live under this subdirectory
+RESULTS_DIR = "results"
+
+#: schema marker of the task file
+TASK_FORMAT = 1
+
+
+def write_task_file(
+    queue_dir: str, params: dict, specs: Sequence[PointSpec]
+) -> str:
+    """Atomically publish the task file for a planned sweep."""
+    payload = {
+        "format": TASK_FORMAT,
+        "cache_version": CACHE_VERSION,
+        "params": params,
+        "specs": [list(spec) for spec in specs],
+    }
+    return atomic_write(
+        os.path.join(queue_dir, TASK_FILE),
+        json.dumps(payload, indent=1, sort_keys=True).encode("utf-8"),
+    )
+
+
+def read_task_file(queue_dir: str) -> dict:
+    """Load and validate the queue's task file."""
+    path = os.path.join(queue_dir, TASK_FILE)
+    with open(path) as fh:
+        payload = json.load(fh)
+    if payload.get("format") != TASK_FORMAT:
+        raise ValueError(
+            f"{path}: unsupported task-file format {payload.get('format')!r}"
+        )
+    if payload.get("cache_version") != CACHE_VERSION:
+        raise ValueError(
+            f"{path}: task file targets cache v{payload.get('cache_version')}"
+            f", this build writes v{CACHE_VERSION}"
+        )
+    payload["specs"] = [
+        (str(wl), int(mb), str(tech)) for wl, mb, tech in payload["specs"]
+    ]
+    return payload
+
+
+def worker_result_dir(queue_dir: str, worker_id: str) -> str:
+    """Cache root a batch worker writes into."""
+    return os.path.join(queue_dir, RESULTS_DIR, worker_id)
+
+
+def list_worker_result_dirs(queue_dir: str) -> List[str]:
+    """Every per-worker cache root currently present, sorted."""
+    root = os.path.join(queue_dir, RESULTS_DIR)
+    try:
+        names = sorted(os.listdir(root))
+    except OSError:
+        return []
+    return [
+        os.path.join(root, name)
+        for name in names
+        if os.path.isdir(os.path.join(root, name))
+    ]
+
+
+def run_batch_worker(
+    queue_dir: str,
+    worker_id: Optional[str] = None,
+    task_slice: Tuple[int, int] = (0, 1),
+) -> int:
+    """Process one worker's share of the queue's task file.
+
+    ``task_slice`` is ``(i, n)``: this worker claims every n-th spec
+    starting at index ``i`` — a static partition, so concurrent workers
+    never collide.  Results land in the worker's own cache root, and a
+    manifest snapshot is written at the end to mark the shard complete.
+    Returns the number of points simulated (cached points are free).
+    """
+    payload = read_task_file(queue_dir)
+    index, modulus = task_slice
+    if not (0 <= index < modulus):
+        raise ValueError(f"task slice {index}/{modulus} out of range")
+    wid = worker_id or default_worker_id()
+    runner = SweepRunner(
+        verbose=False,
+        cache_dir=worker_result_dir(queue_dir, wid),
+        **payload["params"],
+    )
+    done = 0
+    for spec in payload["specs"][index::modulus]:
+        if runner.lookup(*spec) is None:
+            done += 1
+        runner.run_point(*spec)
+    runner.cache.write_manifest()
+    return done
+
+
+class BatchQueueBackend:
+    """Emit a task file, then ingest completed shards until done.
+
+    With ``spawn_workers > 0`` the backend runs that many batch workers
+    as local child processes (one sliced pass over the task file) — the
+    single-host proof of the full emit → work → ingest cycle, and what
+    the tests diff against the serial runner.  With ``spawn_workers = 0``
+    it polls ``results/`` every ``poll_interval`` seconds, ingesting
+    whatever synced-in shards appeared, until the matrix is complete or
+    ``timeout`` elapses.
+    """
+
+    name = "batch"
+
+    def __init__(
+        self,
+        queue_dir: str = ".repro_queue",
+        spawn_workers: int = 2,
+        poll_interval: float = 1.0,
+        timeout: Optional[float] = None,
+    ) -> None:
+        self.queue_dir = queue_dir
+        self.spawn_workers = spawn_workers
+        self.poll_interval = poll_interval
+        self.timeout = timeout
+        #: merge reports accumulated by the last :meth:`execute`
+        self.last_reports: List[MergeReport] = []
+
+    # ------------------------------------------------------------------
+    def collect(
+        self, runner: SweepRunner, pending: Sequence[PointSpec]
+    ) -> List[PointSpec]:
+        """Ingest every present shard; return the still-missing specs.
+
+        When the runner has a disk cache, shards are merged into it
+        byte-for-byte (the multi-host sync path); either way, decoded
+        results are installed into the runner's memo so figure code can
+        run immediately.  Keys already installed are excluded from the
+        merge, so re-polling a slow queue costs a directory listing per
+        shard, not a re-read of everything already ingested; only merge
+        rounds that did something are kept in :attr:`last_reports`.
+        """
+        worker_dirs = list_worker_result_dirs(self.queue_dir)
+        worker_caches = [ResultCache(d, CACHE_VERSION) for d in worker_dirs]
+        if runner.cache is not None:
+            settled = {
+                runner.point_key(*spec)
+                for spec in pending
+                if runner.lookup(*spec) is not None
+            }
+            for cache in worker_caches:
+                report = runner.cache.import_entries(cache, exclude=settled)
+                if report.examined or report.stale_manifest or report.corrupt:
+                    self.last_reports.append(report)
+        missing: List[PointSpec] = []
+        for spec in pending:
+            if runner.lookup(*spec) is not None:
+                continue
+            key = runner.point_key(*spec)
+            blob = self._read_shard_entry(worker_caches, key)
+            if blob is None:
+                missing.append(spec)
+                continue
+            try:
+                res, energy = decode_entry(blob)
+            except (KeyError, TypeError, ValueError):
+                # JSON-valid but schema-invalid shard entry: skip it like
+                # the corrupt-JSON path and keep awaiting a good copy
+                missing.append(spec)
+                continue
+            runner.install(*spec, res, energy)
+        return missing
+
+    @staticmethod
+    def _read_shard_entry(
+        worker_caches: Sequence[ResultCache], key: str
+    ) -> Optional[dict]:
+        """Load ``key`` from the first shard that has a parseable copy.
+
+        Deliberately *not* :meth:`ResultCache.get`: that method deletes
+        corrupt entries, and worker shards belong to their workers — a
+        half-synced blob must be skipped, not unlinked, so a later sync
+        can complete it.
+        """
+        for cache in worker_caches:
+            data = cache.read_bytes(key)
+            if data is None:
+                continue
+            try:
+                blob = json.loads(data)
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                continue
+            if isinstance(blob, dict):
+                return blob
+        return None
+
+    def _spawn_and_wait(self, deadline: Optional[float]) -> None:
+        """Run ``spawn_workers`` sliced batch workers to completion.
+
+        ``deadline`` is a :func:`time.monotonic` timestamp; workers still
+        alive past it are terminated and the sweep raises ``TimeoutError``
+        (partial shards stay on disk, so a rerun resumes from them).
+        """
+        procs = []
+        for i in range(self.spawn_workers):
+            proc = multiprocessing.Process(
+                target=run_batch_worker,
+                args=(self.queue_dir,),
+                kwargs={
+                    "worker_id": f"batch-{i}",
+                    "task_slice": (i, self.spawn_workers),
+                },
+            )
+            proc.start()
+            procs.append(proc)
+        failures = []
+        timed_out = False
+        for i, proc in enumerate(procs):
+            if deadline is None:
+                proc.join()
+            else:
+                proc.join(max(0.0, deadline - time.monotonic()))
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(10)
+                    timed_out = True
+                    continue
+            if proc.exitcode != 0:
+                failures.append(f"batch-{i} exited {proc.exitcode}")
+        if timed_out:
+            raise TimeoutError(
+                f"batch workers still running after {self.timeout}s; "
+                f"terminated (partial shards kept in {self.queue_dir})"
+            )
+        if failures:
+            raise RuntimeError(
+                f"batch workers failed: {'; '.join(failures)} "
+                f"(task file and partial shards left in {self.queue_dir})"
+            )
+
+    def execute(self, runner: SweepRunner, pending: Sequence[PointSpec]) -> int:
+        """Publish the task file and ingest shards until all installed."""
+        pending = list(pending)
+        if not pending:
+            return 0
+        self.last_reports = []
+        params = runner.runner_params()
+        write_task_file(self.queue_dir, params, pending)
+        if runner.verbose:
+            print(
+                f"[sweep:batch] {len(pending)} points queued in "
+                f"{self.queue_dir} ({self.spawn_workers} local workers)",
+                flush=True,
+            )
+        deadline = (
+            time.monotonic() + self.timeout if self.timeout is not None else None
+        )
+        if self.spawn_workers:
+            self._spawn_and_wait(deadline)
+            missing = self.collect(runner, pending)
+            if missing:
+                lost = ", ".join(
+                    f"{wl} {mb}MB {tech}" for wl, mb, tech in missing
+                )
+                raise RuntimeError(
+                    f"batch workers finished but left points missing: {lost}"
+                )
+            return len(pending)
+        while True:
+            missing = self.collect(runner, pending)
+            if not missing:
+                return len(pending)
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"batch sweep timed out with {len(missing)} of "
+                    f"{len(pending)} points missing from {self.queue_dir}"
+                )
+            if runner.verbose:
+                print(
+                    f"[sweep:batch] waiting: {len(missing)} points missing",
+                    flush=True,
+                )
+            time.sleep(self.poll_interval)
+
+
+register_backend("batch", BatchQueueBackend)

@@ -1,0 +1,126 @@
+"""Local multiprocessing backend (the default sweep executor).
+
+This is PR 1's worker pool refactored behind the
+:class:`~repro.harness.backends.base.SweepBackend` protocol: a
+:mod:`multiprocessing` pool whose initializer builds one serial
+:class:`~repro.harness.runner.SweepRunner` per worker process (amortizing
+workload construction), with completed points streamed back to the parent
+in the serialized cache-entry format so installation is byte-identical to
+a serial run.  Workers write straight into the shared on-disk cache when
+one is configured; the parent then skips the redundant write.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Optional, Sequence, Tuple
+
+from ..runner import SweepRunner, decode_entry, encode_entry
+from .base import PointSpec, register_backend
+
+#: per-worker serial runner, created once by the pool initializer
+_WORKER_RUNNER: Optional[SweepRunner] = None
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Worker count for a ``--jobs`` value (``None``/``0`` = all cores)."""
+    if jobs is None or jobs <= 0:
+        return max(1, os.cpu_count() or 1)
+    return jobs
+
+
+def _init_worker(params: dict) -> None:
+    """Pool initializer: build this worker's serial runner."""
+    global _WORKER_RUNNER
+    _WORKER_RUNNER = SweepRunner(verbose=False, **params)
+
+
+def _run_point(spec: PointSpec) -> Tuple[PointSpec, dict, dict]:
+    """Execute one matrix point in a pool worker.
+
+    Returns the spec with the *serialized* result/energy blobs — exactly
+    the cache-entry format — so the parent reconstructs results the same
+    way a cache hit would, keeping serial and parallel sweeps
+    byte-identical.
+    """
+    assert _WORKER_RUNNER is not None, "worker initializer did not run"
+    workload, total_mb, tech_label = spec
+    try:
+        res, energy = _WORKER_RUNNER.run_point(workload, total_mb, tech_label)
+    except Exception as exc:
+        raise RuntimeError(
+            f"sweep point {workload} {total_mb}MB {tech_label} failed: {exc}"
+        ) from exc
+    blob = encode_entry(res, energy)
+    return spec, blob["result"], blob["energy"]
+
+
+class LocalBackend:
+    """Process-pool execution on this host.
+
+    ``jobs`` follows the CLI convention (``None``/``0`` = all cores);
+    a single pending point, or ``jobs=1``, takes an inline no-pool fast
+    path through :meth:`~repro.harness.runner.SweepRunner.run_point`.
+    """
+
+    name = "local"
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        start_method: Optional[str] = None,
+    ) -> None:
+        self.jobs = resolve_jobs(jobs)
+        self.start_method = start_method
+
+    def execute(self, runner: SweepRunner, pending: Sequence[PointSpec]) -> int:
+        """Fan ``pending`` out across the worker pool (or run inline)."""
+        pending = list(pending)
+        if not pending:
+            return 0
+        if self.jobs == 1 or len(pending) == 1:
+            for spec in pending:
+                runner.run_point(*spec)
+            return len(pending)
+        params = runner.runner_params(cache_dir=runner.cache_dir)
+        ctx = (
+            multiprocessing.get_context(self.start_method)
+            if self.start_method
+            else multiprocessing.get_context()
+        )
+        n_workers = min(self.jobs, len(pending))
+        if runner.verbose:
+            print(
+                f"[sweep] {len(pending)} points on {n_workers} workers "
+                f"(scale={runner.scale})",
+                flush=True,
+            )
+        with ctx.Pool(
+            processes=n_workers,
+            initializer=_init_worker,
+            initargs=(params,),
+        ) as pool:
+            done = 0
+            for spec, result_d, energy_d in pool.imap_unordered(
+                _run_point, pending, chunksize=1
+            ):
+                res, energy = decode_entry(
+                    {"result": result_d, "energy": energy_d}
+                )
+                # the worker already persisted the entry when caching is on
+                runner.install(
+                    *spec, res, energy, write_cache=runner.cache is None
+                )
+                done += 1
+                if runner.verbose:
+                    wl, mb, tech = spec
+                    print(
+                        f"[sweep] {done}/{len(pending)} done: "
+                        f"{wl} {mb}MB {tech}",
+                        flush=True,
+                    )
+        return len(pending)
+
+
+register_backend("local", LocalBackend)

@@ -1,0 +1,437 @@
+"""Work-stealing sweep execution over TCP.
+
+A coordinator (:class:`SocketWorkStealingBackend`, or the ``repro-cmp
+serve`` command) owns the planned task list and serves it over a tiny
+newline-delimited-JSON protocol; workers — child processes spawned by the
+backend, or ``repro-cmp work host:port`` shells on any machine — *pull*
+tasks one at a time, simulate them with a local serial runner, and stream
+the serialized results back.  Pulling is what makes the schedule
+work-stealing: a fast worker drains more of the queue, and a task whose
+worker crashes mid-flight is simply requeued for the next puller.
+
+Protocol (one JSON object per line, worker → coordinator unless noted)::
+
+    {"op": "hello", "worker": <name>}
+        -> {"op": "welcome", "proto": 1, "params": {...runner params...}}
+    {"op": "get"}
+        -> {"op": "task", "spec": [workload, total_mb, technique]}
+         | {"op": "wait", "seconds": s}     # queue empty, leases pending
+         | {"op": "done"}                   # matrix complete, disconnect
+    {"op": "result", "spec": [...], "result": {...}, "energy": {...}}
+        -> {"op": "ack"}
+    {"op": "error", "spec": [...], "message": <text>}
+        -> {"op": "ack"}
+
+Workers rebuild their runner from the coordinator's ``params``, so a
+remote shell needs no flags beyond the address — and no shared
+filesystem: results travel over the socket in the cache-entry format and
+the coordinator alone installs them (byte-identical to a serial sweep,
+even when a crash makes a task run twice, because points are
+deterministic and installation is idempotent).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import socket
+import socketserver
+import threading
+import time
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..runner import SweepRunner, decode_entry, encode_entry
+from .base import PointSpec, default_worker_id, register_backend
+
+#: protocol version sent in the welcome message
+PROTO_VERSION = 1
+
+#: how many times a spec may be attempted before the sweep fails
+DEFAULT_MAX_ATTEMPTS = 3
+
+#: seconds an idle worker is told to sleep before re-polling
+WAIT_SECONDS = 0.1
+
+
+def _send(wfile, obj: dict) -> None:
+    """Write one protocol message (a JSON line)."""
+    wfile.write((json.dumps(obj) + "\n").encode("utf-8"))
+    wfile.flush()
+
+
+def _recv(rfile) -> Optional[dict]:
+    """Read one protocol message; ``None`` on EOF or malformed line."""
+    line = rfile.readline()
+    if not line:
+        return None
+    try:
+        msg = json.loads(line)
+    except json.JSONDecodeError:
+        return None
+    return msg if isinstance(msg, dict) else None
+
+
+def _spec_of(msg: dict) -> PointSpec:
+    """Normalize a wire spec (JSON list) back into a :data:`PointSpec`."""
+    workload, total_mb, tech = msg["spec"]
+    return (str(workload), int(total_mb), str(tech))
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    """One connected worker: serve gets, accept results, requeue on drop."""
+
+    def handle(self) -> None:
+        """Serve one worker connection (socketserver hook)."""
+        server: "_TaskServer" = self.server  # type: ignore[assignment]
+        worker = "?"
+        leased: Optional[PointSpec] = None
+        server.connection_opened()
+        try:
+            while True:
+                msg = _recv(self.rfile)
+                if msg is None:
+                    return
+                op = msg.get("op")
+                if op == "hello":
+                    worker = str(msg.get("worker", "?"))
+                    _send(
+                        self.wfile,
+                        {
+                            "op": "welcome",
+                            "proto": PROTO_VERSION,
+                            "params": server.params,
+                        },
+                    )
+                elif op == "get":
+                    reply, leased = server.lease(worker)
+                    _send(self.wfile, reply)
+                    if reply["op"] == "done":
+                        return
+                elif op == "result":
+                    server.complete(_spec_of(msg), msg, worker)
+                    if leased == _spec_of(msg):
+                        leased = None
+                    _send(self.wfile, {"op": "ack"})
+                elif op == "error":
+                    server.task_failed(
+                        _spec_of(msg), str(msg.get("message", "")), worker
+                    )
+                    if leased == _spec_of(msg):
+                        leased = None
+                    _send(self.wfile, {"op": "ack"})
+                else:
+                    return
+        finally:
+            server.connection_closed()
+            if leased is not None:
+                server.requeue(leased, f"worker {worker} disconnected")
+
+
+class _TaskServer(socketserver.ThreadingTCPServer):
+    """Coordinator state: the queue, leases, retries, and installation."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        runner: SweepRunner,
+        pending: Sequence[PointSpec],
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    ) -> None:
+        super().__init__(address, _Handler)
+        self.runner = runner
+        self.params = runner.runner_params(cache_dir=None)
+        self.total = len(pending)
+        self.max_attempts = max_attempts
+        self._lock = threading.Lock()
+        self._queue: deque = deque(pending)
+        self._attempts: Dict[PointSpec, int] = {}
+        self._completed: set = set()
+        self.failures: Dict[PointSpec, str] = {}
+        self.finished = threading.Event()
+        #: currently connected workers (spawned or external)
+        self.active_connections = 0
+        #: observability counters (tests assert on these)
+        self.stats = {"served": 0, "requeued": 0, "duplicates": 0}
+        if not pending:
+            self.finished.set()
+
+    # ------------------------------------------------------------------
+    def connection_opened(self) -> None:
+        """A worker connected (handler thread start)."""
+        with self._lock:
+            self.active_connections += 1
+
+    def connection_closed(self) -> None:
+        """A worker disconnected (handler thread end)."""
+        with self._lock:
+            self.active_connections -= 1
+
+    # ------------------------------------------------------------------
+    def lease(self, worker: str) -> Tuple[dict, Optional[PointSpec]]:
+        """Hand the next queued spec to ``worker`` (or wait/done)."""
+        with self._lock:
+            if self._done_locked():
+                return {"op": "done"}, None
+            if not self._queue:
+                return {"op": "wait", "seconds": WAIT_SECONDS}, None
+            spec = self._queue.popleft()
+            self._attempts[spec] = self._attempts.get(spec, 0) + 1
+            self.stats["served"] += 1
+            return {"op": "task", "spec": list(spec)}, spec
+
+    def complete(self, spec: PointSpec, msg: dict, worker: str) -> None:
+        """Install one streamed result (idempotently) and mark it done."""
+        res, energy = decode_entry(
+            {"result": msg["result"], "energy": msg["energy"]}
+        )
+        with self._lock:
+            duplicate = spec in self._completed
+            if duplicate:
+                self.stats["duplicates"] += 1
+            self._completed.add(spec)
+            self.failures.pop(spec, None)
+        # install outside the lock: determinism makes re-installation of a
+        # duplicate byte-identical, so ordering between racers is moot
+        self.runner.install(*spec, res, energy)
+        if self.runner.verbose and not duplicate:
+            wl, mb, tech = spec
+            print(
+                f"[sweep:socket] {len(self._completed)}/{self.total} done: "
+                f"{wl} {mb}MB {tech} ({worker})",
+                flush=True,
+            )
+        self._check_finished()
+
+    def requeue(self, spec: PointSpec, reason: str) -> None:
+        """Return a leased spec to the queue after a worker loss."""
+        with self._lock:
+            if spec in self._completed or spec in self.failures:
+                return
+            if self._attempts.get(spec, 0) >= self.max_attempts:
+                self.failures[spec] = reason
+            else:
+                self._queue.append(spec)
+                self.stats["requeued"] += 1
+        self._check_finished()
+
+    def task_failed(self, spec: PointSpec, message: str, worker: str) -> None:
+        """A worker reported a simulation error for ``spec``."""
+        self.requeue(spec, f"{worker}: {message}")
+
+    # ------------------------------------------------------------------
+    def _done_locked(self) -> bool:
+        return len(self._completed) + len(self.failures) >= self.total
+
+    def _check_finished(self) -> None:
+        with self._lock:
+            if self._done_locked():
+                self.finished.set()
+
+
+def worker_main(
+    host: str,
+    port: int,
+    worker_name: Optional[str] = None,
+    crash_after_tasks: Optional[int] = None,
+) -> int:
+    """Worker loop: pull tasks from ``host:port`` until the sweep is done.
+
+    This is the body of ``repro-cmp work host:port`` and of the worker
+    processes the backend spawns locally.  ``crash_after_tasks`` is a
+    fault-injection seam for the retry tests: the process hard-exits
+    after *receiving* (not completing) that many tasks, exactly like a
+    worker dying mid-simulation.
+    """
+    name = worker_name or default_worker_id()
+    sock = socket.create_connection((host, port), timeout=600)
+    received = 0
+    runner: Optional[SweepRunner] = None
+    with sock, sock.makefile("rb") as rfile, sock.makefile("wb") as wfile:
+        _send(wfile, {"op": "hello", "worker": name})
+        welcome = _recv(rfile)
+        if not welcome or welcome.get("op") != "welcome":
+            raise RuntimeError(f"bad welcome from coordinator: {welcome!r}")
+        if welcome.get("proto") != PROTO_VERSION:
+            raise RuntimeError(
+                f"coordinator speaks protocol {welcome.get('proto')!r}, "
+                f"this worker speaks {PROTO_VERSION}"
+            )
+        params = welcome["params"]
+        while True:
+            _send(wfile, {"op": "get"})
+            msg = _recv(rfile)
+            if msg is None or msg.get("op") == "done":
+                return 0
+            if msg.get("op") == "wait":
+                time.sleep(float(msg.get("seconds", WAIT_SECONDS)))
+                continue
+            if msg.get("op") != "task":
+                raise RuntimeError(f"unexpected coordinator message: {msg!r}")
+            spec = _spec_of(msg)
+            received += 1
+            if crash_after_tasks is not None and received >= crash_after_tasks:
+                os._exit(17)
+            if runner is None:
+                runner = SweepRunner(verbose=False, **params)
+            try:
+                res, energy = runner.run_point(*spec)
+            except Exception as exc:
+                _send(
+                    wfile,
+                    {"op": "error", "spec": list(spec), "message": str(exc)},
+                )
+                _recv(rfile)
+                continue
+            blob = encode_entry(res, energy)
+            _send(
+                wfile,
+                {
+                    "op": "result",
+                    "spec": list(spec),
+                    "result": blob["result"],
+                    "energy": blob["energy"],
+                },
+            )
+            _recv(rfile)
+
+
+class SocketWorkStealingBackend:
+    """Coordinator + pull-workers over TCP.
+
+    With ``spawn_workers > 0`` the backend forks that many local worker
+    processes for the duration of the sweep — a one-process-per-task-pull
+    sibling of :class:`~repro.harness.backends.local.LocalBackend` that
+    exercises the full network path.  With ``spawn_workers = 0`` it only
+    serves, and remote ``repro-cmp work`` shells supply the labor.
+    """
+
+    name = "socket"
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        spawn_workers: int = 2,
+        timeout: Optional[float] = None,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        crash_plan: Optional[Dict[int, int]] = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.spawn_workers = spawn_workers
+        self.timeout = timeout
+        self.max_attempts = max_attempts
+        #: fault injection: worker index -> crash_after_tasks (tests only)
+        self.crash_plan = crash_plan or {}
+        #: stats of the last :meth:`execute` (served/requeued/duplicates)
+        self.last_stats: Dict[str, int] = {}
+
+    def execute(self, runner: SweepRunner, pending: Sequence[PointSpec]) -> int:
+        """Serve ``pending`` to workers; block until installed or failed."""
+        pending = list(pending)
+        if not pending:
+            return 0
+        server = _TaskServer(
+            (self.host, self.port), runner, pending, self.max_attempts
+        )
+        host, port = server.server_address[:2]
+        # a wildcard bind accepts remote workers, but spawned local
+        # workers must dial loopback — connecting to 0.0.0.0 is not
+        # portable
+        connect_host = "127.0.0.1" if host in ("0.0.0.0", "::") else host
+        serve_thread = threading.Thread(
+            target=server.serve_forever, daemon=True
+        )
+        serve_thread.start()
+        procs: List[multiprocessing.Process] = []
+        try:
+            if runner.verbose:
+                print(
+                    f"[sweep:socket] serving {len(pending)} points on "
+                    f"{host}:{port} ({self.spawn_workers} local workers)",
+                    flush=True,
+                )
+            for i in range(self.spawn_workers):
+                proc = multiprocessing.Process(
+                    target=worker_main,
+                    args=(connect_host, port),
+                    kwargs={
+                        "worker_name": f"local-{i}",
+                        "crash_after_tasks": self.crash_plan.get(i),
+                    },
+                    daemon=True,
+                )
+                proc.start()
+                procs.append(proc)
+            outcome = self._await(server, procs)
+        finally:
+            server.shutdown()
+            server.server_close()
+            for proc in procs:
+                proc.join(timeout=10)
+                if proc.is_alive():
+                    proc.terminate()
+            self.last_stats = dict(server.stats)
+        if server.failures:
+            lost = ", ".join(
+                f"{wl} {mb}MB {tech} ({why})"
+                for (wl, mb, tech), why in sorted(server.failures.items())
+            )
+            raise RuntimeError(f"sweep points failed on every attempt: {lost}")
+        if outcome == "starved":
+            raise RuntimeError(
+                f"all {self.spawn_workers} spawned workers exited and no "
+                f"external workers connected, with "
+                f"{self.remaining(runner, pending)} points unfinished"
+            )
+        if outcome == "timeout":
+            raise TimeoutError(
+                f"socket sweep timed out after {self.timeout}s with "
+                f"{self.remaining(runner, pending)} points missing"
+            )
+        return len(pending)
+
+    def _await(
+        self,
+        server: _TaskServer,
+        procs: Sequence[multiprocessing.Process],
+    ) -> str:
+        """Block until done; returns ``finished``/``timeout``/``starved``.
+
+        Starvation — every spawned worker dead, no external worker
+        connected, points remaining — is detected so a crash-everything
+        scenario fails immediately instead of burning the whole timeout.
+        A healthy worker only exits after the coordinator's ``done``, so
+        all-dead truly means no labor left; a still-connected external
+        shell keeps the sweep alive (it can finish the work).  With
+        ``spawn_workers=0`` only the timeout applies: a new shell may
+        connect at any moment.
+        """
+        deadline = (
+            time.monotonic() + self.timeout if self.timeout is not None else None
+        )
+        while not server.finished.wait(0.2):
+            if (
+                procs
+                and not any(proc.is_alive() for proc in procs)
+                and server.active_connections == 0
+            ):
+                if server.finished.is_set():
+                    return "finished"
+                return "starved"
+            if deadline is not None and time.monotonic() >= deadline:
+                return "timeout"
+        return "finished"
+
+    @staticmethod
+    def remaining(runner: SweepRunner, pending: Sequence[PointSpec]) -> int:
+        """How many of ``pending`` the runner still cannot serve."""
+        return sum(1 for spec in pending if runner.lookup(*spec) is None)
+
+
+register_backend("socket", SocketWorkStealingBackend)

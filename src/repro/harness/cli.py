@@ -11,16 +11,33 @@ Examples::
     repro-cmp point water_ns 4 decay64K  # one sweep point, all metrics
     repro-cmp cache stats                # result-cache footprint per version
     repro-cmp cache prune                # drop stale/corrupt cache entries
+    repro-cmp cache merge OTHER_DIR      # ingest a synced cache/shard
+
+Distributed sweeps (see ``docs/architecture.md``)::
+
+    repro-cmp fig5a --backend socket --port 7777   # + workers that pull
+    repro-cmp work 127.0.0.1:7777                  # a socket worker shell
+    repro-cmp serve --port 7777 --jobs 2           # coordinator, no figure
+    repro-cmp fig5a --backend batch --queue-dir q  # task file + ingest
+    repro-cmp work --queue-dir q --slice 0/2       # a batch worker shell
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from ..sim.config import PAPER_TOTAL_L2_MB
 from ..workloads.registry import PAPER_BENCHMARKS, list_workloads
+from .backends import (
+    BatchQueueBackend,
+    SocketWorkStealingBackend,
+    SweepBackend,
+    resolve_jobs,
+    run_batch_worker,
+    worker_main,
+)
 from .executor import ParallelSweepRunner
 from .figures import EXPERIMENTS, run_experiment, table1
 from .result_cache import ResultCache
@@ -28,39 +45,125 @@ from .runner import CACHE_VERSION, SweepRunner
 
 
 def build_parser() -> argparse.ArgumentParser:
-    """The ``repro-cmp`` argument parser."""
+    """Build the ``repro-cmp`` argument parser."""
     p = argparse.ArgumentParser(
         prog="repro-cmp",
         description="Reproduce the tables/figures of Monchiero et al., "
-                    "ICPP 2009 (CMP L2 leakage via coherence + decay).",
+        "ICPP 2009 (CMP L2 leakage via coherence + decay).",
     )
-    p.add_argument("command",
-                   help="experiment id (fig3a..fig6b, table1), 'list', "
-                        "'point', or 'cache'")
+    p.add_argument(
+        "command",
+        help="experiment id (fig3a..fig6b, table1), 'list', 'point', "
+        "'cache', 'serve', or 'work'",
+    )
     p.add_argument("args", nargs="*", help="command-specific arguments")
-    p.add_argument("--scale", type=float, default=0.1,
-                   help="workload time-dilation factor (default 0.1; "
-                        "1.0 = full paper-equivalent length)")
+    p.add_argument(
+        "--scale",
+        type=float,
+        default=0.1,
+        help="workload time-dilation factor (default 0.1; "
+        "1.0 = full paper-equivalent length)",
+    )
     p.add_argument("--seed", type=int, default=1)
-    p.add_argument("--sizes", type=str, default=None,
-                   help="comma-separated total L2 MB (default 1,2,4,8)")
-    p.add_argument("--benchmarks", type=str, default=None,
-                   help="comma-separated workload names")
-    p.add_argument("--jobs", "-j", type=int, default=1,
-                   help="worker processes for the sweep (1 = serial, "
-                        "0 = all cores)")
-    p.add_argument("--cache-dir", type=str, default=".repro_cache",
-                   help="result cache directory (default .repro_cache)")
-    p.add_argument("--no-cache", action="store_true",
-                   help="disable the on-disk result cache")
-    p.add_argument("--csv", type=str, default=None, metavar="PATH",
-                   help="also write the experiment table as CSV to PATH")
+    p.add_argument(
+        "--sizes",
+        type=str,
+        default=None,
+        help="comma-separated total L2 MB (default 1,2,4,8)",
+    )
+    p.add_argument(
+        "--benchmarks",
+        type=str,
+        default=None,
+        help="comma-separated workload names",
+    )
+    p.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        help="local worker processes for the sweep (1 = serial, "
+        "0 = all cores)",
+    )
+    p.add_argument(
+        "--backend",
+        choices=("local", "socket", "batch"),
+        default="local",
+        help="sweep execution backend (default local; socket = TCP "
+        "work-stealing coordinator, batch = task file + shard ingest)",
+    )
+    p.add_argument(
+        "--bind",
+        type=str,
+        default="127.0.0.1",
+        metavar="HOST",
+        help="socket backend: address the coordinator listens on",
+    )
+    p.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="socket backend: coordinator port (0 = ephemeral, printed "
+        "at startup)",
+    )
+    p.add_argument(
+        "--queue-dir",
+        type=str,
+        default=".repro_queue",
+        metavar="DIR",
+        help="batch backend: queue directory (task file + result shards)",
+    )
+    p.add_argument(
+        "--wait",
+        action="store_true",
+        help="socket/batch backend: spawn no local workers; wait for "
+        "external 'repro-cmp work' shells",
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="socket/batch backend: give up after this long",
+    )
+    p.add_argument(
+        "--slice",
+        dest="task_slice",
+        type=str,
+        default="0/1",
+        metavar="I/N",
+        help="batch worker: claim every N-th task starting at I",
+    )
+    p.add_argument(
+        "--worker-id",
+        type=str,
+        default=None,
+        help="worker name (default host-pid)",
+    )
+    p.add_argument(
+        "--cache-dir",
+        type=str,
+        default=".repro_cache",
+        help="result cache directory (default .repro_cache)",
+    )
+    p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk result cache",
+    )
+    p.add_argument(
+        "--csv",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="also write the experiment table as CSV to PATH",
+    )
     p.add_argument("--quiet", action="store_true")
     return p
 
 
 def _cache_command(args: argparse.Namespace) -> int:
-    """``repro-cmp cache stats|prune|manifest``."""
+    """Run ``repro-cmp cache stats|prune|manifest|merge``."""
     sub = args.args[0] if args.args else "stats"
     cache = ResultCache(args.cache_dir, CACHE_VERSION)
     if sub == "stats":
@@ -72,14 +175,51 @@ def _cache_command(args: argparse.Namespace) -> int:
     if sub == "manifest":
         print(cache.write_manifest())
         return 0
-    print("usage: repro-cmp cache [stats|prune|manifest]", file=sys.stderr)
+    if sub == "merge":
+        if len(args.args) != 2:
+            print("usage: repro-cmp cache merge <source-dir>", file=sys.stderr)
+            return 2
+        print(cache.import_entries(args.args[1]).render())
+        return 0
+    print(
+        "usage: repro-cmp cache [stats|prune|manifest|merge <dir>]",
+        file=sys.stderr,
+    )
     return 2
 
 
+def _distributed_backend(
+    args: argparse.Namespace, name: Optional[str] = None
+) -> Optional[SweepBackend]:
+    """Socket/batch backend per the CLI flags; ``None`` means local."""
+    name = name or args.backend
+    spawn = 0 if args.wait else resolve_jobs(args.jobs)
+    if name == "socket":
+        return SocketWorkStealingBackend(
+            host=args.bind,
+            port=args.port,
+            spawn_workers=spawn,
+            timeout=args.timeout,
+        )
+    if name == "batch":
+        return BatchQueueBackend(
+            queue_dir=args.queue_dir,
+            spawn_workers=spawn,
+            timeout=args.timeout,
+        )
+    return None
+
+
 def make_runner(args: argparse.Namespace) -> SweepRunner:
-    """Serial or parallel sweep runner per the ``--jobs`` flag."""
+    """Build the sweep runner the ``--backend``/``--jobs`` flags select."""
     cache_dir = None if args.no_cache else args.cache_dir
-    if args.jobs == 1:
+    if args.wait and args.backend == "local":
+        raise SystemExit(
+            "--wait only applies to distributed backends; add "
+            "--backend socket or --backend batch"
+        )
+    backend = _distributed_backend(args)
+    if backend is None and args.jobs == 1:
         return SweepRunner(
             scale=args.scale,
             seed=args.seed,
@@ -92,11 +232,92 @@ def make_runner(args: argparse.Namespace) -> SweepRunner:
         cache_dir=cache_dir,
         verbose=not args.quiet,
         jobs=args.jobs,
+        backend=backend,
     )
 
 
+def _matrix_from_args(args: argparse.Namespace) -> Tuple[List[str], List[int]]:
+    """Resolve the (benchmarks, sizes) selection flags."""
+    sizes = (
+        [int(s) for s in args.sizes.split(",")]
+        if args.sizes
+        else list(PAPER_TOTAL_L2_MB)
+    )
+    benchmarks = (
+        args.benchmarks.split(",") if args.benchmarks else list(PAPER_BENCHMARKS)
+    )
+    return benchmarks, sizes
+
+
+def _serve_command(args: argparse.Namespace) -> int:
+    """Coordinate a matrix sweep for external workers (no figure).
+
+    Plans the full selected matrix, serves it over TCP until complete —
+    with ``--jobs N`` local workers, or none under ``--wait`` (the same
+    semantics as the figure commands) — then writes the cache manifest
+    so the populated cache is sync-ready.
+    """
+    if args.backend == "batch":
+        print(
+            "serve is the socket coordinator; for a batch queue run any "
+            "figure command with --backend batch (it emits the task file "
+            "and ingests shards)",
+            file=sys.stderr,
+        )
+        return 2
+    backend = _distributed_backend(args, name="socket")
+    runner = ParallelSweepRunner(
+        scale=args.scale,
+        seed=args.seed,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        verbose=not args.quiet,
+        backend=backend,
+    )
+    benchmarks, sizes = _matrix_from_args(args)
+    n = runner.prefetch(
+        benchmarks=benchmarks,
+        sizes=sizes,
+        techniques=runner.technique_order(),
+    )
+    print(f"[serve] matrix complete: {n} points simulated")
+    if runner.cache is not None:
+        print(f"[serve] manifest: {runner.cache.write_manifest()}")
+    return 0
+
+
+def _parse_slice(text: str) -> Tuple[int, int]:
+    """Parse a ``--slice I/N`` value."""
+    try:
+        index, modulus = text.split("/", 1)
+        return int(index), int(modulus)
+    except ValueError:
+        raise SystemExit(f"bad --slice {text!r}; expected I/N, e.g. 0/2")
+
+
+def _work_command(args: argparse.Namespace) -> int:
+    """Run one worker: socket (``work host:port``) or batch (``--queue-dir``)."""
+    if args.args and ":" in args.args[0]:
+        host, port = args.args[0].rsplit(":", 1)
+        return worker_main(host, int(port), worker_name=args.worker_id)
+    if args.args:
+        print(
+            "usage: repro-cmp work <host:port> | "
+            "repro-cmp work --queue-dir DIR [--slice I/N]",
+            file=sys.stderr,
+        )
+        return 2
+    done = run_batch_worker(
+        args.queue_dir,
+        worker_id=args.worker_id,
+        task_slice=_parse_slice(args.task_slice),
+    )
+    if not args.quiet:
+        print(f"[work] simulated {done} points into {args.queue_dir}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point."""
+    """Run the CLI (entry point of the ``repro-cmp`` script)."""
     args = build_parser().parse_args(argv)
 
     if args.command == "list":
@@ -112,18 +333,29 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "cache":
         return _cache_command(args)
 
+    if args.command == "serve":
+        return _serve_command(args)
+
+    if args.command == "work":
+        return _work_command(args)
+
     runner = make_runner(args)
 
     if args.command == "point":
         if len(args.args) != 3:
-            print("usage: repro-cmp point <workload> <total_mb> <technique>",
-                  file=sys.stderr)
+            print(
+                "usage: repro-cmp point <workload> <total_mb> <technique>",
+                file=sys.stderr,
+            )
             return 2
         wl, mb, tech = args.args[0], int(args.args[1]), args.args[2]
         known = runner.technique_configs()
         if tech not in known:
-            print(f"unknown technique {tech!r}; one of: "
-                  f"{', '.join(runner.technique_order())}", file=sys.stderr)
+            print(
+                f"unknown technique {tech!r}; one of: "
+                f"{', '.join(runner.technique_order())}",
+                file=sys.stderr,
+            )
             return 2
         m = runner.metrics_for(wl, mb, tech)
         for k, v in m.as_dict().items():
@@ -132,10 +364,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command in EXPERIMENTS:
         kwargs = {}
-        sizes = ([int(s) for s in args.sizes.split(",")]
-                 if args.sizes else list(PAPER_TOTAL_L2_MB))
-        benchmarks = (args.benchmarks.split(",")
-                      if args.benchmarks else list(PAPER_BENCHMARKS))
+        benchmarks, sizes = _matrix_from_args(args)
         if args.command.startswith("fig6"):
             kwargs["total_mb"] = sizes[0] if args.sizes else 4
             kwargs["benchmarks"] = benchmarks

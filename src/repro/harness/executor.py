@@ -1,95 +1,54 @@
 """Parallel sweep-execution engine.
 
-:class:`ParallelSweepRunner` shards the (workload × size × technique)
-simulation matrix across a :mod:`multiprocessing` worker pool.  Design
+:class:`ParallelSweepRunner` plans the (workload × size × technique)
+simulation matrix and hands the uncached points to a pluggable
+:class:`~repro.harness.backends.base.SweepBackend` for execution.  Design
 points:
 
 * **determinism** — every point is keyed by (workload, scale, seed,
-  config); each pool worker rebuilds the workload from the same seed, so
-  a point's :class:`~repro.sim.stats.SimResult` is byte-identical no
-  matter which worker runs it, in what order, or whether it ran serially;
+  config); each worker rebuilds the workload from the same seed, so a
+  point's :class:`~repro.sim.stats.SimResult` is byte-identical no matter
+  which worker runs it, in what order, or whether it ran serially;
 * **baseline-first scheduling** — :meth:`plan` orders the unique baseline
   points ahead of every technique point, so the (baseline, technique)
   pairs that relative metrics need are never blocked behind unrelated
   work and an interrupted sweep leaves the most reusable cache;
-* **shared cache** — workers write completed points straight into the
-  sharded :class:`~repro.harness.result_cache.ResultCache` (atomic
-  ``os.replace`` publication makes concurrent writers safe) *and* stream
-  the serialized results back to the parent, so a ``cache_dir=None``
-  runner still works and the parent never re-reads what it was just sent;
-* **worker reuse** — a pool initializer builds one serial
-  :class:`~repro.harness.runner.SweepRunner` per worker process, so
-  workload construction is amortized across all points a worker executes.
-
-The executor is deliberately process-local; its task list (:meth:`plan`)
-and result installation (:meth:`~repro.harness.runner.SweepRunner.install`)
-are the seams where a future distributed backend (work-stealing over
-sockets, a batch queue) would plug in.
+* **pluggable execution** — the default backend is the local
+  :mod:`multiprocessing` pool
+  (:class:`~repro.harness.backends.local.LocalBackend`); ``--backend
+  socket`` distributes the same plan to pull-workers over TCP, and
+  ``--backend batch`` to task-file workers synced through the cache
+  manifest.  All of them install results through
+  :meth:`~repro.harness.runner.SweepRunner.install`, the seam that keeps
+  every execution strategy byte-identical to the serial runner.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-import os
-from typing import Iterable, List, Optional, Tuple
+from typing import Iterable, List, Optional, Union
 
 from ..sim.config import PAPER_TOTAL_L2_MB, paper_technique_order
 from ..workloads.registry import PAPER_BENCHMARKS
-from .runner import (
-    DEFAULT_WARMUP,
-    SweepRunner,
-    decode_entry,
-    encode_entry,
+from .backends import (
+    LocalBackend,
+    PointSpec,
+    SweepBackend,
+    make_backend,
+    resolve_jobs,
 )
+from .runner import DEFAULT_WARMUP, SweepRunner
 
-#: one matrix point: (workload, total MB, technique label)
-PointSpec = Tuple[str, int, str]
-
-#: per-worker serial runner, created once by the pool initializer
-_WORKER_RUNNER: Optional[SweepRunner] = None
-
-
-def resolve_jobs(jobs: Optional[int]) -> int:
-    """Worker count for a ``--jobs`` value (``None``/``0`` = all cores)."""
-    if jobs is None or jobs <= 0:
-        return max(1, os.cpu_count() or 1)
-    return jobs
-
-
-def _init_worker(params: dict) -> None:
-    """Pool initializer: build this worker's serial runner."""
-    global _WORKER_RUNNER
-    _WORKER_RUNNER = SweepRunner(verbose=False, **params)
-
-
-def _run_point(spec: PointSpec) -> Tuple[PointSpec, dict, dict]:
-    """Execute one matrix point in a pool worker.
-
-    Returns the spec with the *serialized* result/energy blobs — exactly
-    the cache-entry format — so the parent reconstructs results the same
-    way a cache hit would, keeping serial and parallel sweeps
-    byte-identical.
-    """
-    assert _WORKER_RUNNER is not None, "worker initializer did not run"
-    workload, total_mb, tech_label = spec
-    try:
-        res, energy = _WORKER_RUNNER.run_point(workload, total_mb, tech_label)
-    except Exception as exc:
-        raise RuntimeError(
-            f"sweep point {workload} {total_mb}MB {tech_label} failed: {exc}"
-        ) from exc
-    blob = encode_entry(res, energy)
-    return spec, blob["result"], blob["energy"]
+__all__ = ["ParallelSweepRunner", "PointSpec", "resolve_jobs"]
 
 
 class ParallelSweepRunner(SweepRunner):
-    """A :class:`SweepRunner` that executes matrices on a process pool.
+    """A :class:`SweepRunner` that executes matrices through a backend.
 
     Drop-in compatible: ``metrics_for``/``run_point`` behave exactly like
     the serial runner (and serve from the shared memo/cache), while
-    :meth:`sweep` and :meth:`prefetch` fan uncached points out across
-    ``jobs`` workers.  Results are byte-identical to a serial sweep of
-    the same matrix and seed.
+    :meth:`sweep` and :meth:`prefetch` fan uncached points out through
+    the configured backend.  Results are byte-identical to a serial sweep
+    of the same matrix and seed whatever the backend.
     """
 
     def __init__(
@@ -102,6 +61,7 @@ class ParallelSweepRunner(SweepRunner):
         verbose: bool = True,
         jobs: Optional[int] = None,
         start_method: Optional[str] = None,
+        backend: Union[SweepBackend, str, None] = None,
     ) -> None:
         super().__init__(
             scale=scale,
@@ -113,6 +73,13 @@ class ParallelSweepRunner(SweepRunner):
         )
         self.jobs = resolve_jobs(jobs)
         self.start_method = start_method
+        if backend is None or backend == "local":
+            backend = LocalBackend(jobs=self.jobs, start_method=start_method)
+        elif isinstance(backend, str):
+            # other names get default-configured instances; pass a
+            # constructed backend to control spawn counts/ports/queues
+            backend = make_backend(backend)
+        self.backend = backend
 
     # ------------------------------------------------------------------
     def plan(
@@ -125,8 +92,8 @@ class ParallelSweepRunner(SweepRunner):
 
         Relative metrics pair each technique point with its baseline
         twin, so baselines are the highest-fanout results; scheduling
-        them first keeps metric computation unblocked however the pool
-        interleaves the rest.
+        them first keeps metric computation unblocked however the
+        backend interleaves the rest.
         """
         benchmarks = list(benchmarks)
         sizes = list(sizes)
@@ -155,7 +122,7 @@ class ParallelSweepRunner(SweepRunner):
         sizes: Iterable[int] = PAPER_TOTAL_L2_MB,
         techniques: Optional[Iterable[str]] = None,
     ) -> int:
-        """Simulate every uncached point of a matrix on the pool.
+        """Simulate every uncached point of a matrix on the backend.
 
         Returns the number of points actually simulated.  After this,
         ``metrics_for``/``sweep`` over the same matrix are pure memo
@@ -163,60 +130,11 @@ class ParallelSweepRunner(SweepRunner):
         """
         techniques = list(techniques or paper_technique_order())
         specs = self.plan(benchmarks, sizes, techniques)
-        pending = [
-            s for s in specs if self.lookup(*s) is None
-        ]
+        pending = [s for s in specs if self.lookup(*s) is None]
         if not pending:
             return 0
-        if self.jobs == 1 or len(pending) == 1:
-            for spec in pending:
-                self.run_point(*spec)
-            return len(pending)
-        self._run_pool(pending)
+        self.backend.execute(self, pending)
         return len(pending)
-
-    def _run_pool(self, pending: List[PointSpec]) -> None:
-        """Fan ``pending`` out across the worker pool."""
-        params = dict(
-            scale=self.scale,
-            seed=self.seed,
-            n_cores=self.n_cores,
-            warmup_fraction=self.warmup,
-            cache_dir=self.cache_dir,
-        )
-        ctx = (
-            multiprocessing.get_context(self.start_method)
-            if self.start_method
-            else multiprocessing.get_context()
-        )
-        n_workers = min(self.jobs, len(pending))
-        if self.verbose:
-            print(
-                f"[sweep] {len(pending)} points on {n_workers} workers "
-                f"(scale={self.scale})",
-                flush=True,
-            )
-        with ctx.Pool(
-            processes=n_workers,
-            initializer=_init_worker,
-            initargs=(params,),
-        ) as pool:
-            done = 0
-            for spec, result_d, energy_d in pool.imap_unordered(
-                _run_point, pending, chunksize=1
-            ):
-                res, energy = decode_entry(
-                    {"result": result_d, "energy": energy_d}
-                )
-                # the worker already persisted the entry when caching is on
-                self.install(*spec, res, energy, write_cache=self.cache is None)
-                done += 1
-                if self.verbose:
-                    wl, mb, tech = spec
-                    print(
-                        f"[sweep] {done}/{len(pending)} done: {wl} {mb}MB {tech}",
-                        flush=True,
-                    )
 
     # ------------------------------------------------------------------
     def sweep(
@@ -225,11 +143,11 @@ class ParallelSweepRunner(SweepRunner):
         sizes: Iterable[int] = PAPER_TOTAL_L2_MB,
         techniques: Optional[Iterable[str]] = None,
     ) -> List:
-        """Parallel version of :meth:`SweepRunner.sweep`.
+        """Backend-parallel version of :meth:`SweepRunner.sweep`.
 
-        Simulates the matrix on the pool, then assembles metrics in the
-        serial runner's deterministic order — the returned list compares
-        equal, element by element, to the serial result.
+        Simulates the matrix through the backend, then assembles metrics
+        in the serial runner's deterministic order — the returned list
+        compares equal, element by element, to the serial result.
         """
         benchmarks = list(benchmarks)
         sizes = list(sizes)

@@ -1,9 +1,9 @@
 """Figure/table regeneration: prints the same rows/series the paper reports.
 
-One function per experiment id (see DESIGN.md §3).  Each returns a
-:class:`FigureTable` — an ordered rows×cols grid of formatted values —
-whose ``render()`` is what the benches print next to the paper's reference
-numbers recorded in EXPERIMENTS.md.
+One function per experiment id.  Each returns a :class:`FigureTable` — an
+ordered rows×cols grid of formatted values — whose ``render()`` is what
+the benches print next to the paper's reference numbers (see the
+figure-to-module map in ``PAPER.md``).
 """
 
 from __future__ import annotations
@@ -16,7 +16,6 @@ from typing import Callable, Dict, List, Optional, Sequence
 from ..coherence.turnoff import table_rows
 from ..sim.config import PAPER_TOTAL_L2_MB
 from ..workloads.registry import PAPER_BENCHMARKS
-from .metrics import PointMetrics
 from .runner import SweepRunner
 
 
@@ -36,7 +35,8 @@ class FigureTable:
         if len(values) != len(self.columns):
             raise ValueError(
                 f"row {name!r} has {len(values)} cells, expected "
-                f"{len(self.columns)}")
+                f"{len(self.columns)}"
+            )
         self.rows.append(name)
         self.cells[name] = list(values)
 
@@ -52,16 +52,21 @@ class FigureTable:
     def render(self) -> str:
         """ASCII table in paper order."""
         w0 = max([len(r) for r in self.rows] + [len(self.exp_id)]) + 2
-        widths = [max(len(c), *(len(self.cells[r][i]) for r in self.rows)) + 2
-                  for i, c in enumerate(self.columns)]
+        widths = [
+            max(len(c), *(len(self.cells[r][i]) for r in self.rows)) + 2
+            for i, c in enumerate(self.columns)
+        ]
         lines = [f"{self.exp_id}: {self.title}"]
-        header = " " * w0 + "".join(c.rjust(w) for c, w in
-                                    zip(self.columns, widths))
+        header = " " * w0 + "".join(
+            c.rjust(w) for c, w in zip(self.columns, widths)
+        )
         lines.append(header)
         lines.append("-" * len(header))
         for r in self.rows:
-            lines.append(r.ljust(w0) + "".join(
-                v.rjust(w) for v, w in zip(self.cells[r], widths)))
+            lines.append(
+                r.ljust(w0)
+                + "".join(v.rjust(w) for v, w in zip(self.cells[r], widths))
+            )
         if self.notes:
             lines.append(self.notes)
         return "\n".join(lines)
@@ -80,86 +85,129 @@ def _size_figure(
     benchmarks: Sequence[str],
     notes: str = "",
 ) -> FigureTable:
-    """Shared shape of Figs 3–5: techniques × total cache size, averaged
-    across benchmarks."""
+    """Shared shape of Figs 3–5: techniques × size, averaged over benchmarks."""
     # Include the baseline in the sweep: occupancy/miss-rate figures show
     # its row (100 % / baseline miss rate); its points are cached anyway
     # since every ratio metric pairs against them.
-    points = runner.sweep(benchmarks=benchmarks, sizes=sizes,
-                          techniques=runner.technique_order())
+    points = runner.sweep(
+        benchmarks=benchmarks, sizes=sizes, techniques=runner.technique_order()
+    )
     avg = runner.averaged(points, attr)
     table = FigureTable(
-        exp_id=exp_id, title=title,
-        columns=[f"{mb}MB" for mb in sizes], notes=notes,
+        exp_id=exp_id,
+        title=title,
+        columns=[f"{mb}MB" for mb in sizes],
+        notes=notes,
     )
     for tech in runner.technique_order():
         if tech == "baseline" and attr not in ("occupancy", "miss_rate"):
             continue  # ratios vs. baseline are identically zero
-        table.add_row(
-            tech, [_pct(avg[(mb, tech)]) if (mb, tech) in avg
-                   else _pct(0.0) for mb in sizes])
+        vals = [
+            _pct(avg[(mb, tech)]) if (mb, tech) in avg else _pct(0.0)
+            for mb in sizes
+        ]
+        table.add_row(tech, vals)
     return table
 
 
-def fig3a(runner: SweepRunner, sizes=PAPER_TOTAL_L2_MB,
-          benchmarks=PAPER_BENCHMARKS) -> FigureTable:
+def fig3a(
+    runner: SweepRunner, sizes=PAPER_TOTAL_L2_MB, benchmarks=PAPER_BENCHMARKS
+) -> FigureTable:
     """Fig 3(a): L2 occupation rate."""
-    t = _size_figure(runner, "fig3a", "L2 occupation rate", "occupancy",
-                     sizes, benchmarks)
+    t = _size_figure(
+        runner, "fig3a", "L2 occupation rate", "occupancy", sizes, benchmarks
+    )
     # baseline occupancy is 100% by definition; shown for reference
     return t
 
 
-def fig3b(runner: SweepRunner, sizes=PAPER_TOTAL_L2_MB,
-          benchmarks=PAPER_BENCHMARKS) -> FigureTable:
+def fig3b(
+    runner: SweepRunner, sizes=PAPER_TOTAL_L2_MB, benchmarks=PAPER_BENCHMARKS
+) -> FigureTable:
     """Fig 3(b): aggregate L2 miss rate."""
     return _size_figure(
-        runner, "fig3b", "L2 miss rate", "miss_rate", sizes, benchmarks,
+        runner,
+        "fig3b",
+        "L2 miss rate",
+        "miss_rate",
+        sizes,
+        benchmarks,
         notes="note: absolute levels exceed the paper's (scaled runs "
-              "amplify compulsory misses); orderings and trends are the "
-              "reproduction target — see EXPERIMENTS.md.")
+        "amplify compulsory misses); orderings and trends are the "
+        "reproduction target — see PAPER.md.",
+    )
 
 
-def fig4a(runner: SweepRunner, sizes=PAPER_TOTAL_L2_MB,
-          benchmarks=PAPER_BENCHMARKS) -> FigureTable:
+def fig4a(
+    runner: SweepRunner, sizes=PAPER_TOTAL_L2_MB, benchmarks=PAPER_BENCHMARKS
+) -> FigureTable:
     """Fig 4(a): memory bandwidth increase vs. unoptimized."""
-    return _size_figure(runner, "fig4a", "Memory bandwidth increase",
-                        "bandwidth_increase", sizes, benchmarks)
+    return _size_figure(
+        runner,
+        "fig4a",
+        "Memory bandwidth increase",
+        "bandwidth_increase",
+        sizes,
+        benchmarks,
+    )
 
 
-def fig4b(runner: SweepRunner, sizes=PAPER_TOTAL_L2_MB,
-          benchmarks=PAPER_BENCHMARKS) -> FigureTable:
+def fig4b(
+    runner: SweepRunner, sizes=PAPER_TOTAL_L2_MB, benchmarks=PAPER_BENCHMARKS
+) -> FigureTable:
     """Fig 4(b): AMAT increase vs. unoptimized."""
-    return _size_figure(runner, "fig4b", "AMAT increase", "amat_increase",
-                        sizes, benchmarks)
+    return _size_figure(
+        runner, "fig4b", "AMAT increase", "amat_increase", sizes, benchmarks
+    )
 
 
-def fig5a(runner: SweepRunner, sizes=PAPER_TOTAL_L2_MB,
-          benchmarks=PAPER_BENCHMARKS) -> FigureTable:
+def fig5a(
+    runner: SweepRunner, sizes=PAPER_TOTAL_L2_MB, benchmarks=PAPER_BENCHMARKS
+) -> FigureTable:
     """Fig 5(a): system energy reduction."""
     return _size_figure(
-        runner, "fig5a", "Energy reduction", "energy_reduction",
-        sizes, benchmarks,
+        runner,
+        "fig5a",
+        "Energy reduction",
+        "energy_reduction",
+        sizes,
+        benchmarks,
         notes="paper @4MB: protocol 13%, decay 30%, sel_decay 21%; "
-              "@8MB: 25%/44%/38%.")
+        "@8MB: 25%/44%/38%.",
+    )
 
 
-def fig5b(runner: SweepRunner, sizes=PAPER_TOTAL_L2_MB,
-          benchmarks=PAPER_BENCHMARKS) -> FigureTable:
+def fig5b(
+    runner: SweepRunner, sizes=PAPER_TOTAL_L2_MB, benchmarks=PAPER_BENCHMARKS
+) -> FigureTable:
     """Fig 5(b): IPC loss."""
     return _size_figure(
-        runner, "fig5b", "IPC loss", "ipc_loss", sizes, benchmarks,
-        notes="paper @4MB: protocol 0%, decay 8%, sel_decay 2%.")
+        runner,
+        "fig5b",
+        "IPC loss",
+        "ipc_loss",
+        sizes,
+        benchmarks,
+        notes="paper @4MB: protocol 0%, decay 8%, sel_decay 2%.",
+    )
 
 
 def _benchmark_figure(
-    runner: SweepRunner, exp_id: str, title: str, attr: str,
-    total_mb: int, benchmarks: Sequence[str], notes: str = "",
+    runner: SweepRunner,
+    exp_id: str,
+    title: str,
+    attr: str,
+    total_mb: int,
+    benchmarks: Sequence[str],
+    notes: str = "",
 ) -> FigureTable:
     """Shared shape of Fig 6: techniques × benchmark at one size."""
     table = FigureTable(
-        exp_id=exp_id, title=f"{title} (total {total_mb}MB)",
-        columns=list(benchmarks), notes=notes)
+        exp_id=exp_id,
+        title=f"{title} (total {total_mb}MB)",
+        columns=list(benchmarks),
+        notes=notes,
+    )
     for tech in runner.technique_order():
         if tech == "baseline":
             continue
@@ -171,25 +219,37 @@ def _benchmark_figure(
     return table
 
 
-def fig6a(runner: SweepRunner, total_mb: int = 4,
-          benchmarks=PAPER_BENCHMARKS) -> FigureTable:
+def fig6a(
+    runner: SweepRunner, total_mb: int = 4, benchmarks=PAPER_BENCHMARKS
+) -> FigureTable:
     """Fig 6(a): per-benchmark energy reduction at 4 MB."""
     return _benchmark_figure(
-        runner, "fig6a", "Energy reduction per benchmark",
-        "energy_reduction", total_mb, benchmarks,
+        runner,
+        "fig6a",
+        "Energy reduction per benchmark",
+        "energy_reduction",
+        total_mb,
+        benchmarks,
         notes="paper signatures: protocol ~ decay for mpeg2dec, protocol "
-              "beats decay-class savings for WATER-NS; SD trails decay "
-              "for mpeg2enc and FMM.")
+        "beats decay-class savings for WATER-NS; SD trails decay "
+        "for mpeg2enc and FMM.",
+    )
 
 
-def fig6b(runner: SweepRunner, total_mb: int = 4,
-          benchmarks=PAPER_BENCHMARKS) -> FigureTable:
+def fig6b(
+    runner: SweepRunner, total_mb: int = 4, benchmarks=PAPER_BENCHMARKS
+) -> FigureTable:
     """Fig 6(b): per-benchmark IPC loss at 4 MB."""
     return _benchmark_figure(
-        runner, "fig6b", "IPC loss per benchmark", "ipc_loss",
-        total_mb, benchmarks,
+        runner,
+        "fig6b",
+        "IPC loss per benchmark",
+        "ipc_loss",
+        total_mb,
+        benchmarks,
         notes="paper signatures: scientific hurt more than multimedia; "
-              "larger decay visibly helps VOLREND and mpeg2dec.")
+        "larger decay visibly helps VOLREND and mpeg2dec.",
+    )
 
 
 def table1() -> FigureTable:
@@ -220,14 +280,16 @@ EXPERIMENTS: Dict[str, Callable] = {
 }
 
 
-def run_experiment(exp_id: str, runner: Optional[SweepRunner] = None,
-                   **kwargs) -> FigureTable:
+def run_experiment(
+    exp_id: str, runner: Optional[SweepRunner] = None, **kwargs
+) -> FigureTable:
     """Regenerate one experiment by id (``table1`` needs no runner)."""
     if exp_id == "table1":
         return table1()
     if exp_id not in EXPERIMENTS:
         raise ValueError(
             f"unknown experiment {exp_id!r}; "
-            f"available: {sorted(EXPERIMENTS) + ['table1']}")
+            f"available: {sorted(EXPERIMENTS) + ['table1']}"
+        )
     runner = runner or SweepRunner()
     return EXPERIMENTS[exp_id](runner, **kwargs)

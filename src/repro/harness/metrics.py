@@ -93,8 +93,11 @@ class PointMetrics:
         energy: EnergyBreakdown,
     ) -> "PointMetrics":
         """Bundle every figure metric for one sweep point."""
-        peak = max(energy.temperatures.values()) - 273.15 \
-            if energy.temperatures else None
+        peak = (
+            max(energy.temperatures.values()) - 273.15
+            if energy.temperatures
+            else None
+        )
         return cls(
             workload=workload,
             total_mb=total_mb,

@@ -34,7 +34,7 @@ import os
 import shutil
 import tempfile
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterable, Iterator, Optional, Tuple, Union
 
 from ..sim.config import stable_digest
 
@@ -47,6 +47,31 @@ _TMP_PREFIX = ".tmp-"
 def shard_of(key: str) -> str:
     """Two-hex-digit shard of a cache key (256-way fanout)."""
     return stable_digest(key)[:2]
+
+
+def atomic_write(path: str, data: bytes) -> str:
+    """Atomically publish ``data`` at ``path`` (tmp file + ``os.replace``).
+
+    The single implementation of the harness's write discipline: readers
+    (including concurrent sweep workers) never observe a truncated file,
+    and two writers racing on one path leave one complete copy.  The
+    parent directory is created if needed; the tmp file is unlinked on
+    any failure.
+    """
+    target_dir = os.path.dirname(path)
+    os.makedirs(target_dir, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=target_dir, prefix=_TMP_PREFIX, suffix=".json")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
 
 
 @dataclass
@@ -115,6 +140,36 @@ class PruneReport:
         )
 
 
+@dataclass
+class MergeReport:
+    """What :meth:`ResultCache.import_entries` did with one source cache."""
+
+    source: str
+    imported: int = 0
+    identical: int = 0
+    conflicts: int = 0
+    stale_manifest: int = 0
+    corrupt: int = 0
+    excluded: int = 0
+
+    @property
+    def examined(self) -> int:
+        """Source entries whose blobs were actually compared or copied."""
+        return self.imported + self.identical + self.conflicts
+
+    def render(self) -> str:
+        """One-line summary (``repro-cmp cache merge``)."""
+        text = (
+            f"merged {self.source}: {self.imported} imported, "
+            f"{self.identical} identical, {self.conflicts} conflicts kept "
+            f"local, {self.stale_manifest} stale manifest rows, "
+            f"{self.corrupt} corrupt skipped"
+        )
+        if self.excluded:
+            text += f", {self.excluded} previously merged"
+        return text
+
+
 class ResultCache:
     """Sharded JSON blob store keyed by sweep-point cache keys."""
 
@@ -158,23 +213,25 @@ class ResultCache:
 
     def put(self, key: str, blob: dict) -> str:
         """Atomically write an entry (tmp file + ``os.replace``)."""
-        path = self.path_for(key)
-        shard_dir = os.path.dirname(path)
-        os.makedirs(shard_dir, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(
-            dir=shard_dir, prefix=_TMP_PREFIX, suffix=".json"
-        )
+        return self.put_bytes(key, json.dumps(blob).encode("utf-8"))
+
+    def put_bytes(self, key: str, data: bytes) -> str:
+        """Atomically write an entry's raw serialized bytes.
+
+        The shard-import path uses this instead of :meth:`put` so merged
+        entries stay byte-for-byte identical to what the source worker
+        wrote — re-encoding could mask a producer that serializes
+        differently.
+        """
+        return atomic_write(self.path_for(key), data)
+
+    def read_bytes(self, key: str) -> Optional[bytes]:
+        """Raw serialized bytes of an entry; ``None`` on miss."""
         try:
-            with os.fdopen(fd, "w") as fh:
-                json.dump(blob, fh)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
-        return path
+            with open(self.path_for(key), "rb") as fh:
+                return fh.read()
+        except OSError:
+            return None
 
     def invalidate(self, key: str) -> bool:
         """Delete one entry; True if it existed."""
@@ -297,26 +354,15 @@ class ResultCache:
                 }
             except OSError:
                 continue
-        vdir = self.version_dir()
-        os.makedirs(vdir, exist_ok=True)
         manifest = {
             "version": self.version,
             "count": len(entries),
             "entries": entries,
         }
-        fd, tmp = tempfile.mkstemp(dir=vdir, prefix=_TMP_PREFIX, suffix=".json")
-        target = os.path.join(vdir, MANIFEST_NAME)
-        try:
-            with os.fdopen(fd, "w") as fh:
-                json.dump(manifest, fh, indent=1, sort_keys=True)
-            os.replace(tmp, target)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
-        return target
+        return atomic_write(
+            os.path.join(self.version_dir(), MANIFEST_NAME),
+            json.dumps(manifest, indent=1, sort_keys=True).encode("utf-8"),
+        )
 
     def read_manifest(self) -> Optional[dict]:
         """Load the manifest snapshot; ``None`` when absent/corrupt."""
@@ -326,3 +372,76 @@ class ResultCache:
                 return json.load(fh)
         except (OSError, json.JSONDecodeError, UnicodeDecodeError):
             return None
+
+    # ------------------------------------------------------------------
+    # Multi-host sync
+    # ------------------------------------------------------------------
+    def import_entries(
+        self,
+        source: Union["ResultCache", str],
+        use_manifest: bool = True,
+        exclude: Iterable[str] = (),
+    ) -> MergeReport:
+        """Merge another cache's current-version entries into this one.
+
+        The source is another cache root (e.g. a batch worker's shard,
+        or a ``.repro_cache`` rsynced from a different host).  The shard
+        directories are always walked, and with ``use_manifest`` the
+        manifest's key list is unioned in — so entries written *after*
+        the manifest snapshot are still merged, while manifest rows whose
+        blob is missing on disk are counted as ``stale_manifest`` (a
+        worker died between write and sync) instead of failing.
+
+        Entries are copied byte-for-byte (:meth:`put_bytes`).  A key that
+        already exists locally with identical bytes is counted and
+        skipped; differing bytes are a **conflict** — the local entry
+        wins, because two deterministic runs of one schema version can
+        only disagree when something is wrong, and the count surfaces
+        that for auditing.  Source blobs that fail to parse are skipped
+        as ``corrupt``, never imported.
+
+        ``exclude`` names keys to skip without any I/O (counted as
+        ``excluded``) — pollers that repeatedly merge a still-growing
+        shard pass the keys they already settled so steady-state polls
+        cost one directory listing, not a byte comparison per entry.
+        """
+        src = (
+            source
+            if isinstance(source, ResultCache)
+            else ResultCache(source, self.version)
+        )
+        report = MergeReport(source=src.root)
+        skip = set(exclude)
+        paths: Dict[str, str] = dict(src.iter_entries())
+        manifest = src.read_manifest() if use_manifest else None
+        if manifest is not None and isinstance(manifest.get("entries"), dict):
+            for key in manifest["entries"]:
+                paths.setdefault(key, src.path_for(key))
+        for key in sorted(paths):
+            path = paths[key]
+            if key in skip:
+                report.excluded += 1
+                continue
+            try:
+                with open(path, "rb") as fh:
+                    data = fh.read()
+            except OSError:
+                report.stale_manifest += 1
+                continue
+            try:
+                blob = json.loads(data)
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                report.corrupt += 1
+                continue
+            if not isinstance(blob, dict):
+                report.corrupt += 1
+                continue
+            ours = self.read_bytes(key)
+            if ours is None:
+                self.put_bytes(key, data)
+                report.imported += 1
+            elif ours == data:
+                report.identical += 1
+            else:
+                report.conflicts += 1
+        return report

@@ -94,6 +94,26 @@ class SweepRunner:
         self._memo: Dict[str, PointResult] = {}
 
     # ------------------------------------------------------------------
+    def runner_params(self, **overrides) -> dict:
+        """JSON-safe constructor kwargs that rebuild an equivalent runner.
+
+        Backends ship these to their workers (over a socket, or inside a
+        batch task file) so every worker simulates with exactly the
+        coordinator's scale/seed/warmup — the precondition for
+        byte-identical results.  ``cache_dir`` is included only when
+        passed as an override: each backend decides where (and whether)
+        its workers persist entries.
+        """
+        params = dict(
+            scale=self.scale,
+            seed=self.seed,
+            n_cores=self.n_cores,
+            warmup_fraction=self.warmup,
+        )
+        params.update(overrides)
+        return params
+
+    # ------------------------------------------------------------------
     def technique_configs(self) -> Dict[str, TechniqueConfig]:
         """Baseline + the paper's seven technique configurations."""
         out = {"baseline": TechniqueConfig(name=BASELINE)}
@@ -227,7 +247,5 @@ class SweepRunner:
         """Average ``attr`` across benchmarks, keyed by (size, technique)."""
         sums: Dict[Tuple[int, str], List[float]] = {}
         for p in points:
-            sums.setdefault((p.total_mb, p.technique), []).append(
-                getattr(p, attr)
-            )
+            sums.setdefault((p.total_mb, p.technique), []).append(getattr(p, attr))
         return {k: sum(v) / len(v) for k, v in sums.items()}

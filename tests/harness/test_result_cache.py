@@ -8,6 +8,7 @@ import pytest
 
 from repro.harness.result_cache import (
     MANIFEST_NAME,
+    MergeReport,
     ResultCache,
     shard_of,
 )
@@ -135,6 +136,98 @@ class TestManifest:
         cache.write_manifest()
         assert [k for k, _ in cache.iter_entries()] == ["k1"]
         assert cache.stats().entries == 1
+
+
+class TestImportEntries:
+    """Multi-host sync: manifest-driven, byte-for-byte shard merging."""
+
+    @pytest.fixture
+    def source(self, tmp_path):
+        src = ResultCache(str(tmp_path / "src"), version=8)
+        src.put("k1", {"a": 1})
+        src.put("k2", {"b": 2})
+        return src
+
+    def test_import_into_empty_cache(self, cache, source):
+        source.write_manifest()
+        report = cache.import_entries(source)
+        assert (report.imported, report.identical, report.conflicts) == (2, 0, 0)
+        assert cache.get("k1") == {"a": 1}
+        # byte-for-byte, not a re-encode
+        assert cache.read_bytes("k2") == source.read_bytes("k2")
+
+    def test_import_accepts_a_path(self, cache, source):
+        report = cache.import_entries(source.root)
+        assert report.imported == 2
+
+    def test_import_without_manifest_walks_shards(self, cache, source):
+        assert source.read_manifest() is None
+        report = cache.import_entries(source)
+        assert report.imported == 2
+        assert report.stale_manifest == 0
+
+    def test_reimport_is_idempotent(self, cache, source):
+        cache.import_entries(source)
+        report = cache.import_entries(source)
+        assert (report.imported, report.identical) == (0, 2)
+
+    def test_exclude_skips_settled_keys_without_io(self, cache, source):
+        cache.import_entries(source)
+        report = cache.import_entries(source, exclude={"k1", "k2"})
+        assert report.excluded == 2
+        assert report.examined == 0
+        assert "previously merged" in report.render()
+
+    def test_conflicting_entry_keeps_local(self, cache, source):
+        cache.put("k1", {"a": "local truth"})
+        report = cache.import_entries(source)
+        assert report.conflicts == 1
+        assert report.imported == 1  # k2 still arrives
+        assert cache.get("k1") == {"a": "local truth"}
+
+    def test_entries_newer_than_manifest_still_merge(self, cache, source):
+        # a worker that wrote blobs after its manifest snapshot (rerun
+        # against a grown task file, died before re-snapshotting) must
+        # not have those newer entries ignored by the merge
+        source.write_manifest()
+        source.put("k3", {"c": 3})
+        report = cache.import_entries(source)
+        assert report.imported == 3
+        assert cache.get("k3") == {"c": 3}
+
+    def test_stale_manifest_rows_are_counted_not_fatal(self, cache, source):
+        # manifest written, then a blob lost (worker died mid-sync)
+        source.write_manifest()
+        os.unlink(source.path_for("k1"))
+        report = cache.import_entries(source)
+        assert report.stale_manifest == 1
+        assert report.imported == 1
+        assert cache.get("k1") is None
+        assert cache.get("k2") == {"b": 2}
+
+    def test_corrupt_source_blob_never_imported(self, cache, source):
+        with open(source.path_for("k1"), "w") as fh:
+            fh.write("not json")
+        report = cache.import_entries(source)
+        assert report.corrupt == 1
+        assert report.imported == 1
+        assert cache.get("k1") is None
+
+    def test_put_bytes_roundtrip_and_atomicity(self, cache):
+        data = b'{"x": 1}'
+        cache.put_bytes("kb", data)
+        assert cache.read_bytes("kb") == data
+        assert cache.get("kb") == {"x": 1}
+        for dirpath, _, names in os.walk(cache.root):
+            assert not [n for n in names if n.startswith(".tmp-")]
+
+    def test_report_render_and_examined(self):
+        report = MergeReport(
+            source="s", imported=2, identical=1, conflicts=1, stale_manifest=3
+        )
+        assert report.examined == 4
+        assert "2 imported" in report.render()
+        assert "3 stale" in report.render()
 
 
 def _hammer(args):
