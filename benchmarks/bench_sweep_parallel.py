@@ -8,6 +8,13 @@ parallel (every point is an independent simulation), so wall-clock should
 scale near-linearly until the worker count reaches the physical core
 count; past that, workers time-share and the speedup flattens.
 
+Also includes a micro-bench of the ``point_key`` cache-lookup hot path.
+``SweepRunner.technique_configs()`` used to rebuild the full technique
+dict (8 ``TechniqueConfig`` constructions, each with validation) on
+*every* cache lookup; it is now memoized per runner, leaving one digest
++ one ``json.dumps`` per ``point_key`` — worth a multiple in lookups/s
+on a warm cache, where a 192-point figure pass is pure key computation.
+
 Run standalone for a quick report::
 
     PYTHONPATH=src python benchmarks/bench_sweep_parallel.py
@@ -66,6 +73,29 @@ def run_comparison(jobs: int = JOBS, scale: float = SCALE):
     return speedup, len(parallel_metrics)
 
 
+def run_point_key_bench(iterations: int = 20_000):
+    """Throughput of the ``point_key`` hot path (memoized technique table).
+
+    A warm-cache figure pass is one ``point_key`` per lookup, so this is
+    the per-point overhead floor of every cached sweep.  Returns
+    (keys_per_second, point).
+    """
+    runner = SweepRunner(scale=SCALE, cache_dir=None, verbose=False)
+    point = runner.point("uniform", 1, "decay64K")
+    runner.point_key(point)  # warm the memoized technique table
+    t0 = time.perf_counter()
+    for _ in range(iterations):
+        runner.point_key(point)
+    dt = time.perf_counter() - t0
+    rate = iterations / dt if dt > 0 else float("inf")
+    print(
+        f"[bench_sweep_parallel] point_key: {rate:,.0f} keys/s "
+        f"({dt / iterations * 1e6:.1f} us/key, memoized technique table)",
+        flush=True,
+    )
+    return rate, point
+
+
 def test_parallel_sweep_speedup():
     """Parallel == serial results; wall-clock speedup on multi-core hosts."""
     speedup, n_points = run_comparison()
@@ -79,5 +109,15 @@ def test_parallel_sweep_speedup():
     # single-core hosts: correctness checked, speedup not expected
 
 
+def test_point_key_hot_path():
+    """The memoized lookup path must stay cheap (no per-call table build)."""
+    rate, point = run_point_key_bench(iterations=5_000)
+    # generous floor: even constrained CI boxes clear 10k keys/s with the
+    # memoized table; the pre-fix path (8 TechniqueConfig constructions
+    # per call) sat well under it
+    assert rate > 10_000, f"point_key too slow: {rate:,.0f} keys/s"
+
+
 if __name__ == "__main__":
     run_comparison()
+    run_point_key_bench()

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""A non-paper scenario as a declarative experiment spec.
+
+The paper evaluates a 4-core CMP with decay times of 512K/128K/64K cycles
+and ideal per-line timers.  This example authors a scenario the paper
+never ran — an **8-core** CMP, **off-grid** decay times (24K and 96K
+cycles, literal, between the paper's grid points), and the Kaxiras
+**hierarchical counter** hardware instead of ideal timers — purely as an
+:class:`~repro.harness.spec.ExperimentSpec`, with zero new harness code:
+
+1. build the spec programmatically (axes + custom technique tables),
+2. round-trip it through a TOML file (what you would commit / ship to
+   batch workers),
+3. execute it with a stock runner and select results from the flat
+   metric list.
+
+Run with ``PYTHONPATH=src python examples/custom_sweep_spec.py``.
+"""
+
+import argparse
+import os
+import tempfile
+
+from repro.harness import SweepRunner, load_spec, save_spec
+from repro.harness.spec import ExperimentSpec
+from repro.sim.config import COUNTER_HIERARCHICAL, TechniqueConfig
+
+
+def build_spec() -> ExperimentSpec:
+    """The scenario: 8 cores, off-grid decay, hierarchical counters."""
+    def hier_decay(name: str, cycles: int) -> TechniqueConfig:
+        return TechniqueConfig(
+            name=name,
+            decay_cycles=cycles,
+            counter_mode=COUNTER_HIERARCHICAL,
+            counter_bits=2,
+        )
+
+    return ExperimentSpec(
+        name="cmp8_hier_offgrid",
+        description=(
+            "8-core CMP with off-grid decay times (24K/96K cycles, "
+            "literal) on hierarchical 2-bit counters - a sensitivity "
+            "scenario outside the paper's 6x4x8 matrix."
+        ),
+        workloads=("uniform", "streaming", "pingpong"),
+        sizes_mb=(2, 8),
+        techniques=("baseline", "decay24K_hier", "decay96K_hier"),
+        custom_techniques={
+            # literal cycles: spec-local technique tables are never
+            # scale-multiplied, unlike the paper's nominal labels
+            "decay24K_hier": hier_decay("decay", 24_000),
+            "decay96K_hier": hier_decay("decay", 96_000),
+        },
+        # every point of this scenario runs on 8 cores; scale/seed stay
+        # replayable from the command line
+        points=(),
+        run={"n_cores": 8, "scale": 0.05},
+        # streaming never fits in 2MB/8 cores; skip the noise row
+        skip=({"workload": "streaming", "size_mb": 2},),
+    )
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--scale", type=float, default=None,
+                    help="override the spec's [run] scale")
+    ap.add_argument("--keep", type=str, default=None, metavar="PATH",
+                    help="also save the spec file here (e.g. my.toml)")
+    args = ap.parse_args()
+
+    spec = build_spec()
+
+    # --- the file is the API: save, reload, prove nothing changed -----
+    with tempfile.TemporaryDirectory() as tmp:
+        path = args.keep or os.path.join(tmp, "cmp8_hier_offgrid.toml")
+        save_spec(spec, path)
+        reloaded = load_spec(path)
+        assert reloaded == spec, "TOML round-trip must be lossless"
+        if args.keep:
+            print(f"spec written to {path}\n")
+
+    ctx = spec.context(scale=args.scale)
+    runner = SweepRunner(
+        scale=ctx["scale"],
+        n_cores=int(ctx["n_cores"]),
+        cache_dir=None,
+        verbose=False,
+    )
+    points = runner.expand_spec(spec)
+    print(f"{spec.name}: {len(points)} points "
+          f"(n_cores={ctx['n_cores']}, scale={ctx['scale']})\n")
+
+    metrics = runner.run_spec(spec)
+    print(f"{'point':32s} {'energy_red':>10s} {'ipc_loss':>9s} "
+          f"{'occupancy':>10s}")
+    print("-" * 64)
+    for m in metrics:
+        name = f"{m.workload} {m.total_mb}MB {m.technique}"
+        print(f"{name:32s} {m.energy_reduction:10.1%} {m.ipc_loss:9.1%} "
+              f"{m.occupancy:10.1%}")
+
+    print("\nOff-grid reading: the 24K hierarchical config decays harder "
+          "than 96K (lower\noccupancy everywhere).  Where the working set "
+          "is cold or shared (streaming,\npingpong) that buys large energy "
+          "savings; where it stays hot (uniform) the\ndecay-induced misses "
+          "swamp the leakage win - the trade-off behind the paper's\n"
+          "observation that larger decay times win on Energy-Delay.")
+
+
+if __name__ == "__main__":
+    main()

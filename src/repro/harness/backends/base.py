@@ -1,13 +1,16 @@
-"""The sweep-backend seam: how a planned matrix gets executed.
+"""The sweep-backend seam: how a planned point list gets executed.
 
 The sweep harness separates *what* to simulate from *how* to run it:
-:meth:`~repro.harness.executor.ParallelSweepRunner.plan` produces a
-deduplicated, baseline-first list of :data:`PointSpec` tasks, and
+:meth:`~repro.harness.executor.ParallelSweepRunner.plan_points` produces
+a deduplicated, baseline-first list of
+:class:`~repro.harness.spec.SweepPoint` tasks, and
 :meth:`~repro.harness.runner.SweepRunner.install` publishes each finished
 result into the runner's memo and sharded
 :class:`~repro.harness.result_cache.ResultCache`.  A backend is anything
-that moves every pending spec from "planned" to "installed" between those
-two seams.
+that moves every pending point from "planned" to "installed" between
+those two seams.  Points travel the wire in their canonical serialized
+form (:meth:`SweepPoint.to_dict`), so a worker anywhere rebuilds exactly
+the coordinator's point — same digest, same cache key.
 
 Built-in backends:
 
@@ -22,7 +25,7 @@ Built-in backends:
 
 Every backend must preserve the harness invariant: the installed results
 — and the cache blobs they serialize to — are **byte-identical** to a
-serial sweep of the same matrix and seed, no matter how tasks were
+serial sweep of the same points and seed, no matter how tasks were
 distributed, retried after a crash, or installed more than once.
 """
 
@@ -30,20 +33,24 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, Dict, Protocol, Sequence, Tuple
 
+from ..spec import SweepPoint
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from ..runner import SweepRunner
 
-#: one matrix point: (workload, total MB, technique label)
-PointSpec = Tuple[str, int, str]
+#: deprecated alias — one matrix point used to be a ``(workload,
+#: total MB, technique label)`` tuple; backends now receive typed
+#: :class:`~repro.harness.spec.SweepPoint` tasks
+PointSpec = SweepPoint
 
 
 class SweepBackend(Protocol):
     """Executes a planned task list against a sweep runner.
 
     Implementations receive the coordinating runner (for its parameters,
-    cache, and ``install`` seam) plus the pending specs, and return only
-    after every spec has been installed — raising if any point cannot be
-    completed.  See ``docs/architecture.md`` for a writing-a-backend
+    cache, and ``install`` seam) plus the pending points, and return only
+    after every point has been installed — raising if any point cannot
+    be completed.  See ``docs/architecture.md`` for a writing-a-backend
     guide.
     """
 
@@ -51,11 +58,11 @@ class SweepBackend(Protocol):
     name: str
 
     def execute(
-        self, runner: "SweepRunner", pending: Sequence[PointSpec]
+        self, runner: "SweepRunner", pending: Sequence[SweepPoint]
     ) -> int:
-        """Run every spec in ``pending`` and install its results.
+        """Run every point in ``pending`` and install its results.
 
-        Returns the number of points executed (retries of the same spec
+        Returns the number of points executed (retries of the same point
         count once).  Must raise on unrecoverable failure rather than
         silently dropping points.
         """

@@ -4,15 +4,17 @@ Where the socket backend needs live connections, this backend needs only
 a directory that hosts can sync (NFS, rsync, a CI artifact store)::
 
     <queue_dir>/
-        tasks.json              # runner params + the planned specs
+        tasks.json              # runner params + the planned points
         results/
             <worker_id>/        # one ResultCache root per worker
-                v8/...          #   sharded entries, standard layout
-                v8/index.json   #   manifest, written when the worker ends
+                v9/...          #   sharded entries, standard layout
+                v9/index.json   #   manifest, written when the worker ends
 
-The coordinator *emits* ``tasks.json`` and then *ingests*: every cache
-root under ``results/`` is merged into the runner's own
-:class:`~repro.harness.result_cache.ResultCache` via
+The coordinator *emits* ``tasks.json`` — runner params plus every
+pending :class:`~repro.harness.spec.SweepPoint` in canonical dict form
+(task format 2; format 1 carried bare string triples and is rejected) —
+and then *ingests*: every cache root under ``results/`` is merged into
+the runner's own :class:`~repro.harness.result_cache.ResultCache` via
 :meth:`~repro.harness.result_cache.ResultCache.import_entries` — a
 manifest-driven, byte-for-byte copy, so figure tables come out identical
 to a serial sweep.  Workers (``repro-cmp work --queue-dir DIR`` anywhere
@@ -37,7 +39,8 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..result_cache import MergeReport, ResultCache, atomic_write
 from ..runner import CACHE_VERSION, SweepRunner, decode_entry
-from .base import PointSpec, default_worker_id, register_backend
+from ..spec import SweepPoint
+from .base import default_worker_id, register_backend
 
 #: task-file name inside the queue directory
 TASK_FILE = "tasks.json"
@@ -45,19 +48,19 @@ TASK_FILE = "tasks.json"
 #: per-worker result roots live under this subdirectory
 RESULTS_DIR = "results"
 
-#: schema marker of the task file
-TASK_FORMAT = 1
+#: schema marker of the task file (2 = serialized SweepPoints)
+TASK_FORMAT = 2
 
 
 def write_task_file(
-    queue_dir: str, params: dict, specs: Sequence[PointSpec]
+    queue_dir: str, params: dict, points: Sequence[SweepPoint]
 ) -> str:
     """Atomically publish the task file for a planned sweep."""
     payload = {
         "format": TASK_FORMAT,
         "cache_version": CACHE_VERSION,
         "params": params,
-        "specs": [list(spec) for spec in specs],
+        "points": [point.to_dict() for point in points],
     }
     return atomic_write(
         os.path.join(queue_dir, TASK_FILE),
@@ -66,21 +69,22 @@ def write_task_file(
 
 
 def read_task_file(queue_dir: str) -> dict:
-    """Load and validate the queue's task file."""
+    """Load and validate the queue's task file (points are rebuilt)."""
     path = os.path.join(queue_dir, TASK_FILE)
     with open(path) as fh:
         payload = json.load(fh)
     if payload.get("format") != TASK_FORMAT:
         raise ValueError(
             f"{path}: unsupported task-file format {payload.get('format')!r}"
+            f" (this build reads format {TASK_FORMAT})"
         )
     if payload.get("cache_version") != CACHE_VERSION:
         raise ValueError(
             f"{path}: task file targets cache v{payload.get('cache_version')}"
             f", this build writes v{CACHE_VERSION}"
         )
-    payload["specs"] = [
-        (str(wl), int(mb), str(tech)) for wl, mb, tech in payload["specs"]
+    payload["points"] = [
+        SweepPoint.from_dict(entry) for entry in payload["points"]
     ]
     return payload
 
@@ -111,7 +115,7 @@ def run_batch_worker(
 ) -> int:
     """Process one worker's share of the queue's task file.
 
-    ``task_slice`` is ``(i, n)``: this worker claims every n-th spec
+    ``task_slice`` is ``(i, n)``: this worker claims every n-th point
     starting at index ``i`` — a static partition, so concurrent workers
     never collide.  Results land in the worker's own cache root, and a
     manifest snapshot is written at the end to mark the shard complete.
@@ -128,10 +132,10 @@ def run_batch_worker(
         **payload["params"],
     )
     done = 0
-    for spec in payload["specs"][index::modulus]:
-        if runner.lookup(*spec) is None:
+    for point in payload["points"][index::modulus]:
+        if runner.lookup(point) is None:
             done += 1
-        runner.run_point(*spec)
+        runner.run_point(point)
     runner.cache.write_manifest()
     return done
 
@@ -166,9 +170,9 @@ class BatchQueueBackend:
 
     # ------------------------------------------------------------------
     def collect(
-        self, runner: SweepRunner, pending: Sequence[PointSpec]
-    ) -> List[PointSpec]:
-        """Ingest every present shard; return the still-missing specs.
+        self, runner: SweepRunner, pending: Sequence[SweepPoint]
+    ) -> List[SweepPoint]:
+        """Ingest every present shard; return the still-missing points.
 
         When the runner has a disk cache, shards are merged into it
         byte-for-byte (the multi-host sync path); either way, decoded
@@ -182,31 +186,31 @@ class BatchQueueBackend:
         worker_caches = [ResultCache(d, CACHE_VERSION) for d in worker_dirs]
         if runner.cache is not None:
             settled = {
-                runner.point_key(*spec)
-                for spec in pending
-                if runner.lookup(*spec) is not None
+                runner.point_key(point)
+                for point in pending
+                if runner.lookup(point) is not None
             }
             for cache in worker_caches:
                 report = runner.cache.import_entries(cache, exclude=settled)
                 if report.examined or report.stale_manifest or report.corrupt:
                     self.last_reports.append(report)
-        missing: List[PointSpec] = []
-        for spec in pending:
-            if runner.lookup(*spec) is not None:
+        missing: List[SweepPoint] = []
+        for point in pending:
+            if runner.lookup(point) is not None:
                 continue
-            key = runner.point_key(*spec)
+            key = runner.point_key(point)
             blob = self._read_shard_entry(worker_caches, key)
             if blob is None:
-                missing.append(spec)
+                missing.append(point)
                 continue
             try:
                 res, energy = decode_entry(blob)
             except (KeyError, TypeError, ValueError):
                 # JSON-valid but schema-invalid shard entry: skip it like
                 # the corrupt-JSON path and keep awaiting a good copy
-                missing.append(spec)
+                missing.append(point)
                 continue
-            runner.install(*spec, res, energy)
+            runner.install(point, res, energy)
         return missing
 
     @staticmethod
@@ -276,7 +280,9 @@ class BatchQueueBackend:
                 f"(task file and partial shards left in {self.queue_dir})"
             )
 
-    def execute(self, runner: SweepRunner, pending: Sequence[PointSpec]) -> int:
+    def execute(
+        self, runner: SweepRunner, pending: Sequence[SweepPoint]
+    ) -> int:
         """Publish the task file and ingest shards until all installed."""
         pending = list(pending)
         if not pending:
@@ -297,9 +303,7 @@ class BatchQueueBackend:
             self._spawn_and_wait(deadline)
             missing = self.collect(runner, pending)
             if missing:
-                lost = ", ".join(
-                    f"{wl} {mb}MB {tech}" for wl, mb, tech in missing
-                )
+                lost = ", ".join(point.describe() for point in missing)
                 raise RuntimeError(
                     f"batch workers finished but left points missing: {lost}"
                 )

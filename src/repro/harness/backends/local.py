@@ -6,8 +6,11 @@ This is PR 1's worker pool refactored behind the
 :class:`~repro.harness.runner.SweepRunner` per worker process (amortizing
 workload construction), with completed points streamed back to the parent
 in the serialized cache-entry format so installation is byte-identical to
-a serial run.  Workers write straight into the shared on-disk cache when
-one is configured; the parent then skips the redundant write.
+a serial run.  Tasks cross the process boundary in the point's canonical
+dict form (:meth:`~repro.harness.spec.SweepPoint.to_dict`) — the same
+wire format the socket and batch backends use.  Workers write straight
+into the shared on-disk cache when one is configured; the parent then
+skips the redundant write.
 """
 
 from __future__ import annotations
@@ -17,7 +20,8 @@ import os
 from typing import Optional, Sequence, Tuple
 
 from ..runner import SweepRunner, decode_entry, encode_entry
-from .base import PointSpec, register_backend
+from ..spec import SweepPoint
+from .base import register_backend
 
 #: per-worker serial runner, created once by the pool initializer
 _WORKER_RUNNER: Optional[SweepRunner] = None
@@ -36,24 +40,24 @@ def _init_worker(params: dict) -> None:
     _WORKER_RUNNER = SweepRunner(verbose=False, **params)
 
 
-def _run_point(spec: PointSpec) -> Tuple[PointSpec, dict, dict]:
-    """Execute one matrix point in a pool worker.
+def _run_point(point_dict: dict) -> Tuple[dict, dict, dict]:
+    """Execute one sweep point in a pool worker.
 
-    Returns the spec with the *serialized* result/energy blobs — exactly
-    the cache-entry format — so the parent reconstructs results the same
-    way a cache hit would, keeping serial and parallel sweeps
-    byte-identical.
+    Receives the point's serialized dict and returns it with the
+    *serialized* result/energy blobs — exactly the cache-entry format —
+    so the parent reconstructs results the same way a cache hit would,
+    keeping serial and parallel sweeps byte-identical.
     """
     assert _WORKER_RUNNER is not None, "worker initializer did not run"
-    workload, total_mb, tech_label = spec
+    point = SweepPoint.from_dict(point_dict)
     try:
-        res, energy = _WORKER_RUNNER.run_point(workload, total_mb, tech_label)
+        res, energy = _WORKER_RUNNER.run_point(point)
     except Exception as exc:
         raise RuntimeError(
-            f"sweep point {workload} {total_mb}MB {tech_label} failed: {exc}"
+            f"sweep point {point.describe()} failed: {exc}"
         ) from exc
     blob = encode_entry(res, energy)
-    return spec, blob["result"], blob["energy"]
+    return point_dict, blob["result"], blob["energy"]
 
 
 class LocalBackend:
@@ -74,14 +78,16 @@ class LocalBackend:
         self.jobs = resolve_jobs(jobs)
         self.start_method = start_method
 
-    def execute(self, runner: SweepRunner, pending: Sequence[PointSpec]) -> int:
+    def execute(
+        self, runner: SweepRunner, pending: Sequence[SweepPoint]
+    ) -> int:
         """Fan ``pending`` out across the worker pool (or run inline)."""
         pending = list(pending)
         if not pending:
             return 0
         if self.jobs == 1 or len(pending) == 1:
-            for spec in pending:
-                runner.run_point(*spec)
+            for point in pending:
+                runner.run_point(point)
             return len(pending)
         params = runner.runner_params(cache_dir=runner.cache_dir)
         ctx = (
@@ -102,22 +108,22 @@ class LocalBackend:
             initargs=(params,),
         ) as pool:
             done = 0
-            for spec, result_d, energy_d in pool.imap_unordered(
-                _run_point, pending, chunksize=1
+            for point_d, result_d, energy_d in pool.imap_unordered(
+                _run_point, [p.to_dict() for p in pending], chunksize=1
             ):
+                point = SweepPoint.from_dict(point_d)
                 res, energy = decode_entry(
                     {"result": result_d, "energy": energy_d}
                 )
                 # the worker already persisted the entry when caching is on
                 runner.install(
-                    *spec, res, energy, write_cache=runner.cache is None
+                    point, res, energy, write_cache=runner.cache is None
                 )
                 done += 1
                 if runner.verbose:
-                    wl, mb, tech = spec
                     print(
                         f"[sweep] {done}/{len(pending)} done: "
-                        f"{wl} {mb}MB {tech}",
+                        f"{point.describe()}",
                         flush=True,
                     )
         return len(pending)

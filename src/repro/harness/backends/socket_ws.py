@@ -12,22 +12,26 @@ worker crashes mid-flight is simply requeued for the next puller.
 Protocol (one JSON object per line, worker → coordinator unless noted)::
 
     {"op": "hello", "worker": <name>}
-        -> {"op": "welcome", "proto": 1, "params": {...runner params...}}
+        -> {"op": "welcome", "proto": 2, "params": {...runner params...}}
     {"op": "get"}
-        -> {"op": "task", "spec": [workload, total_mb, technique]}
+        -> {"op": "task", "point": {...SweepPoint.to_dict()...}}
          | {"op": "wait", "seconds": s}     # queue empty, leases pending
          | {"op": "done"}                   # matrix complete, disconnect
-    {"op": "result", "spec": [...], "result": {...}, "energy": {...}}
+    {"op": "result", "point": {...}, "result": {...}, "energy": {...}}
         -> {"op": "ack"}
-    {"op": "error", "spec": [...], "message": <text>}
+    {"op": "error", "point": {...}, "message": <text>}
         -> {"op": "ack"}
 
-Workers rebuild their runner from the coordinator's ``params``, so a
-remote shell needs no flags beyond the address — and no shared
-filesystem: results travel over the socket in the cache-entry format and
-the coordinator alone installs them (byte-identical to a serial sweep,
-even when a crash makes a task run twice, because points are
-deterministic and installation is idempotent).
+Protocol 2 ships full serialized
+:class:`~repro.harness.spec.SweepPoint` tasks (protocol 1 sent bare
+``[workload, total_mb, technique]`` triples, which hardwired the paper
+matrix; a v1 worker is rejected at the welcome handshake).  Workers
+rebuild their runner from the coordinator's ``params`` and the point from
+its canonical dict, so a remote shell needs no flags beyond the address —
+and no shared filesystem: results travel over the socket in the
+cache-entry format and the coordinator alone installs them
+(byte-identical to a serial sweep, even when a crash makes a task run
+twice, because points are deterministic and installation is idempotent).
 """
 
 from __future__ import annotations
@@ -43,12 +47,13 @@ from collections import deque
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..runner import SweepRunner, decode_entry, encode_entry
-from .base import PointSpec, default_worker_id, register_backend
+from ..spec import SweepPoint
+from .base import default_worker_id, register_backend
 
-#: protocol version sent in the welcome message
-PROTO_VERSION = 1
+#: protocol version sent in the welcome message (2 = SweepPoint tasks)
+PROTO_VERSION = 2
 
-#: how many times a spec may be attempted before the sweep fails
+#: how many times a point may be attempted before the sweep fails
 DEFAULT_MAX_ATTEMPTS = 3
 
 #: seconds an idle worker is told to sleep before re-polling
@@ -73,10 +78,9 @@ def _recv(rfile) -> Optional[dict]:
     return msg if isinstance(msg, dict) else None
 
 
-def _spec_of(msg: dict) -> PointSpec:
-    """Normalize a wire spec (JSON list) back into a :data:`PointSpec`."""
-    workload, total_mb, tech = msg["spec"]
-    return (str(workload), int(total_mb), str(tech))
+def _point_of(msg: dict) -> SweepPoint:
+    """Rebuild the wire point (canonical dict) as a :class:`SweepPoint`."""
+    return SweepPoint.from_dict(msg["point"])
 
 
 class _Handler(socketserver.StreamRequestHandler):
@@ -86,7 +90,7 @@ class _Handler(socketserver.StreamRequestHandler):
         """Serve one worker connection (socketserver hook)."""
         server: "_TaskServer" = self.server  # type: ignore[assignment]
         worker = "?"
-        leased: Optional[PointSpec] = None
+        leased: Optional[SweepPoint] = None
         server.connection_opened()
         try:
             while True:
@@ -110,15 +114,15 @@ class _Handler(socketserver.StreamRequestHandler):
                     if reply["op"] == "done":
                         return
                 elif op == "result":
-                    server.complete(_spec_of(msg), msg, worker)
-                    if leased == _spec_of(msg):
+                    server.complete(_point_of(msg), msg, worker)
+                    if leased == _point_of(msg):
                         leased = None
                     _send(self.wfile, {"op": "ack"})
                 elif op == "error":
                     server.task_failed(
-                        _spec_of(msg), str(msg.get("message", "")), worker
+                        _point_of(msg), str(msg.get("message", "")), worker
                     )
-                    if leased == _spec_of(msg):
+                    if leased == _point_of(msg):
                         leased = None
                     _send(self.wfile, {"op": "ack"})
                 else:
@@ -139,7 +143,7 @@ class _TaskServer(socketserver.ThreadingTCPServer):
         self,
         address: Tuple[str, int],
         runner: SweepRunner,
-        pending: Sequence[PointSpec],
+        pending: Sequence[SweepPoint],
         max_attempts: int = DEFAULT_MAX_ATTEMPTS,
     ) -> None:
         super().__init__(address, _Handler)
@@ -149,9 +153,9 @@ class _TaskServer(socketserver.ThreadingTCPServer):
         self.max_attempts = max_attempts
         self._lock = threading.Lock()
         self._queue: deque = deque(pending)
-        self._attempts: Dict[PointSpec, int] = {}
+        self._attempts: Dict[SweepPoint, int] = {}
         self._completed: set = set()
-        self.failures: Dict[PointSpec, str] = {}
+        self.failures: Dict[SweepPoint, str] = {}
         self.finished = threading.Event()
         #: currently connected workers (spawned or external)
         self.active_connections = 0
@@ -172,56 +176,55 @@ class _TaskServer(socketserver.ThreadingTCPServer):
             self.active_connections -= 1
 
     # ------------------------------------------------------------------
-    def lease(self, worker: str) -> Tuple[dict, Optional[PointSpec]]:
-        """Hand the next queued spec to ``worker`` (or wait/done)."""
+    def lease(self, worker: str) -> Tuple[dict, Optional[SweepPoint]]:
+        """Hand the next queued point to ``worker`` (or wait/done)."""
         with self._lock:
             if self._done_locked():
                 return {"op": "done"}, None
             if not self._queue:
                 return {"op": "wait", "seconds": WAIT_SECONDS}, None
-            spec = self._queue.popleft()
-            self._attempts[spec] = self._attempts.get(spec, 0) + 1
+            point = self._queue.popleft()
+            self._attempts[point] = self._attempts.get(point, 0) + 1
             self.stats["served"] += 1
-            return {"op": "task", "spec": list(spec)}, spec
+            return {"op": "task", "point": point.to_dict()}, point
 
-    def complete(self, spec: PointSpec, msg: dict, worker: str) -> None:
+    def complete(self, point: SweepPoint, msg: dict, worker: str) -> None:
         """Install one streamed result (idempotently) and mark it done."""
         res, energy = decode_entry(
             {"result": msg["result"], "energy": msg["energy"]}
         )
         with self._lock:
-            duplicate = spec in self._completed
+            duplicate = point in self._completed
             if duplicate:
                 self.stats["duplicates"] += 1
-            self._completed.add(spec)
-            self.failures.pop(spec, None)
+            self._completed.add(point)
+            self.failures.pop(point, None)
         # install outside the lock: determinism makes re-installation of a
         # duplicate byte-identical, so ordering between racers is moot
-        self.runner.install(*spec, res, energy)
+        self.runner.install(point, res, energy)
         if self.runner.verbose and not duplicate:
-            wl, mb, tech = spec
             print(
                 f"[sweep:socket] {len(self._completed)}/{self.total} done: "
-                f"{wl} {mb}MB {tech} ({worker})",
+                f"{point.describe()} ({worker})",
                 flush=True,
             )
         self._check_finished()
 
-    def requeue(self, spec: PointSpec, reason: str) -> None:
-        """Return a leased spec to the queue after a worker loss."""
+    def requeue(self, point: SweepPoint, reason: str) -> None:
+        """Return a leased point to the queue after a worker loss."""
         with self._lock:
-            if spec in self._completed or spec in self.failures:
+            if point in self._completed or point in self.failures:
                 return
-            if self._attempts.get(spec, 0) >= self.max_attempts:
-                self.failures[spec] = reason
+            if self._attempts.get(point, 0) >= self.max_attempts:
+                self.failures[point] = reason
             else:
-                self._queue.append(spec)
+                self._queue.append(point)
                 self.stats["requeued"] += 1
         self._check_finished()
 
-    def task_failed(self, spec: PointSpec, message: str, worker: str) -> None:
-        """A worker reported a simulation error for ``spec``."""
-        self.requeue(spec, f"{worker}: {message}")
+    def task_failed(self, point: SweepPoint, message: str, worker: str) -> None:
+        """A worker reported a simulation error for ``point``."""
+        self.requeue(point, f"{worker}: {message}")
 
     # ------------------------------------------------------------------
     def _done_locked(self) -> bool:
@@ -272,18 +275,22 @@ def worker_main(
                 continue
             if msg.get("op") != "task":
                 raise RuntimeError(f"unexpected coordinator message: {msg!r}")
-            spec = _spec_of(msg)
+            point = _point_of(msg)
             received += 1
             if crash_after_tasks is not None and received >= crash_after_tasks:
                 os._exit(17)
             if runner is None:
                 runner = SweepRunner(verbose=False, **params)
             try:
-                res, energy = runner.run_point(*spec)
+                res, energy = runner.run_point(point)
             except Exception as exc:
                 _send(
                     wfile,
-                    {"op": "error", "spec": list(spec), "message": str(exc)},
+                    {
+                        "op": "error",
+                        "point": point.to_dict(),
+                        "message": str(exc),
+                    },
                 )
                 _recv(rfile)
                 continue
@@ -292,7 +299,7 @@ def worker_main(
                 wfile,
                 {
                     "op": "result",
-                    "spec": list(spec),
+                    "point": point.to_dict(),
                     "result": blob["result"],
                     "energy": blob["energy"],
                 },
@@ -331,7 +338,9 @@ class SocketWorkStealingBackend:
         #: stats of the last :meth:`execute` (served/requeued/duplicates)
         self.last_stats: Dict[str, int] = {}
 
-    def execute(self, runner: SweepRunner, pending: Sequence[PointSpec]) -> int:
+    def execute(
+        self, runner: SweepRunner, pending: Sequence[SweepPoint]
+    ) -> int:
         """Serve ``pending`` to workers; block until installed or failed."""
         pending = list(pending)
         if not pending:
@@ -379,8 +388,10 @@ class SocketWorkStealingBackend:
             self.last_stats = dict(server.stats)
         if server.failures:
             lost = ", ".join(
-                f"{wl} {mb}MB {tech} ({why})"
-                for (wl, mb, tech), why in sorted(server.failures.items())
+                f"{point.describe()} ({why})"
+                for point, why in sorted(
+                    server.failures.items(), key=lambda kv: kv[0].triple
+                )
             )
             raise RuntimeError(f"sweep points failed on every attempt: {lost}")
         if outcome == "starved":
@@ -429,9 +440,9 @@ class SocketWorkStealingBackend:
         return "finished"
 
     @staticmethod
-    def remaining(runner: SweepRunner, pending: Sequence[PointSpec]) -> int:
+    def remaining(runner: SweepRunner, pending: Sequence[SweepPoint]) -> int:
         """How many of ``pending`` the runner still cannot serve."""
-        return sum(1 for spec in pending if runner.lookup(*spec) is None)
+        return sum(1 for point in pending if runner.lookup(point) is None)
 
 
 register_backend("socket", SocketWorkStealingBackend)

@@ -13,6 +13,14 @@ Examples::
     repro-cmp cache prune                # drop stale/corrupt cache entries
     repro-cmp cache merge OTHER_DIR      # ingest a synced cache/shard
 
+Experiment specs (the declarative scenario API; see ``specs/``)::
+
+    repro-cmp spec validate specs/*.toml           # lint scenario files
+    repro-cmp spec expand specs/paper_matrix.toml  # list the points
+    repro-cmp spec load specs/paper_matrix.toml    # normalized JSON form
+    repro-cmp run specs/paper_matrix.toml --jobs 8 # execute a scenario
+    repro-cmp run my_scenario.toml --backend batch --csv out.csv
+
 Distributed sweeps (see ``docs/architecture.md``)::
 
     repro-cmp fig5a --backend socket --port 7777   # + workers that pull
@@ -25,6 +33,7 @@ Distributed sweeps (see ``docs/architecture.md``)::
 from __future__ import annotations
 
 import argparse
+import glob
 import sys
 from typing import List, Optional, Tuple
 
@@ -39,9 +48,16 @@ from .backends import (
     worker_main,
 )
 from .executor import ParallelSweepRunner
-from .figures import EXPERIMENTS, run_experiment, table1
+from .figures import EXPERIMENTS, FigureTable, run_experiment, table1
 from .result_cache import ResultCache
 from .runner import CACHE_VERSION, SweepRunner
+from .spec import SpecError, load_spec
+
+#: default workload time-dilation when neither flag nor spec sets one
+DEFAULT_SCALE = 0.1
+
+#: default workload seed when neither flag nor spec sets one
+DEFAULT_SEED = 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -54,17 +70,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "command",
         help="experiment id (fig3a..fig6b, table1), 'list', 'point', "
-        "'cache', 'serve', or 'work'",
+        "'spec', 'run', 'cache', 'serve', or 'work'",
     )
     p.add_argument("args", nargs="*", help="command-specific arguments")
     p.add_argument(
         "--scale",
         type=float,
-        default=0.1,
-        help="workload time-dilation factor (default 0.1; "
-        "1.0 = full paper-equivalent length)",
+        default=None,
+        help=f"workload time-dilation factor (default {DEFAULT_SCALE}; "
+        "1.0 = full paper-equivalent length; a spec file's [run] "
+        "table supplies the default for 'run')",
     )
-    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--seed", type=int, default=None)
     p.add_argument(
         "--sizes",
         type=str,
@@ -210,9 +227,34 @@ def _distributed_backend(
     return None
 
 
-def make_runner(args: argparse.Namespace) -> SweepRunner:
-    """Build the sweep runner the ``--backend``/``--jobs`` flags select."""
-    cache_dir = None if args.no_cache else args.cache_dir
+def make_runner(
+    args: argparse.Namespace,
+    scale: Optional[float] = None,
+    seed: Optional[int] = None,
+    n_cores: Optional[int] = None,
+    warmup: Optional[float] = None,
+) -> SweepRunner:
+    """Build the sweep runner the ``--backend``/``--jobs`` flags select.
+
+    The keyword overrides carry a spec's requested run context
+    (``repro-cmp run``); explicit CLI flags already won inside
+    :meth:`~repro.harness.spec.ExperimentSpec.context`, and anything
+    still unset falls back to the harness defaults.
+    """
+    scale = scale if scale is not None else args.scale
+    scale = scale if scale is not None else DEFAULT_SCALE
+    seed = seed if seed is not None else args.seed
+    seed = seed if seed is not None else DEFAULT_SEED
+    kwargs = dict(
+        scale=scale,
+        seed=seed,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        verbose=not args.quiet,
+    )
+    if n_cores is not None:
+        kwargs["n_cores"] = int(n_cores)
+    if warmup is not None:
+        kwargs["warmup_fraction"] = float(warmup)
     if args.wait and args.backend == "local":
         raise SystemExit(
             "--wait only applies to distributed backends; add "
@@ -220,20 +262,8 @@ def make_runner(args: argparse.Namespace) -> SweepRunner:
         )
     backend = _distributed_backend(args)
     if backend is None and args.jobs == 1:
-        return SweepRunner(
-            scale=args.scale,
-            seed=args.seed,
-            cache_dir=cache_dir,
-            verbose=not args.quiet,
-        )
-    return ParallelSweepRunner(
-        scale=args.scale,
-        seed=args.seed,
-        cache_dir=cache_dir,
-        verbose=not args.quiet,
-        jobs=args.jobs,
-        backend=backend,
-    )
+        return SweepRunner(**kwargs)
+    return ParallelSweepRunner(jobs=args.jobs, backend=backend, **kwargs)
 
 
 def _matrix_from_args(args: argparse.Namespace) -> Tuple[List[str], List[int]]:
@@ -247,6 +277,115 @@ def _matrix_from_args(args: argparse.Namespace) -> Tuple[List[str], List[int]]:
         args.benchmarks.split(",") if args.benchmarks else list(PAPER_BENCHMARKS)
     )
     return benchmarks, sizes
+
+
+def _spec_paths(patterns: List[str]) -> List[str]:
+    """Expand spec-file arguments (shells without globbing, CI quoting)."""
+    paths: List[str] = []
+    for pattern in patterns:
+        hits = sorted(glob.glob(pattern))
+        paths.extend(hits if hits else [pattern])
+    return paths
+
+
+def _spec_command(args: argparse.Namespace) -> int:
+    """Run ``repro-cmp spec validate|expand|load <file>...``."""
+    usage = "usage: repro-cmp spec [validate|expand|load] <spec.toml|json>..."
+    if not args.args:
+        print(usage, file=sys.stderr)
+        return 2
+    sub, *patterns = args.args
+    if sub not in ("validate", "expand", "load") or not patterns:
+        print(usage, file=sys.stderr)
+        return 2
+    status = 0
+    for path in _spec_paths(patterns):
+        try:
+            spec = load_spec(path)
+            spec.validate(strict=True)
+            # resolve scale exactly like `repro-cmp run` would for this
+            # file, so the expanded configs/digests match what a run of
+            # the same spec executes
+            ctx = spec.context(scale=args.scale)
+            scale = ctx.get("scale", DEFAULT_SCALE)
+            points = spec.expand(scale=scale)
+        except (OSError, SpecError) as exc:
+            print(f"{path}: INVALID: {exc}", file=sys.stderr)
+            status = 1
+            continue
+        if sub == "validate":
+            print(f"{path}: ok ({spec.name}: {len(points)} points)")
+        elif sub == "load":
+            sys.stdout.write(spec.to_json())
+        else:  # expand
+            print(f"# {spec.name}: {len(points)} points (scale={scale})")
+            for point in points:
+                print(f"{point.describe():40s} digest={point.digest()[:12]}")
+    return status
+
+
+def _metrics_table(spec_name: str, metrics) -> FigureTable:
+    """Flat per-point metric table for ``repro-cmp run`` output."""
+    table = FigureTable(
+        exp_id=spec_name,
+        title="experiment spec results",
+        columns=[
+            "workload", "MB", "technique", "energy_red", "ipc_loss",
+            "occupancy", "miss_rate",
+        ],
+    )
+    for i, m in enumerate(metrics):
+        table.add_row(
+            f"p{i:03d}",
+            [
+                m.workload,
+                str(m.total_mb),
+                m.technique,
+                f"{m.energy_reduction * 100:.1f}%",
+                f"{m.ipc_loss * 100:.1f}%",
+                f"{m.occupancy * 100:.1f}%",
+                f"{m.miss_rate * 100:.1f}%",
+            ],
+        )
+    return table
+
+
+def _run_spec_command(args: argparse.Namespace) -> int:
+    """Run ``repro-cmp run <spec file>`` through the selected backend."""
+    if len(args.args) != 1:
+        print(
+            "usage: repro-cmp run <spec.toml|spec.json> "
+            "[--backend ...] [--jobs N] [--csv PATH]",
+            file=sys.stderr,
+        )
+        return 2
+    path = args.args[0]
+    try:
+        spec = load_spec(path)
+        spec.validate(strict=True)
+        # explicit CLI flags beat the spec's [run] table, which beats
+        # the harness defaults
+        ctx = spec.context(scale=args.scale, seed=args.seed)
+        runner = make_runner(
+            args,
+            scale=ctx.get("scale"),
+            seed=ctx.get("seed"),
+            n_cores=ctx.get("n_cores"),
+            warmup=ctx.get("warmup"),
+        )
+        points = runner.expand_spec(spec)
+    except (OSError, SpecError) as exc:
+        print(f"{path}: INVALID: {exc}", file=sys.stderr)
+        return 1
+    metrics = runner.run_spec(points)
+    table = _metrics_table(spec.name, metrics)
+    print(table.render())
+    if args.csv:
+        with open(args.csv, "w", newline="") as fh:
+            fh.write(table.to_csv())
+        if not args.quiet:
+            print(f"[csv] wrote {args.csv}")
+    return 0
 
 
 def _serve_command(args: argparse.Namespace) -> int:
@@ -267,8 +406,8 @@ def _serve_command(args: argparse.Namespace) -> int:
         return 2
     backend = _distributed_backend(args, name="socket")
     runner = ParallelSweepRunner(
-        scale=args.scale,
-        seed=args.seed,
+        scale=args.scale if args.scale is not None else DEFAULT_SCALE,
+        seed=args.seed if args.seed is not None else DEFAULT_SEED,
         cache_dir=None if args.no_cache else args.cache_dir,
         verbose=not args.quiet,
         backend=backend,
@@ -333,6 +472,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "cache":
         return _cache_command(args)
 
+    if args.command == "spec":
+        return _spec_command(args)
+
+    if args.command == "run":
+        return _run_spec_command(args)
+
     if args.command == "serve":
         return _serve_command(args)
 
@@ -349,15 +494,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
             return 2
         wl, mb, tech = args.args[0], int(args.args[1]), args.args[2]
-        known = runner.technique_configs()
-        if tech not in known:
-            print(
-                f"unknown technique {tech!r}; one of: "
-                f"{', '.join(runner.technique_order())}",
-                file=sys.stderr,
-            )
+        try:
+            point = runner.point(wl, mb, tech)
+        except SpecError as exc:
+            print(str(exc), file=sys.stderr)
             return 2
-        m = runner.metrics_for(wl, mb, tech)
+        m = runner.metrics_for(point)
         for k, v in m.as_dict().items():
             print(f"{k:22s} {v}")
         return 0
@@ -368,14 +510,6 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.command.startswith("fig6"):
             kwargs["total_mb"] = sizes[0] if args.sizes else 4
             kwargs["benchmarks"] = benchmarks
-            if isinstance(runner, ParallelSweepRunner):
-                # fig6 figures walk metrics_for point by point; fan the
-                # matrix out first (figs 3-5 sweep, which prefetches itself)
-                runner.prefetch(
-                    benchmarks=benchmarks,
-                    sizes=[kwargs["total_mb"]],
-                    techniques=runner.technique_order(),
-                )
         else:
             kwargs["sizes"] = sizes
             kwargs["benchmarks"] = benchmarks

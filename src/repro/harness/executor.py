@@ -1,18 +1,20 @@
 """Parallel sweep-execution engine.
 
-:class:`ParallelSweepRunner` plans the (workload × size × technique)
-simulation matrix and hands the uncached points to a pluggable
+:class:`ParallelSweepRunner` plans a point list — a grid, or an expanded
+:class:`~repro.harness.spec.ExperimentSpec` — and hands the uncached
+:class:`~repro.harness.spec.SweepPoint` tasks to a pluggable
 :class:`~repro.harness.backends.base.SweepBackend` for execution.  Design
 points:
 
-* **determinism** — every point is keyed by (workload, scale, seed,
-  config); each worker rebuilds the workload from the same seed, so a
-  point's :class:`~repro.sim.stats.SimResult` is byte-identical no matter
-  which worker runs it, in what order, or whether it ran serially;
-* **baseline-first scheduling** — :meth:`plan` orders the unique baseline
-  points ahead of every technique point, so the (baseline, technique)
-  pairs that relative metrics need are never blocked behind unrelated
-  work and an interrupted sweep leaves the most reusable cache;
+* **determinism** — every point is keyed by the digest of its canonical
+  serialized form resolved against the effective runner context; each
+  worker rebuilds the workload from the same seed, so a point's
+  :class:`~repro.sim.stats.SimResult` is byte-identical no matter which
+  worker runs it, in what order, or whether it ran serially;
+* **baseline-first scheduling** — :meth:`plan_points` orders the unique
+  baseline twins ahead of every technique point, so the (baseline,
+  technique) pairs that relative metrics need are never blocked behind
+  unrelated work and an interrupted sweep leaves the most reusable cache;
 * **pluggable execution** — the default backend is the local
   :mod:`multiprocessing` pool
   (:class:`~repro.harness.backends.local.LocalBackend`); ``--backend
@@ -36,19 +38,22 @@ from .backends import (
     make_backend,
     resolve_jobs,
 )
+from .metrics import PointMetrics
 from .runner import DEFAULT_WARMUP, SweepRunner
+from .spec import ExperimentSpec, SweepPoint
 
 __all__ = ["ParallelSweepRunner", "PointSpec", "resolve_jobs"]
 
 
 class ParallelSweepRunner(SweepRunner):
-    """A :class:`SweepRunner` that executes matrices through a backend.
+    """A :class:`SweepRunner` that executes point lists through a backend.
 
     Drop-in compatible: ``metrics_for``/``run_point`` behave exactly like
     the serial runner (and serve from the shared memo/cache), while
-    :meth:`sweep` and :meth:`prefetch` fan uncached points out through
-    the configured backend.  Results are byte-identical to a serial sweep
-    of the same matrix and seed whatever the backend.
+    :meth:`run_spec`, :meth:`sweep` and :meth:`prefetch` fan uncached
+    points out through the configured backend.  Results are
+    byte-identical to a serial sweep of the same points and seed
+    whatever the backend.
     """
 
     def __init__(
@@ -82,77 +87,82 @@ class ParallelSweepRunner(SweepRunner):
         self.backend = backend
 
     # ------------------------------------------------------------------
+    def plan_points(self, points: Iterable[SweepPoint]) -> List[SweepPoint]:
+        """Deduplicated task list with every baseline twin first.
+
+        Relative metrics pair each point with its baseline twin, so
+        baselines are the highest-fanout results; scheduling them first
+        keeps metric computation unblocked however the backend
+        interleaves the rest.  Deduplication is by cache key, so two
+        spellings of the same effective point collapse.
+        """
+        points = [self._as_point(p) for p in points]
+        baselines: List[SweepPoint] = []
+        rest: List[SweepPoint] = []
+        seen: set = set()
+        for p in points:
+            twin = p.baseline_twin()
+            key = self.point_key(twin)
+            if key not in seen:
+                seen.add(key)
+                baselines.append(twin)
+        for p in points:
+            key = self.point_key(p)
+            if key not in seen:
+                seen.add(key)
+                rest.append(p)
+        return baselines + rest
+
     def plan(
         self,
         benchmarks: Iterable[str],
         sizes: Iterable[int],
         techniques: Iterable[str],
-    ) -> List[PointSpec]:
-        """Deduplicated task list with every baseline point first.
-
-        Relative metrics pair each technique point with its baseline
-        twin, so baselines are the highest-fanout results; scheduling
-        them first keeps metric computation unblocked however the
-        backend interleaves the rest.
-        """
-        benchmarks = list(benchmarks)
-        sizes = list(sizes)
-        baselines: List[PointSpec] = []
-        rest: List[PointSpec] = []
-        seen: set = set()
-        for mb in sizes:
-            for wl in benchmarks:
-                spec = (wl, mb, "baseline")
-                if spec not in seen:
-                    seen.add(spec)
-                    baselines.append(spec)
-        for mb in sizes:
-            for wl in benchmarks:
-                for tech in techniques:
-                    spec = (wl, mb, tech)
-                    if spec not in seen:
-                        seen.add(spec)
-                        rest.append(spec)
-        return baselines + rest
+    ) -> List[SweepPoint]:
+        """Baseline-first plan of a (benchmarks × sizes × techniques) grid."""
+        return self.plan_points(self.points_for(benchmarks, sizes, techniques))
 
     # ------------------------------------------------------------------
+    def prefetch_points(self, points: Iterable[SweepPoint]) -> int:
+        """Simulate every uncached point of a list on the backend.
+
+        The plan includes each point's baseline twin.  Returns the
+        number of points actually simulated; after this, ``metrics_for``
+        over the same points is a pure memo lookup.
+        """
+        pending = [
+            p for p in self.plan_points(points) if self.lookup(p) is None
+        ]
+        if not pending:
+            return 0
+        self.backend.execute(self, pending)
+        return len(pending)
+
     def prefetch(
         self,
         benchmarks: Iterable[str] = PAPER_BENCHMARKS,
         sizes: Iterable[int] = PAPER_TOTAL_L2_MB,
         techniques: Optional[Iterable[str]] = None,
     ) -> int:
-        """Simulate every uncached point of a matrix on the backend.
-
-        Returns the number of points actually simulated.  After this,
-        ``metrics_for``/``sweep`` over the same matrix are pure memo
-        lookups.
-        """
+        """Grid convenience wrapper around :meth:`prefetch_points`."""
         techniques = list(techniques or paper_technique_order())
-        specs = self.plan(benchmarks, sizes, techniques)
-        pending = [s for s in specs if self.lookup(*s) is None]
-        if not pending:
-            return 0
-        self.backend.execute(self, pending)
-        return len(pending)
+        return self.prefetch_points(
+            self.points_for(benchmarks, sizes, techniques)
+        )
 
     # ------------------------------------------------------------------
-    def sweep(
-        self,
-        benchmarks: Iterable[str] = PAPER_BENCHMARKS,
-        sizes: Iterable[int] = PAPER_TOTAL_L2_MB,
-        techniques: Optional[Iterable[str]] = None,
-    ) -> List:
-        """Backend-parallel version of :meth:`SweepRunner.sweep`.
+    def run_spec(
+        self, spec: Union[ExperimentSpec, Iterable[SweepPoint]]
+    ) -> List[PointMetrics]:
+        """Backend-parallel version of :meth:`SweepRunner.run_spec`.
 
-        Simulates the matrix through the backend, then assembles metrics
-        in the serial runner's deterministic order — the returned list
-        compares equal, element by element, to the serial result.
+        Simulates the spec's points through the backend, then assembles
+        metrics in the serial runner's deterministic order — the
+        returned list compares equal, element by element, to the serial
+        result.
         """
-        benchmarks = list(benchmarks)
-        sizes = list(sizes)
-        techniques = list(techniques or paper_technique_order())
-        self.prefetch(benchmarks=benchmarks, sizes=sizes, techniques=techniques)
-        return super().sweep(
-            benchmarks=benchmarks, sizes=sizes, techniques=techniques
+        points = (
+            self.expand_spec(spec) if isinstance(spec, ExperimentSpec) else list(spec)
         )
+        self.prefetch_points(points)
+        return super().run_spec(points)

@@ -4,6 +4,13 @@ One function per experiment id.  Each returns a :class:`FigureTable` — an
 ordered rows×cols grid of formatted values — whose ``render()`` is what
 the benches print next to the paper's reference numbers (see the
 figure-to-module map in ``PAPER.md``).
+
+Figures are spec consumers: each builds a
+:class:`~repro.harness.spec.ExperimentSpec` grid for its slice of the
+matrix, runs it through the runner (``run_spec``), and *selects* from the
+flat metric list — no figure re-enumerates the matrix point by point, so
+the same code renders any scenario a spec file describes.  The paper's
+own matrix ships as ``specs/paper_matrix.toml``.
 """
 
 from __future__ import annotations
@@ -16,7 +23,9 @@ from typing import Callable, Dict, List, Optional, Sequence
 from ..coherence.turnoff import table_rows
 from ..sim.config import PAPER_TOTAL_L2_MB
 from ..workloads.registry import PAPER_BENCHMARKS
+from .metrics import metrics_by_point
 from .runner import SweepRunner
+from .spec import grid_spec
 
 
 @dataclass
@@ -86,13 +95,18 @@ def _size_figure(
     notes: str = "",
 ) -> FigureTable:
     """Shared shape of Figs 3–5: techniques × size, averaged over benchmarks."""
-    # Include the baseline in the sweep: occupancy/miss-rate figures show
+    # Include the baseline in the spec: occupancy/miss-rate figures show
     # its row (100 % / baseline miss rate); its points are cached anyway
     # since every ratio metric pairs against them.
-    points = runner.sweep(
-        benchmarks=benchmarks, sizes=sizes, techniques=runner.technique_order()
+    spec = grid_spec(
+        name=exp_id,
+        description=title,
+        workloads=benchmarks,
+        sizes_mb=sizes,
+        techniques=runner.technique_order(),
     )
-    avg = runner.averaged(points, attr)
+    metrics = runner.run_spec(spec)
+    avg = runner.averaged(metrics, attr)
     table = FigureTable(
         exp_id=exp_id,
         title=title,
@@ -202,6 +216,14 @@ def _benchmark_figure(
     notes: str = "",
 ) -> FigureTable:
     """Shared shape of Fig 6: techniques × benchmark at one size."""
+    spec = grid_spec(
+        name=exp_id,
+        description=title,
+        workloads=benchmarks,
+        sizes_mb=[total_mb],
+        techniques=runner.technique_order(),
+    )
+    by_point = metrics_by_point(runner.run_spec(spec))
     table = FigureTable(
         exp_id=exp_id,
         title=f"{title} (total {total_mb}MB)",
@@ -211,10 +233,10 @@ def _benchmark_figure(
     for tech in runner.technique_order():
         if tech == "baseline":
             continue
-        vals = []
-        for wl in benchmarks:
-            m = runner.metrics_for(wl, total_mb, tech)
-            vals.append(_pct(getattr(m, attr)))
+        vals = [
+            _pct(getattr(by_point[(wl, total_mb, tech)], attr))
+            for wl in benchmarks
+        ]
         table.add_row(tech, vals)
     return table
 

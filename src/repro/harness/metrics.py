@@ -10,10 +10,13 @@ better.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional
 
 from ..power.energy import EnergyBreakdown
 from ..sim.stats import SimResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .spec import SweepPoint
 
 
 def occupancy(result: SimResult) -> float:
@@ -82,6 +85,26 @@ class PointMetrics:
     peak_temp_c: Optional[float] = None
 
     @classmethod
+    def for_point(
+        cls,
+        point: "SweepPoint",
+        base_res: SimResult,
+        base_energy: EnergyBreakdown,
+        res: SimResult,
+        energy: EnergyBreakdown,
+    ) -> "PointMetrics":
+        """Bundle every figure metric for one typed sweep point."""
+        return cls.compute(
+            point.workload,
+            point.total_mb,
+            point.tech_label,
+            base_res,
+            base_energy,
+            res,
+            energy,
+        )
+
+    @classmethod
     def compute(
         cls,
         workload: str,
@@ -127,3 +150,31 @@ class PointMetrics:
             "l2_leakage_share": self.l2_leakage_share,
             "peak_temp_c": self.peak_temp_c,
         }
+
+
+def select_metrics(
+    metrics: Iterable[PointMetrics],
+    workload: Optional[str] = None,
+    total_mb: Optional[int] = None,
+    technique: Optional[str] = None,
+) -> List[PointMetrics]:
+    """Filter a spec's flat metric list by any subset of coordinates.
+
+    Figure code runs one spec and *selects* from its results instead of
+    re-enumerating the matrix — so a figure over a custom scenario never
+    needs to know which axes the spec declared.
+    """
+    return [
+        m
+        for m in metrics
+        if (workload is None or m.workload == workload)
+        and (total_mb is None or m.total_mb == total_mb)
+        and (technique is None or m.technique == technique)
+    ]
+
+
+def metrics_by_point(
+    metrics: Iterable[PointMetrics],
+) -> Dict[tuple, PointMetrics]:
+    """Index a metric list by ``(workload, total_mb, technique)``."""
+    return {(m.workload, m.total_mb, m.technique): m for m in metrics}

@@ -6,6 +6,17 @@ per-figure benches share one result cache keyed by the full configuration.
 A cache entry stores the serialized :class:`~repro.sim.stats.SimResult`
 plus the energy breakdown; cache misses simulate on demand.
 
+Points are typed: the runner's unit of work is a
+:class:`~repro.harness.spec.SweepPoint` — workload, total L2 capacity, a
+full :class:`~repro.sim.config.TechniqueConfig`, and optional
+runner-context overrides.  Cache keys are derived from the point's
+canonical serialized form via
+:func:`~repro.sim.config.stable_digest`, so any process on any host
+computes the same key for the same point.  The legacy
+``(workload, total_mb, tech_label)`` string triples are still accepted
+by ``run_point``/``lookup``/``install``/``point_key``/``metrics_for`` as
+thin deprecated shims (one release; they warn and convert).
+
 Storage is a :class:`~repro.harness.result_cache.ResultCache`: entries are
 sharded by key digest, written atomically (tmp file + ``os.replace``) so an
 interrupted run can never leave a truncated blob behind, and corrupt
@@ -15,15 +26,17 @@ what lets the parallel executor hand results straight to figure code.
 
 The cache key includes a schema version — bump :data:`CACHE_VERSION` when
 simulator semantics change so stale entries are never mixed into figures.
-For the (workload × size × technique) matrix itself, prefer
+For whole matrices or spec files, prefer
 :class:`~repro.harness.executor.ParallelSweepRunner`, which shards the
-matrix across a process pool.
+point list across a backend.
 """
 
 from __future__ import annotations
 
+import json
+import warnings
 from dataclasses import asdict
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from ..power.energy import EnergyBreakdown, EnergyModel
 from ..sim.config import (
@@ -33,21 +46,28 @@ from ..sim.config import (
     TechniqueConfig,
     paper_technique_order,
     paper_techniques,
+    stable_digest,
 )
 from ..sim.simulator import simulate
 from ..sim.stats import SimResult
 from ..workloads.registry import PAPER_BENCHMARKS, get_workload
 from .metrics import PointMetrics
 from .result_cache import ResultCache
+from .spec import ExperimentSpec, SpecError, SweepPoint
 
-#: bump when simulator/workload semantics change (invalidates caches)
-CACHE_VERSION = 8
+#: bump when simulator/workload semantics change (invalidates caches).
+#: v9: point-digest cache keys (the spec-API redesign).
+CACHE_VERSION = 9
 
 #: default warmup: skips the workloads' init phase (DESIGN.md §5)
 DEFAULT_WARMUP = 0.17
 
 #: (SimResult, EnergyBreakdown) of one sweep point
 PointResult = Tuple[SimResult, EnergyBreakdown]
+
+#: anything the point-taking entry points accept (typed point, or the
+#: deprecated string-triple spelling)
+PointLike = Union[SweepPoint, Tuple[str, int, str], str]
 
 
 def _breakdown_to_dict(bd: EnergyBreakdown) -> dict:
@@ -71,8 +91,18 @@ def encode_entry(res: SimResult, energy: EnergyBreakdown) -> dict:
     return {"result": res.to_dict(), "energy": _breakdown_to_dict(energy)}
 
 
+def _warn_triple() -> None:
+    """One deprecation warning per call site for the triple shims."""
+    warnings.warn(
+        "(workload, total_mb, technique) triples are deprecated; pass a "
+        "SweepPoint (e.g. runner.point(workload, total_mb, technique))",
+        DeprecationWarning,
+        stacklevel=4,
+    )
+
+
 class SweepRunner:
-    """Simulates (workload × size × technique) points with caching."""
+    """Simulates typed sweep points with in-process and on-disk caching."""
 
     def __init__(
         self,
@@ -90,8 +120,12 @@ class SweepRunner:
         self.cache_dir = cache_dir
         self.cache = ResultCache(cache_dir, CACHE_VERSION) if cache_dir else None
         self.verbose = verbose
-        self._workloads: Dict[str, object] = {}
+        self._workloads: Dict[tuple, object] = {}
         self._memo: Dict[str, PointResult] = {}
+        #: memoized technique table (``point_key`` sits on the cache hot
+        #: path; rebuilding 8 TechniqueConfigs per lookup was measurable —
+        #: see ``benchmarks/bench_sweep_parallel.py``)
+        self._tech_configs: Optional[Dict[str, TechniqueConfig]] = None
 
     # ------------------------------------------------------------------
     def runner_params(self, **overrides) -> dict:
@@ -114,51 +148,150 @@ class SweepRunner:
         return params
 
     # ------------------------------------------------------------------
+    # Point construction / coercion
+    # ------------------------------------------------------------------
     def technique_configs(self) -> Dict[str, TechniqueConfig]:
-        """Baseline + the paper's seven technique configurations."""
-        out = {"baseline": TechniqueConfig(name=BASELINE)}
-        out.update(paper_techniques(self.scale))
-        return out
+        """Baseline + the paper's seven technique configurations.
+
+        Memoized per runner: the table is pure in ``self.scale``, and the
+        cache-lookup hot path resolves labels through it.
+        """
+        if self._tech_configs is None:
+            out = {BASELINE: TechniqueConfig(name=BASELINE)}
+            out.update(paper_techniques(self.scale))
+            self._tech_configs = out
+        return self._tech_configs
 
     def technique_order(self) -> List[str]:
         """Figure ordering: baseline first, then the paper's seven."""
-        return ["baseline", *paper_technique_order()]
+        return [BASELINE, *paper_technique_order()]
 
-    def config_for(self, total_mb: int, tech: TechniqueConfig) -> CMPConfig:
-        """System config for one sweep point."""
-        return (
-            CMPConfig(n_cores=self.n_cores, seed=self.seed)
-            .with_total_l2_mb(total_mb)
-            .with_technique(tech)
+    def point(self, workload: str, total_mb: int, tech_label: str) -> SweepPoint:
+        """Typed :class:`SweepPoint` for paper-matrix coordinates.
+
+        ``tech_label`` is resolved through :meth:`technique_configs`
+        (this runner's scaled technique table); the returned point
+        inherits the runner context, so its cache key matches any other
+        runner configured with the same scale/seed/cores/warmup.
+        """
+        techs = self.technique_configs()
+        if tech_label not in techs:
+            raise SpecError(
+                f"unknown technique {tech_label!r}; one of: "
+                f"{', '.join(self.technique_order())}"
+            )
+        return SweepPoint(
+            workload=workload,
+            total_mb=int(total_mb),
+            technique=techs[tech_label],
+            tech_label=tech_label,
         )
 
+    def _as_point(
+        self,
+        point: PointLike,
+        total_mb: Optional[int] = None,
+        tech_label: Optional[str] = None,
+    ) -> SweepPoint:
+        """Coerce a :class:`SweepPoint` or a deprecated triple spelling."""
+        if isinstance(point, SweepPoint):
+            return point
+        if isinstance(point, (tuple, list)) and total_mb is None:
+            point, total_mb, tech_label = point
+        _warn_triple()
+        return self.point(str(point), int(total_mb), str(tech_label))
+
+    def points_for(
+        self,
+        benchmarks: Iterable[str],
+        sizes: Iterable[int],
+        techniques: Iterable[str],
+    ) -> List[SweepPoint]:
+        """Grid of points in canonical sweep order (sizes, workloads, techs)."""
+        techniques = list(techniques)
+        return [
+            self.point(wl, mb, tech)
+            for mb in sizes
+            for wl in benchmarks
+            for tech in techniques
+        ]
+
+    def expand_spec(self, spec: ExperimentSpec) -> List[SweepPoint]:
+        """Expand a spec with this runner's scale (label resolution)."""
+        return spec.expand(scale=self.scale)
+
     # ------------------------------------------------------------------
-    def cache_key(self, workload: str, cfg: CMPConfig) -> str:
-        """Full cache key of one point (workload context + config key)."""
-        return f"{workload}-sc{self.scale}-w{self.warmup}-{cfg.key()}"
+    # Context resolution and cache keys
+    # ------------------------------------------------------------------
+    def context_for(self, point: SweepPoint) -> Dict[str, Union[int, float]]:
+        """Effective execution context: point overrides, else runner values."""
+        return {
+            "n_cores": point.n_cores if point.n_cores is not None else self.n_cores,
+            "scale": point.scale if point.scale is not None else self.scale,
+            "seed": point.seed if point.seed is not None else self.seed,
+            "warmup": point.warmup if point.warmup is not None else self.warmup,
+        }
 
-    def point_key(self, workload: str, total_mb: int, tech_label: str) -> str:
-        """Cache key of a point given by its matrix coordinates."""
-        tech = self.technique_configs()[tech_label]
-        return self.cache_key(workload, self.config_for(total_mb, tech))
+    def config_for(self, point: SweepPoint) -> CMPConfig:
+        """System config for one sweep point (honoring its overrides)."""
+        ctx = self.context_for(point)
+        return (
+            CMPConfig(n_cores=int(ctx["n_cores"]), seed=int(ctx["seed"]))
+            .with_total_l2_mb(point.total_mb)
+            .with_technique(point.technique)
+        )
 
-    def _workload(self, name: str):
-        if name not in self._workloads:
-            self._workloads[name] = get_workload(
-                name, n_cores=self.n_cores, scale=self.scale, seed=self.seed
+    def point_key(
+        self,
+        point: PointLike,
+        total_mb: Optional[int] = None,
+        tech_label: Optional[str] = None,
+    ) -> str:
+        """Cache key of one point: readable prefix + stable digest.
+
+        The digest covers the point's canonical form *resolved against
+        the effective context* (overrides, else runner defaults), plus
+        the full ``CMPConfig.key()`` — so a point without overrides and
+        the same point with overrides equal to the runner's defaults
+        share one cache entry, while any semantic difference (decay
+        cycles, core count, warmup, geometry) separates them.
+        """
+        p = self._as_point(point, total_mb, tech_label)
+        ctx = self.context_for(p)
+        payload = {
+            "workload": p.workload,
+            "total_mb": p.total_mb,
+            "tech_label": p.tech_label,
+            "technique": p.technique.to_dict(),
+            "config": self.config_for(p).key(),
+            **ctx,
+        }
+        digest = stable_digest(json.dumps(payload, sort_keys=True))
+        return f"{p.workload}-{p.tech_label}-{p.total_mb}MB-{digest[:20]}"
+
+    def _workload(self, name: str, ctx: Dict[str, Union[int, float]]):
+        key = (name, int(ctx["n_cores"]), float(ctx["scale"]), int(ctx["seed"]))
+        if key not in self._workloads:
+            self._workloads[key] = get_workload(
+                name, n_cores=key[1], scale=key[2], seed=key[3]
             )
-        return self._workloads[name]
+        return self._workloads[key]
 
+    # ------------------------------------------------------------------
+    # Execution
     # ------------------------------------------------------------------
     def lookup(
-        self, workload: str, total_mb: int, tech_label: str
+        self,
+        point: PointLike,
+        total_mb: Optional[int] = None,
+        tech_label: Optional[str] = None,
     ) -> Optional[PointResult]:
         """Memo/disk lookup of one point; ``None`` means "must simulate".
 
         Corrupt or schema-stale disk entries are invalidated here, so the
         caller's resimulation overwrites them with a good blob.
         """
-        key = self.point_key(workload, total_mb, tech_label)
+        key = self.point_key(point, total_mb, tech_label)
         hit = self._memo.get(key)
         if hit is not None:
             return hit
@@ -177,54 +310,86 @@ class SweepRunner:
 
     def install(
         self,
-        workload: str,
-        total_mb: int,
-        tech_label: str,
-        res: SimResult,
-        energy: EnergyBreakdown,
+        point: PointLike,
+        *args,
         write_cache: bool = True,
     ) -> None:
         """Publish one point's results into the memo (and the disk cache).
 
-        The parallel executor calls this with results received from pool
-        workers; ``write_cache=False`` skips the disk write when the
-        worker already persisted the entry itself.
+        Canonical form: ``install(point, res, energy)``.  The deprecated
+        triple spelling ``install(workload, total_mb, tech_label, res,
+        energy)`` still works.  The parallel executor calls this with
+        results received from workers; ``write_cache=False`` skips the
+        disk write when the worker already persisted the entry itself.
         """
-        key = self.point_key(workload, total_mb, tech_label)
+        if isinstance(point, SweepPoint):
+            res, energy = args
+        elif isinstance(point, (tuple, list)) and len(args) == 2:
+            res, energy = args
+            point = self._as_point(tuple(point))
+        else:
+            total_mb, tech_label, res, energy = args
+            point = self._as_point(point, total_mb, tech_label)
+        key = self.point_key(point)
         self._memo[key] = (res, energy)
         if write_cache and self.cache is not None:
             self.cache.put(key, encode_entry(res, energy))
 
     def run_point(
-        self, workload: str, total_mb: int, tech_label: str
+        self,
+        point: PointLike,
+        total_mb: Optional[int] = None,
+        tech_label: Optional[str] = None,
     ) -> PointResult:
         """Simulate (or load) one point; returns (result, energy)."""
-        hit = self.lookup(workload, total_mb, tech_label)
+        p = self._as_point(point, total_mb, tech_label)
+        hit = self.lookup(p)
         if hit is not None:
             return hit
+        ctx = self.context_for(p)
         if self.verbose:
             print(
-                f"[sweep] simulating {workload} {total_mb}MB {tech_label} "
-                f"(scale={self.scale})",
+                f"[sweep] simulating {p.describe()} (scale={ctx['scale']})",
                 flush=True,
             )
-        tech = self.technique_configs()[tech_label]
-        cfg = self.config_for(total_mb, tech)
-        res = simulate(cfg, self._workload(workload), warmup_fraction=self.warmup)
+        cfg = self.config_for(p)
+        res = simulate(
+            cfg,
+            self._workload(p.workload, ctx),
+            warmup_fraction=float(ctx["warmup"]),
+        )
         energy = EnergyModel(cfg).evaluate(res)
-        self.install(workload, total_mb, tech_label, res, energy)
+        self.install(p, res, energy)
         return res, energy
 
     # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
     def metrics_for(
-        self, workload: str, total_mb: int, tech_label: str
+        self,
+        point: PointLike,
+        total_mb: Optional[int] = None,
+        tech_label: Optional[str] = None,
     ) -> PointMetrics:
         """Metrics of one point relative to its baseline twin."""
-        base_res, base_e = self.run_point(workload, total_mb, "baseline")
-        res, e = self.run_point(workload, total_mb, tech_label)
-        return PointMetrics.compute(
-            workload, total_mb, tech_label, base_res, base_e, res, e
+        p = self._as_point(point, total_mb, tech_label)
+        base_res, base_e = self.run_point(p.baseline_twin())
+        res, e = self.run_point(p)
+        return PointMetrics.for_point(p, base_res, base_e, res, e)
+
+    def run_spec(
+        self, spec: Union[ExperimentSpec, Iterable[SweepPoint]]
+    ) -> List[PointMetrics]:
+        """Metrics for every point a spec (or point list) describes.
+
+        This is the seam figure code selects from: one flat, ordered
+        metric list per scenario, each point paired against its baseline
+        twin (simulated on demand when the spec does not list it).
+        """
+        points = (
+            self.expand_spec(spec) if isinstance(spec, ExperimentSpec) else spec
         )
+        return [self.metrics_for(p) for p in points]
 
     def sweep(
         self,
@@ -232,14 +397,9 @@ class SweepRunner:
         sizes: Iterable[int] = PAPER_TOTAL_L2_MB,
         techniques: Optional[Iterable[str]] = None,
     ) -> List[PointMetrics]:
-        """The full figure matrix as a flat metric list."""
+        """A (benchmarks × sizes × techniques) grid as a flat metric list."""
         techniques = list(techniques or paper_technique_order())
-        out: List[PointMetrics] = []
-        for mb in sizes:
-            for wl in benchmarks:
-                for tech in techniques:
-                    out.append(self.metrics_for(wl, mb, tech))
-        return out
+        return self.run_spec(self.points_for(benchmarks, sizes, techniques))
 
     def averaged(
         self, points: List[PointMetrics], attr: str

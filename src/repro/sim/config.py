@@ -28,6 +28,7 @@ def stable_digest(text: str) -> str:
     """
     return hashlib.sha1(text.encode("utf-8")).hexdigest()
 
+
 # ---------------------------------------------------------------------------
 # Technique names (paper §IV)
 # ---------------------------------------------------------------------------
@@ -86,6 +87,39 @@ class TechniqueConfig:
         k = self.decay_cycles // 1000
         prefix = "decay" if self.name == DECAY else "sel_decay"
         return f"{prefix}{k}K"
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe dict, the inverse of :meth:`from_dict`.
+
+        Every field is emitted (no default elision) so the serialized
+        form is stable under default changes — a spec file written today
+        resolves to the same hardware tomorrow.
+        """
+        return {
+            "name": self.name,
+            "decay_cycles": self.decay_cycles,
+            "counter_mode": self.counter_mode,
+            "counter_bits": self.counter_bits,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "TechniqueConfig":
+        """Rebuild a technique from :meth:`to_dict` output (validating)."""
+        if not isinstance(data, dict):
+            raise ValueError(f"technique must be a table/dict, got {data!r}")
+        unknown = set(data) - {"name", "decay_cycles", "counter_mode", "counter_bits"}
+        if unknown:
+            raise ValueError(
+                f"unknown technique fields: {', '.join(sorted(unknown))}"
+            )
+        if "name" not in data:
+            raise ValueError("technique table needs a 'name' field")
+        return cls(
+            name=str(data["name"]),
+            decay_cycles=int(data.get("decay_cycles", 512_000)),
+            counter_mode=str(data.get("counter_mode", COUNTER_IDEAL)),
+            counter_bits=int(data.get("counter_bits", 2)),
+        )
 
 
 @dataclass(frozen=True)

@@ -176,8 +176,10 @@ class Simulator:
 
             # ---- warmup boundary ----------------------------------------
             if not warmup_done and actor_kind == 0:
-                if all(c.accesses_done >= warmup_target or c.state == DONE
-                       for c in cores):
+                if all(
+                    c.accesses_done >= warmup_target or c.state == DONE
+                    for c in cores
+                ):
                     warmup_time = int(t_min)
                     system.reset_stats(warmup_time)
                     for c in cores:
@@ -226,9 +228,7 @@ class Simulator:
         core_b = [c.instr_buckets() for c in self.cores]
         occ_b = [l2.occupancy.bucket_integrals() for l2 in self.system.l2s]
         acc_b = [l2.access_buckets() for l2 in self.system.l2s]
-        n = max(
-            [len(b) for b in core_b + occ_b + acc_b] or [0]
-        )
+        n = max([len(b) for b in core_b + occ_b + acc_b] or [0])
 
         def pad(b: list) -> list:
             return b + [0] * (n - len(b))

@@ -186,7 +186,9 @@ class SimResult:
     @property
     def memory_bytes_per_cycle(self) -> float:
         """Off-chip traffic density (Fig 4(a) numerator)."""
-        return self.memory.total_bytes / self.total_cycles if self.total_cycles else 0.0
+        if not self.total_cycles:
+            return 0.0
+        return self.memory.total_bytes / self.total_cycles
 
     @property
     def amat(self) -> float:
@@ -210,8 +212,7 @@ class SimResult:
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
         """JSON-serializable representation (result cache format)."""
-        d = asdict(self)
-        return d
+        return asdict(self)
 
     @classmethod
     def from_dict(cls, d: dict) -> "SimResult":

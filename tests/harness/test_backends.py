@@ -18,10 +18,19 @@ from repro.harness.backends.batch import list_worker_result_dirs
 from repro.harness.backends.socket_ws import _TaskServer
 from repro.harness.executor import ParallelSweepRunner
 from repro.harness.runner import SweepRunner, encode_entry
+from repro.harness.spec import SweepPoint, grid_spec
 
 SCALE = 0.04
 #: 2 workloads x 1 size x 1 technique (+2 baseline twins) = 4 simulations
 MATRIX = dict(benchmarks=["uniform", "pingpong"], sizes=[1], techniques=["protocol"])
+
+#: the same matrix as a declarative spec (baseline listed explicitly)
+MATRIX_SPEC = grid_spec(
+    name="backend_matrix",
+    workloads=["uniform", "pingpong"],
+    sizes_mb=[1],
+    techniques=["baseline", "protocol"],
+)
 
 
 def _blobs(runner):
@@ -158,26 +167,37 @@ class TestDuplicateInstall:
         # a requeued task can complete twice (slow worker + its thief);
         # the second install must be a byte-identical no-op, not an error
         src_runner, _ = serial_run
-        spec = ("uniform", 1, "protocol")
-        res, energy = src_runner.run_point(*spec)
+        point = src_runner.point("uniform", 1, "protocol")
+        res, energy = src_runner.run_point(point)
         blob = encode_entry(res, energy)
-        msg = {"spec": list(spec), **blob}
+        msg = {"point": point.to_dict(), **blob}
 
         runner = SweepRunner(
             scale=SCALE, cache_dir=str(tmp_path / "cache"), verbose=False
         )
-        server = _TaskServer(("127.0.0.1", 0), runner, [spec])
+        server = _TaskServer(("127.0.0.1", 0), runner, [point])
         try:
-            server.complete(spec, msg, "worker-a")
-            key = runner.point_key(*spec)
+            server.complete(point, msg, "worker-a")
+            key = runner.point_key(point)
             first = runner.cache.read_bytes(key)
             assert first is not None
-            server.complete(spec, msg, "worker-b")
+            server.complete(point, msg, "worker-b")
             assert runner.cache.read_bytes(key) == first
             assert server.stats["duplicates"] == 1
             assert server.finished.is_set()
         finally:
             server.server_close()
+
+    def test_wire_point_preserves_digest(self, serial_run):
+        # the acceptance property of transport: a point that crosses the
+        # wire (canonical dict -> JSON -> dict) keeps its identity digest
+        src_runner, _ = serial_run
+        point = src_runner.point("uniform", 1, "protocol")
+        wire = json.loads(json.dumps({"point": point.to_dict()}))
+        rebuilt = SweepPoint.from_dict(wire["point"])
+        assert rebuilt == point
+        assert rebuilt.digest() == point.digest()
+        assert src_runner.point_key(rebuilt) == src_runner.point_key(point)
 
 
 class TestTimeouts:
@@ -236,10 +256,14 @@ class TestBatchBackend:
         assert sum(r.conflicts for r in reports) == 0
 
     def test_task_file_roundtrip(self, tmp_path):
-        specs = [("uniform", 1, "baseline"), ("uniform", 1, "protocol")]
-        write_task_file(str(tmp_path), {"scale": SCALE, "seed": 1}, specs)
+        runner = SweepRunner(scale=SCALE, cache_dir=None, verbose=False)
+        points = [
+            runner.point("uniform", 1, "baseline"),
+            runner.point("uniform", 1, "protocol"),
+        ]
+        write_task_file(str(tmp_path), {"scale": SCALE, "seed": 1}, points)
         payload = read_task_file(str(tmp_path))
-        assert payload["specs"] == specs
+        assert payload["points"] == points
         assert payload["params"]["scale"] == SCALE
 
     def test_task_file_rejects_other_cache_version(self, tmp_path):
@@ -251,8 +275,20 @@ class TestBatchBackend:
         with pytest.raises(ValueError, match="cache v"):
             read_task_file(str(tmp_path))
 
+    def test_task_file_rejects_triple_format(self, tmp_path):
+        # format 1 carried bare (workload, mb, technique) triples; a v2
+        # reader must refuse it instead of misreading the specs
+        write_task_file(str(tmp_path), {}, [])
+        path = tmp_path / "tasks.json"
+        payload = json.loads(path.read_text())
+        payload["format"] = 1
+        payload["specs"] = [["uniform", 1, "protocol"]]
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="task-file format"):
+            read_task_file(str(tmp_path))
+
     def test_worker_slices_partition_the_matrix(self, tmp_path, serial_run):
-        # two sliced workers must split the specs without overlap, and a
+        # two sliced workers must split the points without overlap, and a
         # coordinator ingesting both shards serves the full matrix
         queue_dir = str(tmp_path / "queue")
         runner = ParallelSweepRunner(
@@ -261,13 +297,13 @@ class TestBatchBackend:
             verbose=False,
             jobs=1,
         )
-        specs = runner.plan(["uniform"], [1], ["protocol"])
-        write_task_file(queue_dir, runner.runner_params(), specs)
+        points = runner.plan(["uniform"], [1], ["protocol"])
+        write_task_file(queue_dir, runner.runner_params(), points)
         done0 = run_batch_worker(queue_dir, "w0", task_slice=(0, 2))
         done1 = run_batch_worker(queue_dir, "w1", task_slice=(1, 2))
-        assert done0 + done1 == len(specs) == 2
+        assert done0 + done1 == len(points) == 2
         backend = BatchQueueBackend(queue_dir=queue_dir, spawn_workers=0)
-        assert backend.collect(runner, specs) == []
+        assert backend.collect(runner, points) == []
         assert {os.path.basename(d) for d in list_worker_result_dirs(queue_dir)} == {
             "w0",
             "w1",
@@ -278,8 +314,8 @@ class TestBatchBackend:
         # skipped, not unlinked: the shard belongs to the worker, and a
         # later sync may complete the file
         src_runner, _ = serial_run
-        spec = ("uniform", 1, "protocol")
-        key = src_runner.point_key(*spec)
+        point = src_runner.point("uniform", 1, "protocol")
+        key = src_runner.point_key(point)
         queue_dir = str(tmp_path / "queue")
         shard_dir = os.path.join(queue_dir, "results", "half-synced")
         from repro.harness.result_cache import ResultCache
@@ -289,15 +325,15 @@ class TestBatchBackend:
         shard.put_bytes(key, src_runner.cache.read_bytes(key)[:20])
         runner = SweepRunner(scale=SCALE, cache_dir=None, verbose=False)
         backend = BatchQueueBackend(queue_dir=queue_dir, spawn_workers=0)
-        assert backend.collect(runner, [spec]) == [spec]
+        assert backend.collect(runner, [point]) == [point]
         assert shard.read_bytes(key) is not None  # still on the shard
 
     def test_collect_skips_schema_invalid_shard_entry(self, tmp_path, serial_run):
         # JSON-valid but wrong-shape entries must be re-awaited like
         # corrupt ones, not crash the coordinator
         src_runner, _ = serial_run
-        spec = ("uniform", 1, "protocol")
-        key = src_runner.point_key(*spec)
+        point = src_runner.point("uniform", 1, "protocol")
+        key = src_runner.point_key(point)
         queue_dir = str(tmp_path / "queue")
         from repro.harness.result_cache import ResultCache
         from repro.harness.runner import CACHE_VERSION
@@ -308,7 +344,7 @@ class TestBatchBackend:
         shard.put(key, {"unexpected": "shape"})
         runner = SweepRunner(scale=SCALE, cache_dir=None, verbose=False)
         backend = BatchQueueBackend(queue_dir=queue_dir, spawn_workers=0)
-        assert backend.collect(runner, [spec]) == [spec]
+        assert backend.collect(runner, [point]) == [point]
 
     def test_stale_manifest_shard_is_awaited_not_fatal(self, tmp_path, serial_run):
         # a worker that died between writing its manifest and its blobs
@@ -319,23 +355,77 @@ class TestBatchBackend:
         runner = SweepRunner(
             scale=SCALE, cache_dir=str(tmp_path / "cache"), verbose=False
         )
-        specs = [("uniform", 1, "baseline"), ("uniform", 1, "protocol")]
+        points = [
+            src_runner.point("uniform", 1, "baseline"),
+            src_runner.point("uniform", 1, "protocol"),
+        ]
         shard_dir = os.path.join(queue_dir, "results", "dead-worker")
         from repro.harness.result_cache import ResultCache
         from repro.harness.runner import CACHE_VERSION
 
         shard = ResultCache(shard_dir, CACHE_VERSION)
-        for spec in specs:
-            key = src_runner.point_key(*spec)
+        for point in points:
+            key = src_runner.point_key(point)
             shard.put_bytes(key, src_runner.cache.read_bytes(key))
         shard.write_manifest()
-        lost_key = src_runner.point_key(*specs[1])
+        lost_key = src_runner.point_key(points[1])
         os.unlink(shard.path_for(lost_key))
 
         backend = BatchQueueBackend(queue_dir=queue_dir, spawn_workers=0)
-        missing = backend.collect(runner, specs)
-        assert missing == [specs[1]]
+        missing = backend.collect(runner, points)
+        assert missing == [points[1]]
         assert sum(r.stale_manifest for r in backend.last_reports) == 1
         # the surviving entry was ingested byte-for-byte
-        key = src_runner.point_key(*specs[0])
+        key = src_runner.point_key(points[0])
         assert runner.cache.read_bytes(key) == src_runner.cache.read_bytes(key)
+
+
+class TestSpecDrivenSweeps:
+    """The acceptance seam: spec files drive backends byte-identically."""
+
+    def test_spec_through_local_backend_matches_serial(
+        self, serial_run, tmp_path
+    ):
+        runner = ParallelSweepRunner(
+            scale=SCALE,
+            cache_dir=str(tmp_path / "cache"),
+            verbose=False,
+            jobs=2,
+        )
+        metrics = runner.run_spec(MATRIX_SPEC)
+        # the spec lists baseline rows explicitly; the triple-driven
+        # serial sweep interleaves per (size, workload) — compare as sets
+        # of per-point metrics plus the exact blob bytes below
+        assert {
+            (m.workload, m.total_mb, m.technique) for m in metrics
+        } >= {(m.workload, m.total_mb, m.technique) for m in serial_run[1]}
+        for m in serial_run[1]:
+            assert m in metrics
+        assert _blobs(serial_run[0]) == _blobs(runner)
+
+    def test_spec_through_batch_backend_matches_serial(
+        self, serial_run, tmp_path
+    ):
+        backend = BatchQueueBackend(
+            queue_dir=str(tmp_path / "queue"), spawn_workers=2, timeout=600
+        )
+        runner = ParallelSweepRunner(
+            scale=SCALE,
+            cache_dir=str(tmp_path / "cache"),
+            verbose=False,
+            backend=backend,
+        )
+        runner.run_spec(MATRIX_SPEC)
+        assert _blobs(serial_run[0]) == _blobs(runner)
+
+    def test_spec_survives_toml_transport_before_execution(self, tmp_path):
+        # author -> TOML file -> reload -> identical expansion digests
+        path = str(tmp_path / "matrix.toml")
+        from repro.harness.spec import load_spec, save_spec
+
+        save_spec(MATRIX_SPEC, path)
+        reloaded = load_spec(path)
+        assert reloaded == MATRIX_SPEC
+        a = [p.digest() for p in MATRIX_SPEC.expand(scale=SCALE)]
+        b = [p.digest() for p in reloaded.expand(scale=SCALE)]
+        assert a == b

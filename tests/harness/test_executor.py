@@ -22,16 +22,29 @@ MATRIX = dict(
 class TestPlanning:
     def test_baselines_scheduled_first(self):
         runner = ParallelSweepRunner(scale=SCALE, cache_dir=None, jobs=1)
-        plan = runner.plan(["a", "b"], [1, 4], ["protocol", "decay64K"])
+        plan = runner.plan(
+            ["uniform", "pingpong"], [1, 4], ["protocol", "decay64K"]
+        )
         n_base = 4  # 2 workloads x 2 sizes
-        assert all(spec[2] == "baseline" for spec in plan[:n_base])
-        assert all(spec[2] != "baseline" for spec in plan[n_base:])
+        assert all(p.tech_label == "baseline" for p in plan[:n_base])
+        assert all(p.tech_label != "baseline" for p in plan[n_base:])
         assert len(plan) == n_base + 8
 
     def test_plan_deduplicates(self):
         runner = ParallelSweepRunner(scale=SCALE, cache_dir=None, jobs=1)
-        plan = runner.plan(["a"], [1], ["baseline", "protocol", "protocol"])
-        assert plan == [("a", 1, "baseline"), ("a", 1, "protocol")]
+        plan = runner.plan(["uniform"], [1], ["baseline", "protocol", "protocol"])
+        assert plan == [
+            runner.point("uniform", 1, "baseline"),
+            runner.point("uniform", 1, "protocol"),
+        ]
+
+    def test_plan_points_covers_baseline_twins(self):
+        # a point-list plan must schedule the baseline twin of every
+        # point even when the spec never listed baseline
+        runner = ParallelSweepRunner(scale=SCALE, cache_dir=None, jobs=1)
+        point = runner.point("uniform", 2, "decay64K")
+        plan = runner.plan_points([point])
+        assert plan == [point.baseline_twin(), point]
 
     def test_resolve_jobs(self):
         assert resolve_jobs(3) == 3
@@ -116,19 +129,20 @@ class TestPrefetch:
         plan = runner.plan(
             MATRIX["benchmarks"], MATRIX["sizes"], ["sel_decay64K"]
         )
-        pending = [s for s in plan if runner.lookup(*s) is None]
+        pending = [p for p in plan if runner.lookup(p) is None]
         assert len(pending) == 2
 
     def test_corrupt_cache_entry_resimulated(self, serial_run):
         runner, _ = serial_run
-        res, _ = runner.run_point("uniform", 1, "protocol")
-        key = runner.point_key("uniform", 1, "protocol")
+        point = runner.point("uniform", 1, "protocol")
+        res, _ = runner.run_point(point)
+        key = runner.point_key(point)
         with open(runner.cache.path_for(key), "w") as fh:
             fh.write('{"result": {"trunc')
         fresh = SweepRunner(
             scale=SCALE, cache_dir=runner.cache_dir, verbose=False
         )
-        res2, _ = fresh.run_point("uniform", 1, "protocol")
+        res2, _ = fresh.run_point(point)
         assert res2.total_cycles == res.total_cycles
         # and the repaired entry is back on disk
         assert fresh.cache.get(key) is not None

@@ -20,32 +20,35 @@ def runner(tmp_path):
 
 class TestRunnerCaching:
     def test_cache_roundtrip(self, runner, tmp_path):
-        r1, e1 = runner.run_point("uniform", 1, "baseline")
+        point = runner.point("uniform", 1, "baseline")
+        r1, e1 = runner.run_point(point)
         assert runner.cache.stats().entries == 1
         # a fresh runner must reload the same point from disk
         fresh = SweepRunner(scale=SCALE, cache_dir=str(tmp_path / "cache"),
                             verbose=False)
-        r2, e2 = fresh.run_point("uniform", 1, "baseline")
+        r2, e2 = fresh.run_point(point)
         assert r2.total_cycles == r1.total_cycles
         assert e2.total == pytest.approx(e1.total)
 
     def test_memo_serves_repeat_lookups(self, runner):
-        r1, _ = runner.run_point("uniform", 1, "baseline")
-        r2, _ = runner.run_point("uniform", 1, "baseline")
+        point = runner.point("uniform", 1, "baseline")
+        r1, _ = runner.run_point(point)
+        r2, _ = runner.run_point(point)
         assert r2 is r1  # in-process memo, no reload
 
     def test_cache_key_separates_techniques(self, runner, tmp_path):
-        runner.run_point("uniform", 1, "baseline")
-        runner.run_point("uniform", 1, "protocol")
+        runner.run_point(runner.point("uniform", 1, "baseline"))
+        runner.run_point(runner.point("uniform", 1, "protocol"))
         assert runner.cache.stats().entries == 2
 
     def test_cache_entries_are_sharded_under_version_dir(self, runner,
                                                          tmp_path):
-        runner.run_point("uniform", 1, "baseline")
+        point = runner.point("uniform", 1, "baseline")
+        runner.run_point(point)
         from repro.harness.runner import CACHE_VERSION
 
         assert os.listdir(tmp_path / "cache") == [f"v{CACHE_VERSION}"]
-        key = runner.point_key("uniform", 1, "baseline")
+        key = runner.point_key(point)
         assert os.path.exists(runner.cache.path_for(key))
 
     def test_technique_configs_cover_paper(self, runner):
@@ -53,19 +56,58 @@ class TestRunnerCaching:
         assert len(techs) == 8  # baseline + 7
         assert techs["decay64K"].decay_cycles == int(64_000 * SCALE)
 
+    def test_technique_configs_memoized(self, runner):
+        # point_key sits on the cache hot path; the table must not be
+        # rebuilt (8 TechniqueConfig constructions) per lookup
+        assert runner.technique_configs() is runner.technique_configs()
+
     def test_metrics_for(self, runner):
-        m = runner.metrics_for("uniform", 1, "protocol")
+        m = runner.metrics_for(runner.point("uniform", 1, "protocol"))
         assert isinstance(m, PointMetrics)
         assert m.ipc_loss == pytest.approx(0.0, abs=1e-9)
         assert 0 <= m.occupancy <= 1
 
     def test_averaged(self, runner):
-        pts = [runner.metrics_for("uniform", 1, "protocol"),
-               runner.metrics_for("pingpong", 1, "protocol")]
+        pts = [runner.metrics_for(runner.point("uniform", 1, "protocol")),
+               runner.metrics_for(runner.point("pingpong", 1, "protocol"))]
         avg = runner.averaged(pts, "occupancy")
         assert (1, "protocol") in avg
         expected = (pts[0].occupancy + pts[1].occupancy) / 2
         assert avg[(1, "protocol")] == pytest.approx(expected)
+
+    def test_point_override_separates_cache_keys(self, runner):
+        # an override equal to the runner default shares the cache key;
+        # a different override gets its own entry
+        from dataclasses import replace
+
+        point = runner.point("uniform", 1, "baseline")
+        same = replace(point, n_cores=runner.n_cores)
+        other = replace(point, n_cores=8)
+        assert runner.point_key(same) == runner.point_key(point)
+        assert runner.point_key(other) != runner.point_key(point)
+
+
+class TestTripleShims:
+    """The deprecated (workload, total_mb, technique) spellings."""
+
+    def test_triple_run_point_warns_and_matches(self, runner):
+        point = runner.point("uniform", 1, "protocol")
+        res, energy = runner.run_point(point)
+        with pytest.deprecated_call():
+            res2, energy2 = runner.run_point("uniform", 1, "protocol")
+        assert res2 is res and energy2 is energy
+
+    def test_triple_point_key_matches(self, runner):
+        point = runner.point("uniform", 1, "protocol")
+        with pytest.deprecated_call():
+            key = runner.point_key("uniform", 1, "protocol")
+        assert key == runner.point_key(point)
+
+    def test_triple_metrics_for_matches(self, runner):
+        m_new = runner.metrics_for(runner.point("uniform", 1, "protocol"))
+        with pytest.deprecated_call():
+            m_old = runner.metrics_for("uniform", 1, "protocol")
+        assert m_old == m_new
 
 
 class TestFigureTable:
