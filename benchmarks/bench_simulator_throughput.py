@@ -1,16 +1,50 @@
 """Engineering benchmark: simulator throughput (accesses/second).
 
 Not a paper figure — tracks the performance of the per-access hot path
-(the hpc-parallel guides' "profile before optimizing" baseline).  History
-of observed numbers lives in EXPERIMENTS.md.
+(the hpc-parallel guides' "profile before optimizing" baseline).  Two
+modes exist:
+
+* the pytest-benchmark tests below (small scale, CI-friendly);
+* ``python benchmarks/bench_simulator_throughput.py --json`` — the
+  perf-evidence loop of the flat-array engine: measures accesses/sec for
+  the paper techniques at ``--scale 0.1`` and writes
+  ``BENCH_simulator_throughput.json`` next to the repo root, pairing the
+  measured numbers with the pinned seed-engine baseline
+  (:data:`SEED_ENGINE_BASELINE`) so the speedup trend is tracked in-repo.
 """
+
+import argparse
+import json
+import os
+import sys
+import time
 
 import pytest
 
-from repro import CMPConfig, TechniqueConfig, Simulator
+from repro import CMPConfig, Simulator, TechniqueConfig
+from repro.sim.config import BASELINE, paper_techniques
 from repro.workloads.registry import get_workload
 
 SCALE = 0.04
+
+#: accesses/sec of the pre-flat-array (object-per-line) engine, measured
+#: on the techniques/workload/scale of ``--json`` mode at the PR boundary.
+#: These are the fixed "before" of the perf trajectory; re-measure only
+#: when intentionally re-baselining (and say so in the commit).
+SEED_ENGINE_BASELINE = {
+    "scale": 0.1,
+    "workload": "uniform",
+    "warmup_fraction": 0.17,
+    "techniques": {
+        "baseline": {"accesses": 656383, "seconds": 25.9747, "accesses_per_sec": 25270.1},
+        "protocol": {"accesses": 656383, "seconds": 32.6497, "accesses_per_sec": 20103.8},
+        "decay64K": {"accesses": 663630, "seconds": 52.7863, "accesses_per_sec": 12572.0},
+        "sel_decay64K": {"accesses": 660313, "seconds": 9.9813, "accesses_per_sec": 66155.3},
+    },
+    "aggregate": {"accesses": 2636709, "seconds": 121.392, "accesses_per_sec": 21720.6},
+}
+
+JSON_TECHNIQUES = tuple(SEED_ENGINE_BASELINE["techniques"])
 
 
 @pytest.mark.parametrize("tech", ["baseline", "decay"])
@@ -41,3 +75,118 @@ def test_workload_generation_throughput(benchmark):
 
     n = benchmark.pedantic(drain, iterations=1, rounds=3)
     assert n >= 4 * wl.meta.accesses_per_core
+
+
+# ---------------------------------------------------------------------------
+# --json mode: before/after perf evidence
+# ---------------------------------------------------------------------------
+def measure_technique(label, scale, workload, warmup, rounds=2):
+    """Best-of-``rounds`` wall time for one technique; returns a row dict."""
+    table = {BASELINE: TechniqueConfig(name=BASELINE)}
+    table.update(paper_techniques(scale))
+    cfg = CMPConfig().with_total_l2_mb(1).with_technique(table[label])
+    wl = get_workload(workload, scale=scale)
+    best = None
+    res = None
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        res = Simulator(cfg).run(wl, warmup_fraction=warmup)
+        dt = time.perf_counter() - t0
+        best = dt if best is None else min(best, dt)
+    accesses = sum(c.loads + c.stores for c in res.cores)
+    return {
+        "accesses": accesses,
+        "seconds": round(best, 4),
+        "accesses_per_sec": round(accesses / best, 1),
+    }
+
+
+def run_json_bench(out_path, rounds=2, verbose=True):
+    """Measure the paper techniques and write the before/after JSON."""
+    seed = SEED_ENGINE_BASELINE
+    scale = seed["scale"]
+    workload = seed["workload"]
+    warmup = seed["warmup_fraction"]
+
+    techniques = {}
+    agg_acc = 0
+    agg_s = 0.0
+    for label in JSON_TECHNIQUES:
+        after = measure_technique(label, scale, workload, warmup, rounds)
+        before = seed["techniques"][label]
+        techniques[label] = {
+            "before": before,
+            "after": after,
+            "speedup": round(after["accesses_per_sec"] / before["accesses_per_sec"], 2),
+        }
+        agg_acc += after["accesses"]
+        agg_s += after["seconds"]
+        if verbose:
+            print(
+                f"[bench_simulator_throughput] {label}: "
+                f"{after['accesses_per_sec']:,.0f} acc/s "
+                f"({techniques[label]['speedup']}x over seed)",
+                flush=True,
+            )
+
+    agg_after = {
+        "accesses": agg_acc,
+        "seconds": round(agg_s, 4),
+        "accesses_per_sec": round(agg_acc / agg_s, 1),
+    }
+    doc = {
+        "bench": "simulator_throughput",
+        "engine": "flat-array (struct-of-arrays columns, fused hot path)",
+        "scale": scale,
+        "workload": workload,
+        "warmup_fraction": warmup,
+        "techniques": techniques,
+        "aggregate": {
+            "before": seed["aggregate"],
+            "after": agg_after,
+            "speedup": round(
+                agg_after["accesses_per_sec"]
+                / seed["aggregate"]["accesses_per_sec"],
+                2,
+            ),
+        },
+    }
+    with open(out_path, "w") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    if verbose:
+        print(
+            f"[bench_simulator_throughput] aggregate "
+            f"{agg_after['accesses_per_sec']:,.0f} acc/s "
+            f"({doc['aggregate']['speedup']}x over seed) -> {out_path}"
+        )
+    return doc
+
+
+def main(argv=None):
+    """CLI entry point for the --json perf-evidence mode."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="measure the paper techniques and write the before/after JSON",
+    )
+    parser.add_argument(
+        "--out",
+        default=os.path.join(
+            os.path.dirname(__file__), "..", "BENCH_simulator_throughput.json"
+        ),
+        help="output path (default: repo-root BENCH_simulator_throughput.json)",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=2, help="timing rounds per technique (best-of)"
+    )
+    args = parser.parse_args(argv)
+    if not args.json:
+        parser.error("nothing to do: pass --json (or run under pytest-benchmark)")
+    run_json_bench(os.path.normpath(args.out), rounds=args.rounds)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

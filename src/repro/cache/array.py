@@ -1,4 +1,4 @@
-"""Tag/state array for a set-associative cache.
+"""Tag/state array for a set-associative cache, laid out struct-of-arrays.
 
 :class:`CacheArray` stores, per line frame, a tag (full line address) and an
 integer state code.  It is deliberately policy-agnostic: the same array backs
@@ -6,17 +6,24 @@ the write-through L1 (states VALID/INVALID) and the MESI L2 (states
 I/S/E/M/OFF/TC/TD).  Coherence logic and leakage policies layer their own
 metadata on top, indexed by the *frame index* ``set * assoc + way``.
 
-Performance notes (hot path): lookups go through a per-set dict
-``line_addr -> way``; state and tags live in flat Python lists.  Callers on
-the per-access path should bind ``array.state`` etc. to locals.
+Performance notes (hot path): residency is one cache-wide dict
+``line_addr -> frame`` (a line maps to exactly one set, so per-set tables
+buy nothing and cost a set-index computation per probe); states live in a
+flat ``bytearray`` column and tags in a flat list of ints.  Python lists
+are used for the integer columns deliberately: ``array('q')`` re-boxes an
+``int`` object on every subscript, which measures ~30% slower than a list
+on the read-dominated access path — the struct-of-arrays win here is the
+*indexing discipline* (parallel columns, one frame index), not the C
+element width.  Callers on the per-access path bind the columns
+(``array.state``, ``array.tags``, ``array.line_to_frame``) to locals.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from .geometry import CacheGeometry
-from .replacement import ReplacementPolicy, make_policy
+from .replacement import LRUPolicy, ReplacementPolicy, make_policy
 
 #: State code shared by every user of CacheArray for "no line present".
 INVALID = 0
@@ -34,20 +41,43 @@ class CacheArray:
         already-constructed :class:`ReplacementPolicy`.
     """
 
-    __slots__ = ("geom", "tags", "state", "repl", "_lookup", "_assoc")
+    __slots__ = (
+        "geom",
+        "tags",
+        "state",
+        "state_census",
+        "repl",
+        "lru",
+        "line_to_frame",
+        "_assoc",
+        "_set_mask",
+    )
 
     def __init__(
         self, geometry: CacheGeometry, policy: str | ReplacementPolicy = "lru"
     ) -> None:
         self.geom = geometry
         n = geometry.n_lines
+        #: flat tag column; -1 marks an empty frame
         self.tags: List[int] = [-1] * n
-        self.state: List[int] = [INVALID] * n
+        #: flat state column (codes fit a byte; INVALID == 0 at reset)
+        self.state = bytearray(n)
+        #: frames currently in each state code — maintained by
+        #: install/evict/set_state/reset_states so per-state population
+        #: queries are O(1) (clients use it to skip e.g. transient-state
+        #: victim filtering when no frame is transient)
+        self.state_census = [0] * 256
+        self.state_census[INVALID] = n
         if isinstance(policy, str):
             policy = make_policy(policy, geometry.n_sets, geometry.assoc)
         self.repl: ReplacementPolicy = policy
-        self._lookup: List[dict] = [dict() for _ in range(geometry.n_sets)]
+        #: the LRU policy when active, else None — fused fast paths branch
+        #: on this to inline the one-slot stamp write
+        self.lru: Optional[LRUPolicy] = policy if isinstance(policy, LRUPolicy) else None
+        #: cache-wide residency map (line_addr -> frame)
+        self.line_to_frame: Dict[int, int] = {}
         self._assoc = geometry.assoc
+        self._set_mask = geometry.n_sets - 1
 
     # ------------------------------------------------------------------
     # Basic indexing
@@ -69,19 +99,21 @@ class CacheArray:
     # ------------------------------------------------------------------
     def probe(self, line_addr: int) -> int:
         """Return the frame holding ``line_addr`` or ``-1``.  No side effects."""
-        set_idx = self.geom.set_index_of_line(line_addr)
-        way = self._lookup[set_idx].get(line_addr, -1)
-        if way < 0:
-            return -1
-        return set_idx * self._assoc + way
+        return self.line_to_frame.get(line_addr, -1)
 
     def touch(self, frame: int) -> None:
         """Record a reference for replacement purposes."""
-        self.repl.on_access(frame // self._assoc, frame % self._assoc)
+        lru = self.lru
+        if lru is not None:
+            ns = lru.next_stamp
+            lru.stamp[frame] = ns
+            lru.next_stamp = ns + 1
+        else:
+            self.repl.on_access(frame // self._assoc, frame % self._assoc)
 
     def lookup(self, line_addr: int) -> int:
         """Probe and, on hit, update recency.  Returns frame or ``-1``."""
-        frame = self.probe(line_addr)
+        frame = self.line_to_frame.get(line_addr, -1)
         if frame >= 0:
             self.touch(frame)
         return frame
@@ -99,14 +131,19 @@ class CacheArray:
         in transient coherence states).  Returns ``-1`` when everything is
         blocked.
         """
-        set_idx = self.geom.set_index_of_line(line_addr)
+        set_idx = line_addr & self._set_mask
         base = set_idx * self._assoc
-        state = self.state
-        for way in range(self._assoc):
-            frame = base + way
-            if state[frame] == INVALID and self.tags[frame] == -1:
-                if blocked is None or not blocked(frame):
-                    return frame
+        # The empty scan can only succeed when some frame is INVALID, and
+        # the census knows that in O(1) — a warm cache (or a gated-OFF
+        # decay cache) skips the scan entirely.
+        if self.state_census[INVALID]:
+            state = self.state
+            tags = self.tags
+            for way in range(self._assoc):
+                frame = base + way
+                if state[frame] == INVALID and tags[frame] == -1:
+                    if blocked is None or not blocked(frame):
+                        return frame
         if blocked is None:
             way = self.repl.victim(set_idx)
         else:
@@ -120,34 +157,65 @@ class CacheArray:
         ``-1`` if the frame was empty.  The caller is responsible for any
         writeback or coherence action implied by the evicted state.
         """
-        set_idx = frame // self._assoc
-        way = frame % self._assoc
-        old_tag = self.tags[frame]
+        tags = self.tags
+        line_map = self.line_to_frame
+        old_tag = tags[frame]
         old_state = self.state[frame]
         if old_tag != -1:
-            del self._lookup[set_idx][old_tag]
-        self.tags[frame] = line_addr
+            del line_map[old_tag]
+        tags[frame] = line_addr
         self.state[frame] = state
-        self._lookup[set_idx][line_addr] = way
-        self.repl.on_fill(set_idx, way)
+        census = self.state_census
+        census[old_state] -= 1
+        census[state] += 1
+        line_map[line_addr] = frame
+        lru = self.lru
+        if lru is not None:
+            ns = lru.next_stamp
+            lru.stamp[frame] = ns
+            lru.next_stamp = ns + 1
+        else:
+            self.repl.on_fill(frame // self._assoc, frame % self._assoc)
         return (old_tag, old_state)
 
     def evict(self, frame: int) -> Tuple[int, int]:
         """Remove the line in ``frame`` (state -> INVALID); return (tag, state)."""
-        set_idx = frame // self._assoc
-        way = frame % self._assoc
         old_tag = self.tags[frame]
         old_state = self.state[frame]
         if old_tag != -1:
-            del self._lookup[set_idx][old_tag]
+            del self.line_to_frame[old_tag]
             self.tags[frame] = -1
         self.state[frame] = INVALID
-        self.repl.on_invalidate(set_idx, way)
+        census = self.state_census
+        census[old_state] -= 1
+        census[INVALID] += 1
+        lru = self.lru
+        if lru is not None:
+            ds = lru._demote_stamp
+            lru.stamp[frame] = ds
+            lru._demote_stamp = ds - 1
+        else:
+            self.repl.on_invalidate(frame // self._assoc, frame % self._assoc)
         return (old_tag, old_state)
 
     def set_state(self, frame: int, state: int) -> None:
         """Overwrite the state code of ``frame`` (tag unchanged)."""
+        census = self.state_census
+        census[self.state[frame]] -= 1
+        census[state] += 1
         self.state[frame] = state
+
+    def reset_states(self, state: int) -> None:
+        """Put every frame into ``state`` (bulk reset; tags untouched).
+
+        Mutates the column in place so hot-path aliases stay valid.
+        """
+        n = len(self.state)
+        self.state[:] = bytes([state]) * n
+        census = self.state_census
+        for code in range(256):
+            census[code] = 0
+        census[state] = n
 
     # ------------------------------------------------------------------
     # Introspection (tests, stats, debugging)
@@ -169,33 +237,39 @@ class CacheArray:
                 yield frame, tags[frame], state[frame]
 
     def count_in_state(self, state_code: int) -> int:
-        """Number of frames currently in ``state_code``."""
-        return sum(1 for s in self.state if s == state_code)
+        """Number of frames currently in ``state_code`` (O(1), via census)."""
+        return self.state_census[state_code]
 
     def check_integrity(self) -> None:
         """Internal consistency check used by the test-suite.
 
-        Verifies the lookup dicts agree with the tag array and that no line
-        address appears twice.
+        Verifies the residency map agrees with the tag column and that no
+        line address appears twice.
         """
-        seen = {}
-        for set_idx, table in enumerate(self._lookup):
-            for line_addr, way in table.items():
-                frame = set_idx * self._assoc + way
-                if self.tags[frame] != line_addr:
-                    raise AssertionError(
-                        f"lookup says frame {frame} holds {line_addr:#x} but tag "
-                        f"array says {self.tags[frame]:#x}"
-                    )
-                if self.geom.set_index_of_line(line_addr) != set_idx:
-                    raise AssertionError(
-                        f"line {line_addr:#x} indexed into wrong set {set_idx}"
-                    )
-                if line_addr in seen:
-                    raise AssertionError(f"duplicate line {line_addr:#x}")
-                seen[line_addr] = frame
+        assoc = self._assoc
+        for line_addr, frame in self.line_to_frame.items():
+            if self.tags[frame] != line_addr:
+                raise AssertionError(
+                    f"lookup says frame {frame} holds {line_addr:#x} but tag "
+                    f"array says {self.tags[frame]:#x}"
+                )
+            if (line_addr & self._set_mask) != frame // assoc:
+                raise AssertionError(
+                    f"line {line_addr:#x} indexed into wrong set {frame // assoc}"
+                )
         n_tags = sum(1 for t in self.tags if t != -1)
-        if n_tags != len(seen):
+        if n_tags != len(self.line_to_frame):
             raise AssertionError(
-                f"tag array has {n_tags} lines but lookup has {len(seen)}"
+                f"tag array has {n_tags} lines but lookup has "
+                f"{len(self.line_to_frame)}"
             )
+        census = self.state_census
+        # Check every code that is present OR claims population, so a
+        # stale nonzero census entry for a vanished code cannot hide.
+        for code in set(self.state) | {c for c in range(256) if census[c]}:
+            actual = sum(1 for s in self.state if s == code)
+            if census[code] != actual:
+                raise AssertionError(
+                    f"state census says {census[code]} frames in state "
+                    f"{code} but the column holds {actual}"
+                )

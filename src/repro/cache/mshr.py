@@ -16,8 +16,11 @@ outstanding fill plus merge statistics.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List
+
+#: sentinel completion time meaning "no outstanding entry"
+_NEVER = 1 << 62
 
 
 @dataclass
@@ -50,13 +53,16 @@ class MSHR:
     has completed.
     """
 
-    __slots__ = ("capacity", "_entries", "stats")
+    __slots__ = ("capacity", "_entries", "_min_complete", "stats")
 
     def __init__(self, capacity: int) -> None:
         if capacity < 1:
             raise ValueError("MSHR capacity must be >= 1")
         self.capacity = capacity
         self._entries: Dict[int, MSHREntry] = {}
+        # lower bound on the earliest outstanding completion; lets
+        # release_until() return without scanning when nothing can retire
+        self._min_complete = _NEVER
         self.stats = MSHRStats()
 
     # ------------------------------------------------------------------
@@ -73,11 +79,15 @@ class MSHR:
 
     def release_until(self, now: int) -> int:
         """Free entries whose ``complete_time <= now``; return count freed."""
-        if not self._entries:
+        entries = self._entries
+        if not entries or now < self._min_complete:
             return 0
-        done = [a for a, e in self._entries.items() if e.complete_time <= now]
+        done = [a for a, e in entries.items() if e.complete_time <= now]
         for a in done:
-            del self._entries[a]
+            del entries[a]
+        self._min_complete = (
+            min(e.complete_time for e in entries.values()) if entries else _NEVER
+        )
         return len(done)
 
     def earliest_completion(self) -> int:
@@ -88,7 +98,9 @@ class MSHR:
         """
         if not self._entries:
             raise ValueError("MSHR is empty; nothing to wait for")
-        return min(e.complete_time for e in self._entries.values())
+        # _min_complete is exact while entries exist: allocate() mins it
+        # in and release_until() recomputes it after every removal.
+        return self._min_complete
 
     def allocate(
         self, line_addr: int, issue_time: int, complete_time: int, is_write: bool
@@ -100,6 +112,8 @@ class MSHR:
             raise RuntimeError("MSHR allocate() on full file")
         entry = MSHREntry(line_addr, issue_time, complete_time, is_write)
         self._entries[line_addr] = entry
+        if complete_time < self._min_complete:
+            self._min_complete = complete_time
         st = self.stats
         st.allocations += 1
         if len(self._entries) > st.peak_occupancy:
@@ -125,3 +139,4 @@ class MSHR:
     def clear(self) -> None:
         """Drop all entries (used when resetting between phases in tests)."""
         self._entries.clear()
+        self._min_complete = _NEVER

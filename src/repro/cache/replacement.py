@@ -1,11 +1,15 @@
-"""Replacement policies for set-associative caches.
+"""Replacement policies over flat struct-of-arrays recency state.
 
-The simulator's hot path keeps per-set recency structures owned by the
+The simulator's hot path keeps per-frame recency *columns* owned by the
 policy object.  Three policies are provided:
 
-* :class:`LRUPolicy` — true least-recently-used (matches SESC's L2 default).
+* :class:`LRUPolicy` — true least-recently-used (matches SESC's L2 default),
+  implemented as one flat stamp column (`stamp[frame]`) plus a monotonic
+  counter: a reference writes one list slot, instead of the list
+  ``remove``/``insert`` pair of the object-per-set design this replaced.
 * :class:`TreePLRUPolicy` — tree pseudo-LRU, the usual hardware
-  approximation for higher associativities.
+  approximation for higher associativities; direction bits live in one
+  flat ``bytearray``.
 * :class:`RandomPolicy` — seeded pseudo-random victim selection.
 
 All policies speak *way indices* within a set; the cache array is
@@ -15,6 +19,20 @@ addresses, which keeps it reusable for both L1 and L2 arrays.
 Victim choice can be constrained by a ``blocked`` predicate (e.g. lines in
 a transient coherence state must not be evicted); the policy then returns
 the best non-blocked way, or ``-1`` when every way is blocked.
+
+Hot-path contract (relied on by :mod:`repro.cache.array`,
+:mod:`repro.hierarchy` and :mod:`repro.cpu.core`): for :class:`LRUPolicy`,
+recording a reference to frame ``f`` is exactly::
+
+    ns = lru.next_stamp
+    lru.stamp[f] = ns
+    lru.next_stamp = ns + 1
+
+which fused fast paths inline instead of dispatching ``on_access``.
+Victim order is the ascending-stamp order of the set's ways; stamps are
+unique (the counter is monotonic and invalidations draw from a disjoint,
+descending negative counter), so the order reproduces the recency-list
+semantics of the previous implementation bit for bit.
 """
 
 from __future__ import annotations
@@ -64,54 +82,67 @@ class ReplacementPolicy:
 
 
 class LRUPolicy(ReplacementPolicy):
-    """True LRU via a per-set recency list (MRU first).
+    """True LRU via one flat per-frame stamp column.
 
-    Associativities in this project are small (2–16), so list ``remove`` +
-    ``insert`` is faster than any fancier structure and keeps the hot path
-    allocation-free.
+    ``stamp[set * assoc + way]`` holds the stamp of the way's most recent
+    event: references draw increasing positive values from ``next_stamp``,
+    invalidations draw decreasing negative values from ``_demote_stamp``,
+    and each set starts with the descending ramp ``assoc-1 .. 0`` (way 0
+    most recent).  Within a set all stamps are distinct, so ascending
+    stamp order *is* the recency-list order (victim = smallest stamp) of
+    the per-set list implementation this replaced — including after any
+    interleaving of accesses and invalidations.
     """
 
     name = "lru"
 
     def __init__(self, n_sets: int, assoc: int) -> None:
         super().__init__(n_sets, assoc)
-        # Each set starts with way 0 most recent; victims come from the tail.
-        self._stacks: List[List[int]] = [list(range(assoc)) for _ in range(n_sets)]
+        # Flat stamp column: each set starts with way 0 most recent.
+        self.stamp: List[int] = [assoc - 1 - w for _ in range(n_sets) for w in range(assoc)]
+        #: next reference stamp (strictly above every stamp ever issued)
+        self.next_stamp = assoc
+        #: next invalidation stamp (strictly below every stamp ever issued)
+        self._demote_stamp = -1
 
     def on_access(self, set_idx: int, way: int) -> None:
-        stack = self._stacks[set_idx]
-        if stack[0] != way:
-            stack.remove(way)
-            stack.insert(0, way)
+        ns = self.next_stamp
+        self.stamp[set_idx * self.assoc + way] = ns
+        self.next_stamp = ns + 1
 
     def on_invalidate(self, set_idx: int, way: int) -> None:
-        stack = self._stacks[set_idx]
-        if stack[-1] != way:
-            stack.remove(way)
-            stack.append(way)
+        ds = self._demote_stamp
+        self.stamp[set_idx * self.assoc + way] = ds
+        self._demote_stamp = ds - 1
 
     def victim(
         self, set_idx: int, blocked: Optional[Callable[[int], bool]] = None
     ) -> int:
-        stack = self._stacks[set_idx]
+        assoc = self.assoc
+        base = set_idx * assoc
+        stamp = self.stamp
         if blocked is None:
-            return stack[-1]
-        for way in reversed(stack):
+            # min() keeps the first minimum, matching a way-order scan.
+            return min(range(base, base + assoc), key=stamp.__getitem__) - base
+        for way in sorted(range(assoc), key=lambda w: stamp[base + w]):
             if not blocked(way):
                 return way
         return -1
 
     def recency_order(self, set_idx: int) -> List[int]:
-        return list(self._stacks[set_idx])
+        base = set_idx * self.assoc
+        stamp = self.stamp
+        return sorted(range(self.assoc), key=lambda w: -stamp[base + w])
 
 
 class TreePLRUPolicy(ReplacementPolicy):
-    """Tree pseudo-LRU.
+    """Tree pseudo-LRU over one flat direction-bit column.
 
-    A complete binary tree of ``assoc - 1`` direction bits per set.  On a
-    reference the bits along the leaf's path are pointed *away* from it; the
-    victim is found by following the bits from the root.  ``assoc`` must be
-    a power of two.
+    A complete binary tree of ``assoc - 1`` direction bits per set, packed
+    into a single ``bytearray`` (set ``s`` owns the slice starting at
+    ``s * (assoc - 1)``).  On a reference the bits along the leaf's path
+    are pointed *away* from it; the victim is found by following the bits
+    from the root.  ``assoc`` must be a power of two.
     """
 
     name = "tree-plru"
@@ -121,28 +152,31 @@ class TreePLRUPolicy(ReplacementPolicy):
             raise ValueError("TreePLRU requires power-of-two associativity")
         super().__init__(n_sets, assoc)
         self._levels = assoc.bit_length() - 1
-        self._bits: List[List[bool]] = [
-            [False] * max(1, assoc - 1) for _ in range(n_sets)
-        ]
+        self._stride = max(1, assoc - 1)
+        self._bits = bytearray(n_sets * self._stride)
 
     def on_access(self, set_idx: int, way: int) -> None:
         if self.assoc == 1:
             return
-        bits = self._bits[set_idx]
+        bits = self._bits
+        base = set_idx * self._stride
         node = 0
-        for level in range(self._levels):
-            bit = (way >> (self._levels - 1 - level)) & 1
-            bits[node] = bit == 0  # point away from the accessed leaf
+        levels = self._levels
+        for level in range(levels):
+            bit = (way >> (levels - 1 - level)) & 1
+            bits[base + node] = 0 if bit else 1  # point away from the leaf
             node = 2 * node + 1 + bit
 
     def on_invalidate(self, set_idx: int, way: int) -> None:
         if self.assoc == 1:
             return
-        bits = self._bits[set_idx]
+        bits = self._bits
+        base = set_idx * self._stride
         node = 0
-        for level in range(self._levels):
-            bit = (way >> (self._levels - 1 - level)) & 1
-            bits[node] = bit == 1  # point toward the invalidated leaf
+        levels = self._levels
+        for level in range(levels):
+            bit = (way >> (levels - 1 - level)) & 1
+            bits[base + node] = bit  # point toward the invalidated leaf
             node = 2 * node + 1 + bit
 
     def victim(
@@ -152,11 +186,12 @@ class TreePLRUPolicy(ReplacementPolicy):
             if blocked is not None and blocked(0):
                 return -1
             return 0
-        bits = self._bits[set_idx]
+        bits = self._bits
+        base = set_idx * self._stride
         node = 0
         way = 0
         for _ in range(self._levels):
-            bit = 1 if bits[node] else 0
+            bit = bits[base + node]
             way = (way << 1) | bit
             node = 2 * node + 1 + bit
         if blocked is None or not blocked(way):
@@ -173,7 +208,8 @@ class TreePLRUPolicy(ReplacementPolicy):
         # PLRU has no total order; return victim-last ordering by repeatedly
         # simulating victims on a scratch copy (test helper only).
         order: List[int] = []
-        saved = list(self._bits[set_idx])
+        base = set_idx * self._stride
+        saved = bytes(self._bits[base : base + self._stride])
         try:
             remaining = set(range(self.assoc))
             while remaining:
@@ -182,7 +218,7 @@ class TreePLRUPolicy(ReplacementPolicy):
                 remaining.discard(v)
                 self.on_access(set_idx, v)
         finally:
-            self._bits[set_idx] = saved
+            self._bits[base : base + self._stride] = saved
         return list(reversed(order))
 
 

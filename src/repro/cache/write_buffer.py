@@ -40,9 +40,15 @@ class WriteBuffer:
     Entries are ``line_addr -> ready_time`` where ``ready_time`` is the
     earliest cycle the entry may drain (insert time + fixed latency).  The
     FIFO order of the underlying ``OrderedDict`` is the drain order.
+
+    The head entry's ready time is cached in ``_head_ready`` (maintained
+    on insert/pop): the simulator's event loop re-validates drain-event
+    heap entries against it on every pop, which made the former
+    ``next(iter(...))`` per call measurable.  Fused core store paths
+    update the cache in lockstep with the FIFO.
     """
 
-    __slots__ = ("capacity", "drain_latency", "_fifo", "stats")
+    __slots__ = ("capacity", "drain_latency", "_fifo", "_head_ready", "stats")
 
     def __init__(self, capacity: int, drain_latency: int = 1) -> None:
         if capacity < 1:
@@ -50,6 +56,7 @@ class WriteBuffer:
         self.capacity = capacity
         self.drain_latency = drain_latency
         self._fifo: "OrderedDict[int, int]" = OrderedDict()
+        self._head_ready = -1
         self.stats = WriteBufferStats()
 
     # ------------------------------------------------------------------
@@ -79,33 +86,37 @@ class WriteBuffer:
         caller must have checked :meth:`can_accept`.
         """
         st = self.stats
-        if line_addr in self._fifo:
+        fifo = self._fifo
+        if line_addr in fifo:
             st.coalesced += 1
             st.inserts += 1
             return True
-        if len(self._fifo) >= self.capacity:
+        if len(fifo) >= self.capacity:
             raise RuntimeError("insert() on full write buffer")
-        self._fifo[line_addr] = now + self.drain_latency
+        ready = now + self.drain_latency
+        if not fifo:
+            self._head_ready = ready
+        fifo[line_addr] = ready
         st.inserts += 1
         return False
 
     def head_ready_time(self) -> int:
         """Ready time of the oldest entry; ``-1`` when empty."""
-        if not self._fifo:
-            return -1
-        return next(iter(self._fifo.values()))
+        return self._head_ready
 
     def pop_ready(self, now: int) -> int:
         """Drain the oldest entry if its ready time has passed.
 
         Returns the drained line address, or ``-1`` if nothing is ready.
         """
-        if not self._fifo:
+        fifo = self._fifo
+        if not fifo:
             return -1
-        line_addr, ready = next(iter(self._fifo.items()))
+        line_addr, ready = next(iter(fifo.items()))
         if ready > now:
             return -1
-        del self._fifo[line_addr]
+        del fifo[line_addr]
+        self._head_ready = next(iter(fifo.values())) if fifo else -1
         self.stats.drains += 1
         return line_addr
 
@@ -121,3 +132,4 @@ class WriteBuffer:
     def clear(self) -> None:
         """Drop all pending entries (tests only)."""
         self._fifo.clear()
+        self._head_ready = -1

@@ -20,6 +20,15 @@ Gate callbacks receive the event's effective deadline as the gate time, so
 occupancy integrals and writeback timestamps are exact even though the
 event is processed slightly later in wall-clock order (the simulator
 processes all due decay events before advancing past them).
+
+Hot-path layout: for the built-in decay policies the scheduler reads the
+``armed``/``last_touch`` columns directly and computes deadlines from
+pre-extracted timer constants, instead of dispatching
+``policy.deadline()`` (two method calls and a property chain) per pop.
+Policies without those columns fall back to the virtual call.  The
+``_pending`` bytearray columns and ``_heap`` are shared with the L2s'
+fused access paths (see :mod:`repro.hierarchy.l2`), which push events
+under exactly the :meth:`ensure` protocol.
 """
 
 from __future__ import annotations
@@ -27,7 +36,7 @@ from __future__ import annotations
 from heapq import heappop, heappush
 from typing import Callable, List, Optional, Sequence
 
-from .policy import LeakagePolicy
+from .policy import LeakagePolicy, fast_touch_kind
 
 #: fire(cache_id, frame, gate_time) -> None
 FireFn = Callable[[int, int, int], None]
@@ -36,7 +45,17 @@ FireFn = Callable[[int, int, int], None]
 class DecayScheduler:
     """Lazy min-heap of (deadline, cache_id, frame) decay events."""
 
-    __slots__ = ("policies", "_heap", "_pending", "pops", "refreshes", "fires")
+    __slots__ = (
+        "policies",
+        "_heap",
+        "_pending",
+        "_armed",
+        "_last_touch",
+        "_dl_params",
+        "pops",
+        "refreshes",
+        "fires",
+    )
 
     def __init__(self, policies: Sequence[LeakagePolicy]) -> None:
         self.policies = list(policies)
@@ -45,14 +64,53 @@ class DecayScheduler:
         self.pops = 0
         self.refreshes = 0
         self.fires = 0
+        # Flat deadline columns (None entries force the virtual fallback).
+        self._armed = []
+        self._last_touch = []
+        self._dl_params = []
+        for p in self.policies:
+            # Exact-type gate: a subclass may override deadline(), so only
+            # the built-in decay policies use the flat-column computation.
+            flat = fast_touch_kind(p) > 0
+            armed = getattr(p, "armed", None) if flat else None
+            last_touch = getattr(p, "last_touch", None) if flat else None
+            timer = p.timer
+            if armed is None or last_touch is None or timer is None:
+                self._armed.append(None)
+                self._last_touch.append(None)
+                self._dl_params.append(None)
+            else:
+                self._armed.append(armed)
+                self._last_touch.append(last_touch)
+                self._dl_params.append(
+                    (
+                        timer.mode == "ideal",
+                        timer.decay_cycles,
+                        timer.global_tick,
+                        timer.n_states,
+                    )
+                )
 
     # ------------------------------------------------------------------
+    def _deadline(self, cache_id: int, frame: int) -> int:
+        """Current gate deadline of ``frame`` (-1 when disarmed)."""
+        armed = self._armed[cache_id]
+        if armed is None:
+            return self.policies[cache_id].deadline(frame)
+        if not armed[frame]:
+            return -1
+        ideal, add, tick, n_states = self._dl_params[cache_id]
+        lt = self._last_touch[cache_id][frame]
+        if ideal:
+            return lt + add
+        return (lt // tick + n_states) * tick
+
     def ensure(self, cache_id: int, frame: int) -> None:
         """Guarantee a pending event exists for an armed frame."""
         pending = self._pending[cache_id]
         if pending[frame]:
             return
-        dl = self.policies[cache_id].deadline(frame)
+        dl = self._deadline(cache_id, frame)
         if dl < 0:
             return
         pending[frame] = 1
@@ -76,23 +134,38 @@ class DecayScheduler:
         next touch).
         """
         heap = self._heap
+        all_armed = self._armed
+        all_touch = self._last_touch
+        all_params = self._dl_params
+        all_pending = self._pending
         fired = 0
+        pops = refreshes = 0
         while heap and heap[0][0] <= t_limit:
             dl, cid, frame = heappop(heap)
-            self.pops += 1
-            self._pending[cid][frame] = 0
-            current = self.policies[cid].deadline(frame)
+            pops += 1
+            all_pending[cid][frame] = 0
+            armed = all_armed[cid]
+            if armed is None:
+                current = self.policies[cid].deadline(frame)
+            elif not armed[frame]:
+                current = -1
+            else:
+                ideal, add, tick, n_states = all_params[cid]
+                lt = all_touch[cid][frame]
+                current = lt + add if ideal else (lt // tick + n_states) * tick
             if current < 0:
                 continue  # disarmed since scheduling (invalidated/gated/M)
             if current > dl:
                 # Touched since scheduled: lazily refresh.
-                self._pending[cid][frame] = 1
+                all_pending[cid][frame] = 1
                 heappush(heap, (current, cid, frame))
-                self.refreshes += 1
+                refreshes += 1
                 continue
             self.fires += 1
             fired += 1
             fire(cid, frame, current)
+        self.pops += pops
+        self.refreshes += refreshes
         return fired
 
     def outstanding(self) -> int:

@@ -70,17 +70,20 @@ class OccupancyTracker:
             buckets = self._buckets
             b0 = last // iv
             b1 = (now - 1) // iv
-            while len(buckets) <= b1:
-                buckets.append(0)
+            short = b1 + 1 - len(buckets)
+            if short > 0:
+                buckets.extend([0] * short)
             if b0 == b1:
                 buckets[b0] += contribution
             else:
                 on = self.on_lines
                 # head partial bucket
                 buckets[b0] += on * ((b0 + 1) * iv - last)
-                # full middle buckets
+                # full middle buckets (freshly-extended slots are all the
+                # same full-interval integral; add in one pass)
+                full = on * iv
                 for b in range(b0 + 1, b1):
-                    buckets[b] += on * iv
+                    buckets[b] += full
                 # tail partial bucket
                 buckets[b1] += on * (now - b1 * iv)
         self._last_change = now

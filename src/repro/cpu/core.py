@@ -27,6 +27,23 @@ Event-time contract (relied on by the simulator's next-event heap):
   the core's ``next_time`` is provably stale;
 * a non-RUNNING core's ``next_time`` is ``INFINITY`` and the core emits
   no events until :meth:`Core.release_barrier` re-arms it.
+
+Fused L1 fast path: :meth:`Core.step` indexes the L1's flat columns
+(residency map, state bytearray, LRU stamp column, write-buffer FIFO)
+directly for the two dominant cases — a load that hits the L1, and a
+store the write buffer absorbs without stalling — performing exactly the
+column writes and counter increments the full `L1Cache.load`/`store`
+paths would, with no method dispatch and no result-tuple allocation.
+Equivalence notes for the deliberate deviations:
+
+* the fused load hit skips ``mshr.release_until``: MSHR state is only
+  *read* on the miss path, which re-releases at its own (later) time
+  before any query, so deferring the lazy retirement is unobservable;
+* the fused store skips the ``head_ready_time`` before/after comparison:
+  a non-stalling insert moves the drain head iff the buffer was empty.
+
+Everything else (barriers, misses, stalls, non-LRU L1 policies) falls
+back to the original monomorphic-but-dispatched paths unchanged.
 """
 
 from __future__ import annotations
@@ -44,6 +61,8 @@ INFINITY = float("inf")
 RUNNING = 0
 AT_BARRIER = 1
 DONE = 2
+
+_FLAG_SLOW = FLAG_WRITE | FLAG_BARRIER
 
 
 class Core:
@@ -78,6 +97,20 @@ class Core:
             ccfg.overlap_streaming,
         )
         self._line_shift = cfg.l1.line_bytes.bit_length() - 1
+
+        # Fused-path column bindings (see module docstring).  The L1's
+        # residency map / state column / FIFO objects are mutated in place
+        # and never replaced, so binding them once here is safe; the LRU
+        # policy is None when the L1 runs a different replacement policy,
+        # which disables the fused paths entirely.
+        self._l1_map = l1.line_to_frame
+        self._l1_state = l1.state_col
+        self._l1_lru = l1.lru
+        self._l1_hit_latency = l1.hit_latency
+        self._wb = l1.write_buffer
+        self._wb_fifo = l1.write_buffer._fifo
+        self._wb_capacity = l1.write_buffer.capacity
+        self._wb_drain_latency = l1.write_buffer.drain_latency
 
         # one-record lookahead
         self._pending: Optional[Record] = None
@@ -116,36 +149,98 @@ class Core:
         assert rec is not None and self.state == RUNNING
         gap, addr, flags = rec
         st = self.stats
-        self.cycle = int(self.next_time)
+        cycle = self.cycle = int(self.next_time)
+
+        lru = self._l1_lru
+        if lru is not None and not (flags & _FLAG_SLOW):
+            # ---- fused L1 load path -----------------------------------
+            st.instructions += gap + 1
+            if self._sample_interval:
+                self._bump_sample(cycle, gap + 1)
+            line_addr = addr >> self._line_shift
+            st.loads += 1
+            frame = self._l1_map.get(line_addr, -1)
+            if frame >= 0 and self._l1_state[frame]:
+                # L1 hit: stamp the LRU column, charge the hit latency.
+                ns = lru.next_stamp
+                lru.stamp[frame] = ns
+                lru.next_stamp = ns + 1
+                hit_latency = self._l1_hit_latency
+                lst = self.l1.stats
+                lst.loads += 1
+                lst.load_hits += 1
+                lst.load_latency_sum += hit_latency
+                exposed = hit_latency - self._overlap[(flags >> ILP_SHIFT) & ILP_MASK]
+                if exposed > 0:
+                    st.exposed_memory_cycles += exposed
+                    self.cycle = cycle + 1 + exposed
+                else:
+                    self.cycle = cycle + 1
+            else:
+                latency, mshr_stall = self.l1.load(line_addr, cycle)
+                exposed = latency - self._overlap[(flags >> ILP_SHIFT) & ILP_MASK]
+                if exposed < 0:
+                    exposed = 0
+                st.exposed_memory_cycles += exposed
+                st.mshr_stall_cycles += mshr_stall
+                self.cycle = cycle + 1 + mshr_stall + exposed
+            self.accesses_done += 1
+            self._fetch()
+            return self.state
 
         if flags & FLAG_BARRIER:
             st.instructions += gap
             st.barriers += 1
             self.state = AT_BARRIER
-            self.barrier_arrival = self.cycle
+            self.barrier_arrival = cycle
             self.next_time = INFINITY
             return AT_BARRIER
 
         st.instructions += gap + 1
         if self._sample_interval:
-            self._bump_sample(self.cycle, gap + 1)
+            self._bump_sample(cycle, gap + 1)
         line_addr = addr >> self._line_shift
 
         if flags & FLAG_WRITE:
             st.stores += 1
-            _, stall = self.l1.store(line_addr, self.cycle)
-            st.wb_full_stall_cycles += stall
-            self.cycle += 1 + stall
+            fifo = self._wb_fifo
+            if lru is not None and (line_addr in fifo or len(fifo) < self._wb_capacity):
+                # ---- fused store path: buffer absorbs it, no stall ----
+                l1 = self.l1
+                lst = l1.stats
+                lst.stores += 1
+                frame = self._l1_map.get(line_addr, -1)
+                if frame >= 0 and self._l1_state[frame]:
+                    lst.store_hits += 1  # write-through also updates the L1 copy
+                    ns = lru.next_stamp
+                    lru.stamp[frame] = ns
+                    lru.next_stamp = ns + 1
+                wst = self._wb.stats
+                if line_addr in fifo:
+                    wst.coalesced += 1
+                else:
+                    ready = cycle + self._wb_drain_latency
+                    if not fifo:
+                        # new head: the drain deadline moved
+                        l1._drain_dirty = True
+                        self._wb._head_ready = ready
+                    fifo[line_addr] = ready
+                wst.inserts += 1
+                self.cycle = cycle + 1
+            else:
+                _, stall = self.l1.store(line_addr, cycle)
+                st.wb_full_stall_cycles += stall
+                self.cycle = cycle + 1 + stall
         else:
             st.loads += 1
-            latency, mshr_stall = self.l1.load(line_addr, self.cycle)
+            latency, mshr_stall = self.l1.load(line_addr, cycle)
             overlap = self._overlap[(flags >> ILP_SHIFT) & ILP_MASK]
             exposed = latency - overlap
             if exposed < 0:
                 exposed = 0
             st.exposed_memory_cycles += exposed
             st.mshr_stall_cycles += mshr_stall
-            self.cycle += 1 + mshr_stall + exposed
+            self.cycle = cycle + 1 + mshr_stall + exposed
 
         self.accesses_done += 1
         self._fetch()

@@ -93,10 +93,11 @@ class ParallelSweepRunner(SweepRunner):
         Relative metrics pair each point with its baseline twin, so
         baselines are the highest-fanout results; scheduling them first
         keeps metric computation unblocked however the backend
-        interleaves the rest.  Deduplication is by cache key, so two
-        spellings of the same effective point collapse.
+        interleaves the rest.  Deduplication is by cache key, so a point
+        with overrides equal to the runner's defaults collapses with its
+        override-free twin.
         """
-        points = [self._as_point(p) for p in points]
+        points = list(points)
         baselines: List[SweepPoint] = []
         rest: List[SweepPoint] = []
         seen: set = set()

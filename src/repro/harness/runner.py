@@ -12,10 +12,10 @@ full :class:`~repro.sim.config.TechniqueConfig`, and optional
 runner-context overrides.  Cache keys are derived from the point's
 canonical serialized form via
 :func:`~repro.sim.config.stable_digest`, so any process on any host
-computes the same key for the same point.  The legacy
-``(workload, total_mb, tech_label)`` string triples are still accepted
-by ``run_point``/``lookup``/``install``/``point_key``/``metrics_for`` as
-thin deprecated shims (one release; they warn and convert).
+computes the same key for the same point.  (The pre-spec
+``(workload, total_mb, tech_label)`` string triples rode through one
+release as deprecated shims and are gone; build points with
+:meth:`SweepRunner.point`.)
 
 Storage is a :class:`~repro.harness.result_cache.ResultCache`: entries are
 sharded by key digest, written atomically (tmp file + ``os.replace``) so an
@@ -34,7 +34,6 @@ point list across a backend.
 from __future__ import annotations
 
 import json
-import warnings
 from dataclasses import asdict
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
@@ -65,10 +64,6 @@ DEFAULT_WARMUP = 0.17
 #: (SimResult, EnergyBreakdown) of one sweep point
 PointResult = Tuple[SimResult, EnergyBreakdown]
 
-#: anything the point-taking entry points accept (typed point, or the
-#: deprecated string-triple spelling)
-PointLike = Union[SweepPoint, Tuple[str, int, str], str]
-
 
 def _breakdown_to_dict(bd: EnergyBreakdown) -> dict:
     return asdict(bd)
@@ -89,16 +84,6 @@ def decode_entry(blob: dict) -> PointResult:
 def encode_entry(res: SimResult, energy: EnergyBreakdown) -> dict:
     """Inverse of :func:`decode_entry` (the on-disk entry format)."""
     return {"result": res.to_dict(), "energy": _breakdown_to_dict(energy)}
-
-
-def _warn_triple() -> None:
-    """One deprecation warning per call site for the triple shims."""
-    warnings.warn(
-        "(workload, total_mb, technique) triples are deprecated; pass a "
-        "SweepPoint (e.g. runner.point(workload, total_mb, technique))",
-        DeprecationWarning,
-        stacklevel=4,
-    )
 
 
 class SweepRunner:
@@ -187,20 +172,6 @@ class SweepRunner:
             tech_label=tech_label,
         )
 
-    def _as_point(
-        self,
-        point: PointLike,
-        total_mb: Optional[int] = None,
-        tech_label: Optional[str] = None,
-    ) -> SweepPoint:
-        """Coerce a :class:`SweepPoint` or a deprecated triple spelling."""
-        if isinstance(point, SweepPoint):
-            return point
-        if isinstance(point, (tuple, list)) and total_mb is None:
-            point, total_mb, tech_label = point
-        _warn_triple()
-        return self.point(str(point), int(total_mb), str(tech_label))
-
     def points_for(
         self,
         benchmarks: Iterable[str],
@@ -241,12 +212,7 @@ class SweepRunner:
             .with_technique(point.technique)
         )
 
-    def point_key(
-        self,
-        point: PointLike,
-        total_mb: Optional[int] = None,
-        tech_label: Optional[str] = None,
-    ) -> str:
+    def point_key(self, p: SweepPoint) -> str:
         """Cache key of one point: readable prefix + stable digest.
 
         The digest covers the point's canonical form *resolved against
@@ -256,7 +222,6 @@ class SweepRunner:
         share one cache entry, while any semantic difference (decay
         cycles, core count, warmup, geometry) separates them.
         """
-        p = self._as_point(point, total_mb, tech_label)
         ctx = self.context_for(p)
         payload = {
             "workload": p.workload,
@@ -280,18 +245,13 @@ class SweepRunner:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def lookup(
-        self,
-        point: PointLike,
-        total_mb: Optional[int] = None,
-        tech_label: Optional[str] = None,
-    ) -> Optional[PointResult]:
+    def lookup(self, point: SweepPoint) -> Optional[PointResult]:
         """Memo/disk lookup of one point; ``None`` means "must simulate".
 
         Corrupt or schema-stale disk entries are invalidated here, so the
         caller's resimulation overwrites them with a good blob.
         """
-        key = self.point_key(point, total_mb, tech_label)
+        key = self.point_key(point)
         hit = self._memo.get(key)
         if hit is not None:
             return hit
@@ -310,39 +270,24 @@ class SweepRunner:
 
     def install(
         self,
-        point: PointLike,
-        *args,
+        point: SweepPoint,
+        res: SimResult,
+        energy: EnergyBreakdown,
         write_cache: bool = True,
     ) -> None:
         """Publish one point's results into the memo (and the disk cache).
 
-        Canonical form: ``install(point, res, energy)``.  The deprecated
-        triple spelling ``install(workload, total_mb, tech_label, res,
-        energy)`` still works.  The parallel executor calls this with
-        results received from workers; ``write_cache=False`` skips the
-        disk write when the worker already persisted the entry itself.
+        The parallel executor calls this with results received from
+        workers; ``write_cache=False`` skips the disk write when the
+        worker already persisted the entry itself.
         """
-        if isinstance(point, SweepPoint):
-            res, energy = args
-        elif isinstance(point, (tuple, list)) and len(args) == 2:
-            res, energy = args
-            point = self._as_point(tuple(point))
-        else:
-            total_mb, tech_label, res, energy = args
-            point = self._as_point(point, total_mb, tech_label)
         key = self.point_key(point)
         self._memo[key] = (res, energy)
         if write_cache and self.cache is not None:
             self.cache.put(key, encode_entry(res, energy))
 
-    def run_point(
-        self,
-        point: PointLike,
-        total_mb: Optional[int] = None,
-        tech_label: Optional[str] = None,
-    ) -> PointResult:
+    def run_point(self, p: SweepPoint) -> PointResult:
         """Simulate (or load) one point; returns (result, energy)."""
-        p = self._as_point(point, total_mb, tech_label)
         hit = self.lookup(p)
         if hit is not None:
             return hit
@@ -365,14 +310,8 @@ class SweepRunner:
     # ------------------------------------------------------------------
     # Metrics
     # ------------------------------------------------------------------
-    def metrics_for(
-        self,
-        point: PointLike,
-        total_mb: Optional[int] = None,
-        tech_label: Optional[str] = None,
-    ) -> PointMetrics:
+    def metrics_for(self, p: SweepPoint) -> PointMetrics:
         """Metrics of one point relative to its baseline twin."""
-        p = self._as_point(point, total_mb, tech_label)
         base_res, base_e = self.run_point(p.baseline_twin())
         res, e = self.run_point(p)
         return PointMetrics.for_point(p, base_res, base_e, res, e)

@@ -29,6 +29,7 @@ spec file, not another Python module.
 from __future__ import annotations
 
 import json
+import re
 from dataclasses import dataclass, field, fields, replace
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
@@ -673,6 +674,21 @@ def _toml_scalar(value: Any) -> str:
     raise SpecError(f"cannot serialize {value!r} to TOML")
 
 
+_BARE_KEY_RE = re.compile(r"^[A-Za-z0-9_-]+$")
+
+
+def _toml_key(key: str) -> str:
+    """Quote ``key`` unless it is a bare TOML key.
+
+    Custom-technique labels (e.g. ``decay@16K``) are arbitrary strings;
+    emitting them unquoted in ``[techniques.<label>]`` headers produces
+    invalid TOML that ``tomllib`` rejects on load.
+    """
+    if _BARE_KEY_RE.match(key):
+        return key
+    return json.dumps(key)  # TOML basic strings share JSON escaping
+
+
 def _toml_table_body(table: Mapping[str, Any]) -> List[str]:
     """``key = value`` lines of one table (scalars and arrays only)."""
     lines = []
@@ -682,7 +698,7 @@ def _toml_table_body(table: Mapping[str, Any]) -> List[str]:
                 f"nested table under {key!r} is deeper than the spec "
                 f"TOML subset supports"
             )
-        lines.append(f"{key} = {_toml_scalar(value)}")
+        lines.append(f"{_toml_key(key)} = {_toml_scalar(value)}")
     return lines
 
 
@@ -707,16 +723,21 @@ def dumps_toml(data: Mapping[str, Any]) -> str:
             plain = {k: v for k, v in value.items() if k not in subtables}
             if plain or not subtables:
                 chunks.append(
-                    "\n".join([f"[{key}]", *_toml_table_body(plain)])
+                    "\n".join([f"[{_toml_key(key)}]", *_toml_table_body(plain)])
                 )
             for sub, table in subtables.items():
                 chunks.append(
-                    "\n".join([f"[{key}.{sub}]", *_toml_table_body(table)])
+                    "\n".join(
+                        [
+                            f"[{_toml_key(key)}.{_toml_key(sub)}]",
+                            *_toml_table_body(table),
+                        ]
+                    )
                 )
         else:  # list of tables
             for entry in value:
                 chunks.append(
-                    "\n".join([f"[[{key}]]", *_toml_table_body(entry)])
+                    "\n".join([f"[[{_toml_key(key)}]]", *_toml_table_body(entry)])
                 )
     return "\n\n".join(chunks) + "\n"
 
@@ -833,6 +854,45 @@ def _strip_toml_comment(line: str) -> str:
     return line
 
 
+def _parse_toml_key(token: str) -> str:
+    """One (possibly quoted) key of a header path or assignment."""
+    token = token.strip()
+    if token.startswith('"'):
+        try:
+            return json.loads(token)
+        except json.JSONDecodeError as exc:
+            raise SpecError(f"bad TOML key {token!r}: {exc}") from exc
+    return token
+
+
+def _split_toml_path(path: str) -> List[str]:
+    """Split a header path on dots outside quotes (``a."b.c"`` → 2 parts)."""
+    parts: List[str] = []
+    current = ""
+    in_str = False
+    i = 0
+    while i < len(path):
+        ch = path[i]
+        if in_str:
+            current += ch
+            if ch == "\\" and i + 1 < len(path):
+                current += path[i + 1]
+                i += 1
+            elif ch == '"':
+                in_str = False
+        elif ch == '"':
+            in_str = True
+            current += ch
+        elif ch == ".":
+            parts.append(_parse_toml_key(current))
+            current = ""
+        else:
+            current += ch
+        i += 1
+    parts.append(_parse_toml_key(current))
+    return parts
+
+
 def parse_toml_minimal(text: str) -> Dict[str, Any]:
     """Fallback TOML reader for the spec subset (no ``tomllib``).
 
@@ -853,7 +913,7 @@ def parse_toml_minimal(text: str) -> Dict[str, Any]:
         if line.startswith("[["):
             if not line.endswith("]]"):
                 raise SpecError(f"bad table-array header: {line!r}")
-            path = line[2:-2].strip().split(".")
+            path = _split_toml_path(line[2:-2].strip())
             parent = root
             for part in path[:-1]:
                 parent = parent.setdefault(part, {})
@@ -866,7 +926,7 @@ def parse_toml_minimal(text: str) -> Dict[str, Any]:
         if line.startswith("["):
             if not line.endswith("]"):
                 raise SpecError(f"bad table header: {line!r}")
-            path = line[1:-1].strip().split(".")
+            path = _split_toml_path(line[1:-1].strip())
             parent = root
             for part in path[:-1]:
                 parent = parent.setdefault(part, {})
@@ -878,7 +938,7 @@ def parse_toml_minimal(text: str) -> Dict[str, Any]:
         if "=" not in line:
             raise SpecError(f"expected 'key = value', got {line!r}")
         key, _, value = line.partition("=")
-        key = key.strip().strip('"')
+        key = _parse_toml_key(key.strip())
         value = value.strip()
         # multi-line array: keep consuming until brackets balance
         # (counted outside strings — a lone "[" inside a quoted value is

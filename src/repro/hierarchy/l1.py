@@ -17,6 +17,12 @@ modeled here:
 
 An MSHR file limits outstanding load misses and merges secondary misses to
 a line already being fetched.
+
+Hot-path layout: the flat columns of the backing
+:class:`~repro.cache.array.CacheArray` (residency map, state bytearray,
+LRU stamp column) are re-exported as attributes so the owning
+:class:`~repro.cpu.core.Core` can fuse the ~90% L1-hit case into its step
+loop without re-entering this module (see ``Core.step``).
 """
 
 from __future__ import annotations
@@ -58,6 +64,11 @@ class L1Cache:
         #: simulator's event heap consumes it via consume_drain_event()
         self._drain_dirty = False
 
+        # Flat-column aliases for the fused fast path in Core.step.
+        self.line_to_frame = self.array.line_to_frame
+        self.state_col = self.array.state
+        self.lru = self.array.lru
+
     # ------------------------------------------------------------------
     def reset_stats(self) -> None:
         """Zero counters at the warmup boundary."""
@@ -78,7 +89,7 @@ class L1Cache:
         self.mshr.release_until(now)
 
         frame = self.array.lookup(line_addr)
-        if frame >= 0 and self.array.state[frame] == L1_VALID:
+        if frame >= 0 and self.state_col[frame] == L1_VALID:
             st.load_hits += 1
             st.load_latency_sum += self.hit_latency
             return (self.hit_latency, 0)
@@ -137,7 +148,7 @@ class L1Cache:
         head_before = self.write_buffer.head_ready_time()
 
         frame = self.array.lookup(line_addr)
-        if frame >= 0 and self.array.state[frame] == L1_VALID:
+        if frame >= 0 and self.state_col[frame] == L1_VALID:
             st.store_hits += 1  # write-through also updates the L1 copy
 
         stall = 0
@@ -205,7 +216,7 @@ class L1Cache:
     def holds(self, line_addr: int) -> bool:
         """True when the L1 currently holds a valid copy (tests)."""
         frame = self.array.probe(line_addr)
-        return frame >= 0 and self.array.state[frame] == L1_VALID
+        return frame >= 0 and self.state_col[frame] == L1_VALID
 
     def check_inclusion(self) -> None:
         """Every valid L1 line must be valid in the L2 (test invariant)."""

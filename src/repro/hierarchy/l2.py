@@ -21,10 +21,20 @@ Timing is expressed in core cycles; the bus/memory models add their own
 queueing.  The simulator guarantees events are presented in global time
 order, which lets this class use simple ``next_free`` scalars instead of a
 full discrete-event engine.
+
+Hot-path layout: :meth:`access` is monomorphic over the flat columns of
+the backing :class:`~repro.cache.array.CacheArray` (residency map, state
+bytearray, LRU stamp column) plus the leakage policy's ``last_touch`` /
+``armed`` columns and the decay scheduler's pending-bit column, all bound
+at construction.  The per-access work of a hit — recency stamp, decay
+bookkeeping, scheduler ensure — is a handful of column writes with no
+method dispatch; the policy's ``touch_kind`` selects which inline variant
+runs (see :class:`~repro.core.policy.LeakagePolicy`).
 """
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Dict, List, Optional
 
 from ..cache.array import CacheArray
@@ -39,15 +49,10 @@ from ..coherence.events import (
 )
 from ..coherence.mesi import MESIProtocol
 from ..coherence.states import E, I, M, OFF, S, TC, TD, is_valid
-from ..coherence.turnoff import (
-    DEFERRED,
-    DENIED_PENDING,
-    DONE,
-    TurnOffSequencer,
-)
+from ..coherence.turnoff import TurnOffSequencer
 from ..core.decay import DecayScheduler
 from ..core.occupancy import OccupancyTracker
-from ..core.policy import LeakagePolicy
+from ..core.policy import LeakagePolicy, fast_touch_kind
 from ..sim.config import CMPConfig
 from ..sim.stats import L2Stats
 from .memory import MainMemory
@@ -87,9 +92,7 @@ class PrivateL2:
         )
         # Gated-at-reset techniques park every frame in OFF.
         if not policy.start_powered:
-            state = self.array.state
-            for f in range(geom.n_lines):
-                state[f] = OFF
+            self.array.reset_states(OFF)
 
         #: effective access latency (decay caches pay the +1 wake/gate mux)
         self.hit_latency = cfg.l2.hit_latency + (
@@ -114,6 +117,38 @@ class PrivateL2:
         self._decay_enabled = policy.decay_enabled
         self._gates_on_inval = policy.gates_on_invalidation
 
+        # ---- flat-column bindings for the monomorphic access path ------
+        # All of these alias structures that are mutated in place and
+        # never replaced over the cache's lifetime.
+        self._map = self.array.line_to_frame
+        self._state_col = self.array.state
+        self._tags = self.array.tags
+        self._lru = self.array.lru
+        self._assoc = geom.assoc
+        self._set_mask = geom.n_sets - 1
+        #: inline-touch selector; -1 (virtual dispatch) for anything that
+        #: is not exactly a built-in policy class
+        self._pkind = fast_touch_kind(policy)
+        self._pol_last_touch = getattr(policy, "last_touch", None)
+        self._pol_armed = getattr(policy, "armed", None)
+        # Decay-deadline constants, so the ensure fast path computes the
+        # gate deadline without reaching through policy.timer per access.
+        timer = policy.timer
+        if timer is not None:
+            self._dl_ideal = timer.mode == "ideal"
+            self._dl_add = timer.decay_cycles
+            self._dl_tick = timer.global_tick
+            self._dl_states = timer.n_states
+        else:
+            self._dl_ideal = True
+            self._dl_add = 0
+            self._dl_tick = 1
+            self._dl_states = 0
+        # Scheduler / L1 columns; rebound in connect().
+        self._sched_pending: Optional[bytearray] = None
+        self._sched_heap: Optional[list] = None
+        self._l1_wb_fifo: Optional[dict] = None
+
     # ------------------------------------------------------------------
     # Wiring / lifecycle
     # ------------------------------------------------------------------
@@ -122,6 +157,11 @@ class PrivateL2:
         self.siblings = [s for s in siblings if s is not self]
         self.l1 = l1
         self.scheduler = scheduler
+        self._sched_pending = scheduler._pending[self.cache_id]
+        self._sched_heap = scheduler._heap
+        # Table I pending-write probe, inlined (the FIFO dict is mutated
+        # in place and never replaced outside of tests calling clear()).
+        self._l1_wb_fifo = l1.write_buffer._fifo
 
     def reset_stats(self, now: int) -> None:
         """Zero counters at the warmup boundary (state is preserved)."""
@@ -146,25 +186,63 @@ class PrivateL2:
         if self._sample_interval:
             self._bump_sample(now)
 
-        array = self.array
-        frame = array.probe(line_addr)
-        state = array.state[frame] if frame >= 0 else I
-
-        if is_valid(state):
-            array.touch(frame)
-            self.policy.on_touch(frame, state, now)
-            if self._decay_enabled:
-                self.scheduler.ensure(self.cache_id, frame)
-            if not is_write:
-                return self.hit_latency
-            return self._write_hit(frame, state, now)
+        frame = self._map.get(line_addr, -1)
+        if frame >= 0:
+            state = self._state_col[frame]
+            if 1 <= state <= 3:  # S/E/M — resident and usable
+                # ---- fused hit path: recency stamp + decay bookkeeping
+                lru = self._lru
+                if lru is not None:
+                    ns = lru.next_stamp
+                    lru.stamp[frame] = ns
+                    lru.next_stamp = ns + 1
+                else:
+                    self.array.touch(frame)
+                pkind = self._pkind
+                if pkind == 1:  # fixed decay: touch resets and re-arms
+                    self._pol_last_touch[frame] = now
+                    self._pol_armed[frame] = 1
+                    self.policy.counter_resets += 1
+                elif pkind == 2:  # selective decay: arming is state-driven
+                    self._pol_last_touch[frame] = now
+                    if self._pol_armed[frame]:
+                        self.policy.counter_resets += 1
+                elif pkind < 0:  # non-built-in policy: generic dispatch
+                    self.policy.on_touch(frame, state, now)
+                if self._decay_enabled:
+                    if pkind > 0:
+                        pending = self._sched_pending
+                        if not pending[frame] and self._pol_armed[frame]:
+                            lt = self._pol_last_touch[frame]
+                            if self._dl_ideal:
+                                dl = lt + self._dl_add
+                            else:
+                                tick = self._dl_tick
+                                dl = (lt // tick + self._dl_states) * tick
+                            pending[frame] = 1
+                            heappush(self._sched_heap, (dl, self.cache_id, frame))
+                    else:
+                        # custom policy: its deadline() is authoritative
+                        self.scheduler.ensure(self.cache_id, frame)
+                if not is_write:
+                    return self.hit_latency
+                return self._write_hit(frame, state, now)
 
         # ---- miss ----------------------------------------------------
         if is_write:
             st.write_misses += 1
         else:
             st.read_misses += 1
-        self._attribute_ghost_miss(line_addr)
+        ghosts = self._ghosts
+        if ghosts:
+            g = ghosts.pop(line_addr, None)
+            if g is not None and (
+                self._set_fills[line_addr & self._set_mask] - g < self._assoc
+            ):
+                # Fewer fills than ways since gating: under LRU the line
+                # would still be resident — this miss exists only because
+                # we gated.
+                st.decay_induced_misses += 1
 
         txn = BUS_RDX if is_write else BUS_RD
         grant, done = self.bus.transact(now, txn, self._line_bytes)
@@ -193,9 +271,9 @@ class PrivateL2:
 
     def _write_hit(self, frame: int, state: int, now: int) -> int:
         """Write-buffer drain hitting a valid line: obtain M rights."""
-        array = self.array
         if state == M:
             return self.hit_latency
+        array = self.array
         if state == E:
             array.set_state(frame, M)
             self.policy.on_state_change(frame, E, M, now)
@@ -217,14 +295,24 @@ class PrivateL2:
     def _fill(self, line_addr: int, fill_state: int, now: int) -> None:
         array = self.array
         st = self.stats
-        frame = array.choose_victim(
-            line_addr, blocked=lambda f: array.state[f] in (TC, TD)
-        )
+        state_col = self._state_col
+        # Transient (TC/TD) frames must not be victimized; they only exist
+        # when a test drives the turn-off sequencer without auto-grant, so
+        # the common case passes no predicate at all (bit-identical: a
+        # predicate that never blocks selects the same victim).
+        census = array.state_census
+        if census[TC] or census[TD]:
+            frame = array.choose_victim(
+                line_addr, blocked=lambda f: state_col[f] in (TC, TD)
+            )
+        else:
+            frame = array.choose_victim(line_addr)
         if frame < 0:
             raise RuntimeError("no eligible victim (all frames transient?)")
 
-        victim_state = array.state[frame]
-        victim_tag = array.tags[frame]
+        victim_state = state_col[frame]
+        victim_tag = self._tags[frame]
+        pkind = self._pkind
         if victim_tag != -1:
             st.evictions += 1
             if victim_state == M:
@@ -237,28 +325,57 @@ class PrivateL2:
                 self.l1.invalidate_line(victim_tag)
                 self.l1_present[frame] = 0
                 st.upper_invalidations += 1
-            self.policy.on_clear(frame)
+            # on_clear, inlined for the built-in policies
+            if pkind > 0:
+                self._pol_armed[frame] = 0
+            elif pkind < 0:
+                self.policy.on_clear(frame)
         if victim_state == OFF:
             self.occupancy.wake(now)
             st.wakes += 1
 
         array.install(line_addr, frame, fill_state)
         st.fills += 1
-        self._set_fills[frame // self.geom.assoc] += 1
-        self.policy.on_fill(frame, fill_state, now)
+        self._set_fills[frame // self._assoc] += 1
+        # on_fill, inlined for the built-in policies
+        if pkind == 1:  # fixed decay: every fill arms
+            self._pol_last_touch[frame] = now
+            self._pol_armed[frame] = 1
+            self.policy.counter_resets += 1
+        elif pkind == 2:  # selective decay: arm only entering S/E
+            self._pol_last_touch[frame] = now
+            if fill_state == S or fill_state == E:
+                self._pol_armed[frame] = 1
+                self.policy.counter_resets += 1
+            else:
+                self._pol_armed[frame] = 0
+        elif pkind < 0:
+            self.policy.on_fill(frame, fill_state, now)
         if self._decay_enabled:
-            self.scheduler.ensure(self.cache_id, frame)
+            if pkind > 0:
+                pending = self._sched_pending
+                if not pending[frame] and self._pol_armed[frame]:
+                    lt = self._pol_last_touch[frame]
+                    if self._dl_ideal:
+                        dl = lt + self._dl_add
+                    else:
+                        tick = self._dl_tick
+                        dl = (lt // tick + self._dl_states) * tick
+                    pending[frame] = 1
+                    heappush(self._sched_heap, (dl, self.cache_id, frame))
+            else:
+                # custom policy: its deadline() is authoritative
+                self.scheduler.ensure(self.cache_id, frame)
 
     # ------------------------------------------------------------------
     # Snoop side (called by sibling caches through the bus broadcast)
     # ------------------------------------------------------------------
     def snoop(self, line_addr: int, txn: int, now: int) -> tuple:
         """React to a remote transaction; returns (had_copy, supplied_data)."""
-        array = self.array
-        frame = array.probe(line_addr)
+        frame = self._map.get(line_addr, -1)
         if frame < 0:
             return (False, False)
-        state = array.state[frame]
+        state = self._state_col[frame]
         if state == I or state == OFF:
             return (False, False)
         self.stats.snoops_observed += 1
@@ -276,7 +393,7 @@ class PrivateL2:
         if nxt == I:
             self._invalidate_by_protocol(frame, line_addr, now)
         else:
-            array.set_state(frame, nxt)
+            self.array.set_state(frame, nxt)
             self.policy.on_state_change(frame, state, nxt, now)
             if self._decay_enabled:
                 self.scheduler.ensure(self.cache_id, frame)
@@ -290,7 +407,11 @@ class PrivateL2:
             self.l1.invalidate_line(line_addr)
             self.l1_present[frame] = 0
             st.upper_invalidations += 1
-        self.policy.on_clear(frame)
+        pkind = self._pkind
+        if pkind > 0:
+            self._pol_armed[frame] = 0
+        elif pkind < 0:
+            self.policy.on_clear(frame)
         self.array.evict(frame)
         if self._gates_on_inval:
             # "A cache line is switched off when a line is invalidated."
@@ -309,32 +430,37 @@ class PrivateL2:
 
         Returns True when the line was gated.  Implements §III: Table I
         pending-write denial, TC/TD sequencing with upper-level
-        invalidation, and the memory writeback for Modified lines.
+        invalidation, and the memory writeback for Modified lines.  The
+        stationary-state decisions of
+        :meth:`~repro.coherence.turnoff.TurnOffSequencer.initiate` are
+        inlined here (S/E: gate unless a write is pending; M: gate with
+        writeback; the transient-defer rule cannot trigger because the
+        timing simulator resolves transients atomically) — the sequencer
+        object remains the reference implementation for protocol tests.
         """
         array = self.array
-        state = array.state[frame]
-        if not is_valid(state):
+        state = self._state_col[frame]
+        if not 1 <= state <= 3:  # not S/E/M (is_valid, inlined)
             return False  # stale event: line was invalidated/evicted already
-        line_addr = array.tags[frame]
+        line_addr = self._tags[frame]
         st = self.stats
 
-        pending = self.l1.has_pending_write(line_addr)
-        new_state, result = self.sequencer.initiate(state, pending_write=pending)
-        if result.outcome == DENIED_PENDING:
-            st.gate_denied_pending += 1
-            # The imminent drain will touch the line and re-arm its timer.
-            return False
-        if result.outcome == DEFERRED:
-            st.gate_deferred_transient += 1
-            return False
-        assert result.outcome == DONE and new_state == OFF
+        if state == M:
+            writeback = True
+        else:
+            # S/E: Table I "if no pending write" — the imminent drain
+            # would touch the line and re-arm its timer.
+            if line_addr in self._l1_wb_fifo:
+                st.gate_denied_pending += 1
+                return False
+            writeback = False
 
-        if result.invalidate_upper and self.l1_present[frame]:
+        if self.l1_present[frame]:
             self.l1.invalidate_line(line_addr)
             st.upper_invalidations += 1
-        self.l1_present[frame] = 0
+            self.l1_present[frame] = 0
 
-        if result.writeback:
+        if writeback:
             # TD: flush the dirty line to memory over the shared bus.
             self.bus.writeback(gate_time)
             self.memory.write_line(gate_time)
@@ -345,31 +471,24 @@ class PrivateL2:
 
         # Record a ghost so a future miss to this address can be attributed
         # to decay iff the line would still be resident under LRU.
-        self._ghosts[line_addr] = self._set_fills[frame // self.geom.assoc]
+        self._ghosts[line_addr] = self._set_fills[frame // self._assoc]
 
-        self.policy.on_clear(frame)
+        pkind = self._pkind
+        if pkind > 0:  # on_clear, inlined (only decay policies gate here)
+            self._pol_armed[frame] = 0
+        elif pkind < 0:
+            self.policy.on_clear(frame)
         array.evict(frame)
         array.set_state(frame, OFF)
         self.occupancy.gate(gate_time)
         return True
-
-    def _attribute_ghost_miss(self, line_addr: int) -> None:
-        """Classify a miss as decay-induced using the ghost records."""
-        g = self._ghosts.pop(line_addr, None)
-        if g is None:
-            return
-        set_idx = self.geom.set_index_of_line(line_addr)
-        if self._set_fills[set_idx] - g < self.geom.assoc:
-            # Fewer fills than ways since gating: under LRU the line would
-            # still be resident — this miss exists only because we gated.
-            self.stats.decay_induced_misses += 1
 
     # ------------------------------------------------------------------
     # L1 bookkeeping (inclusion bits)
     # ------------------------------------------------------------------
     def note_l1_fill(self, line_addr: int) -> None:
         """L1 installed a copy of ``line_addr``."""
-        frame = self.array.probe(line_addr)
+        frame = self._map.get(line_addr, -1)
         if frame < 0:
             raise RuntimeError(
                 f"inclusion violation: L1 filled line {line_addr:#x} that is "
@@ -379,7 +498,7 @@ class PrivateL2:
 
     def note_l1_evict(self, line_addr: int) -> None:
         """L1 dropped its copy of ``line_addr`` (replacement)."""
-        frame = self.array.probe(line_addr)
+        frame = self._map.get(line_addr, -1)
         if frame >= 0:
             self.l1_present[frame] = 0
 

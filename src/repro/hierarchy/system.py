@@ -47,6 +47,10 @@ class MemorySystem:
             l2.connect(self.l2s, self.l1s[i], self.scheduler)
 
         self._line_shift = cfg.l2.line_bytes.bit_length() - 1
+        # Built once: process_decay_until sits on the decay hot loop and a
+        # fresh closure per call was measurable at small decay intervals.
+        l2s = self.l2s
+        self._fire_turn_off = lambda cid, frame, t: l2s[cid].turn_off_frame(frame, t)
 
     # ------------------------------------------------------------------
     def line_of(self, byte_addr: int) -> int:
@@ -57,9 +61,7 @@ class MemorySystem:
         """Fire every decay event due at or before ``t_limit``."""
         if not self.policies[0].decay_enabled:
             return 0
-        return self.scheduler.process_until(
-            t_limit, lambda cid, frame, t: self.l2s[cid].turn_off_frame(frame, t)
-        )
+        return self.scheduler.process_until(t_limit, self._fire_turn_off)
 
     def next_decay_due(self):
         """Earliest pending decay deadline (None when idle)."""

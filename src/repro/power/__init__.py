@@ -1,5 +1,8 @@
-"""Power models: CACTI/Wattch/Orion-style dynamic energy, Liao-style
-temperature-dependent leakage, and the system energy pipeline."""
+"""Power models.
+
+CACTI/Wattch/Orion-style dynamic energy, Liao-style temperature-dependent
+leakage, and the system energy pipeline.
+"""
 
 from .cacti import CacheEnergyModel, l1_model, l2_model
 from .calibration import (

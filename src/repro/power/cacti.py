@@ -127,6 +127,8 @@ def l2_model(size_bytes: int, line_bytes: int = 64, assoc: int = 8) -> CacheEner
     return CacheEnergyModel.build(CacheGeometry(size_bytes, line_bytes, assoc))
 
 
-def l1_model(size_bytes: int = 32 * 1024, line_bytes: int = 64, assoc: int = 4) -> CacheEnergyModel:
+def l1_model(
+    size_bytes: int = 32 * 1024, line_bytes: int = 64, assoc: int = 4
+) -> CacheEnergyModel:
     """Convenience: model for one L1."""
     return CacheEnergyModel.build(CacheGeometry(size_bytes, line_bytes, assoc))

@@ -1,5 +1,7 @@
-"""The energy pipeline: activity counts → dynamic energy → thermal/leakage
-fixpoint → system energy breakdown.
+"""The energy pipeline.
+
+Activity counts → dynamic energy → thermal/leakage fixpoint → system
+energy breakdown.
 
 Reproduces the paper's §V methodology:
 
@@ -145,8 +147,9 @@ class EnergyModel:
         self._cells_per_line = self.l2_cacti.cell_count // geom.n_lines
 
     # ------------------------------------------------------------------
-    def evaluate(self, result: SimResult, max_iter: int = 25,
-                 tol_kelvin: float = 0.05) -> EnergyBreakdown:
+    def evaluate(
+        self, result: SimResult, max_iter: int = 25, tol_kelvin: float = 0.05
+    ) -> EnergyBreakdown:
         """Full pipeline for one run; returns the energy breakdown."""
         cfg = self.cfg
         bd = EnergyBreakdown()

@@ -102,9 +102,9 @@ class LeakageModel:
         return (lo + hi) / 2
 
 
-def leakage_watts_per_mb(model: LeakageModel, temp_k: float,
-                         bits_per_line: int = 552, line_bytes: int = 64) -> float:
+def leakage_watts_per_mb(
+    model: LeakageModel, temp_k: float, bits_per_line: int = 552, line_bytes: int = 64
+) -> float:
     """Convenience: leakage of 1 MB of cache (data + tag cells), watts."""
     lines = (1024 * 1024) // line_bytes
-    return model.array_power(lines * bits_per_line, 0, temp_k,
-                             gated_vdd_present=False)
+    return model.array_power(lines * bits_per_line, 0, temp_k, gated_vdd_present=False)

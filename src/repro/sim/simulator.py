@@ -38,7 +38,7 @@ from __future__ import annotations
 from heapq import heappop, heappush
 from typing import List, Optional
 
-from ..coherence.events import txn_name
+from ..coherence.events import TXN_NAMES, txn_name
 from ..cpu.core import AT_BARRIER, DONE, RUNNING, Core
 from ..hierarchy.system import MemorySystem
 from ..workloads.trace import Workload
@@ -89,6 +89,10 @@ class Simulator:
         cores = self.cores
         l1s = system.l1s
         scheduler = system.scheduler
+        sched_heap = scheduler._heap
+        process_decay = scheduler.process_until
+        fire_turn_off = system._fire_turn_off
+        write_buffers = [l1.write_buffer for l1 in l1s]
         decay_enabled = cfg.technique.is_decay_based
 
         warmup_target = int(warmup_fraction * workload.meta.accesses_per_core)
@@ -130,7 +134,7 @@ class Simulator:
                         heappop(heap)
                         actor_kind, actor_idx, t_min = 0, idx, t
                         break
-                elif l1s[idx].next_drain_time() == t:
+                elif write_buffers[idx]._head_ready == t:
                     heappop(heap)
                     actor_kind, actor_idx, t_min = 1, idx, t
                     break
@@ -152,10 +156,8 @@ class Simulator:
                 continue
 
             # ---- decay events strictly before the action fire first ----
-            if decay_enabled:
-                nd = scheduler.next_due()
-                if nd is not None and nd <= t_min:
-                    system.process_decay_until(int(t_min))
+            if decay_enabled and sched_heap and sched_heap[0][0] <= t_min:
+                process_decay(int(t_min), fire_turn_off)
 
             # ---- dispatch ----------------------------------------------
             if actor_kind == 0:
@@ -176,7 +178,13 @@ class Simulator:
 
             # ---- warmup boundary ----------------------------------------
             if not warmup_done and actor_kind == 0:
-                if all(
+                # The full scan can only succeed when the acting core
+                # itself satisfies the condition (the others are unchanged
+                # since the last core event), so gate on it first.
+                core = cores[actor_idx]
+                if (
+                    core.accesses_done >= warmup_target or core.state == DONE
+                ) and all(
                     c.accesses_done >= warmup_target or c.state == DONE
                     for c in cores
                 ):
@@ -210,7 +218,11 @@ class Simulator:
             cores=[c.stats for c in self.cores],
             memory=system.memory.stats,
             bus_txn_counts={
-                txn_name(k): v for k, v in system.bus.stats.txn_counts.items()
+                # memoized name lookup: the TXN_NAMES table *is* txn_name's
+                # mapping; going through the function re-formats the
+                # fallback string on every call for unknown kinds
+                TXN_NAMES.get(k) or txn_name(k): v
+                for k, v in system.bus.stats.txn_counts.items()
             },
             bus_data_bytes=system.bus.stats.data_bytes,
             bus_busy_cycles=system.bus.stats.busy_core_cycles,
@@ -228,14 +240,12 @@ class Simulator:
         core_b = [c.instr_buckets() for c in self.cores]
         occ_b = [l2.occupancy.bucket_integrals() for l2 in self.system.l2s]
         acc_b = [l2.access_buckets() for l2 in self.system.l2s]
-        n = max([len(b) for b in core_b + occ_b + acc_b] or [0])
-
-        def pad(b: list) -> list:
-            return b + [0] * (n - len(b))
-
-        core_b = [pad(b) for b in core_b]
-        occ_b = [pad(b) for b in occ_b]
-        acc_b = [pad(b) for b in acc_b]
+        # One padding pass over all bucket lists (they are private copies,
+        # so in-place extension is safe), instead of rebuilding each list.
+        n = max(map(len, core_b + occ_b + acc_b), default=0)
+        for b in core_b + occ_b + acc_b:
+            if len(b) < n:
+                b.extend([0] * (n - len(b)))
         return [
             ActivitySample(
                 interval=iv,

@@ -17,7 +17,13 @@ from .patterns import (
     SharedSweep,
     TrailingRevisit,
 )
-from .phases import PhaseSpec, estimate_cycles_per_access, lag_accesses, phase_stream, phased_workload
+from .phases import (
+    PhaseSpec,
+    estimate_cycles_per_access,
+    lag_accesses,
+    phase_stream,
+    phased_workload,
+)
 from .registry import (
     MULTIMEDIA,
     PAPER_BENCHMARKS,

@@ -26,8 +26,11 @@ from .profiles import ComponentSpec, Profile, RegionSpec, build_profile_workload
 from .trace import Workload
 
 MPEG2ENC = Profile(
-    name="mpeg2enc", suite="alpbench", kind="multimedia",
-    n_phases=6, mean_gap=8.0,
+    name="mpeg2enc",
+    suite="alpbench",
+    kind="multimedia",
+    n_phases=6,
+    mean_gap=8.0,
     description="MPEG-2 encode: write-heavy recon buffers, short motion reuse",
     regions=(
         RegionSpec("einframe", 448),
@@ -35,30 +38,74 @@ MPEG2ENC = Profile(
         RegionSpec("ectl", 16, shared=True),
     ),
     components=(
-        ComponentSpec("hot", "einframe", weight=0.732, write_frac=0.50,
-                      name="hot"),
-        ComponentSpec("hot", "einframe", weight=0.158, write_frac=0.25,
-                      name="tables"),
-        ComponentSpec("cold", "einframe", weight=0.012, write_frac=0.05,
-                      ilp="stream", name="cin"),
+        ComponentSpec(
+            "hot",
+            "einframe",
+            weight=0.732,
+            write_frac=0.50,
+            name="hot",
+        ),
+        ComponentSpec(
+            "hot",
+            "einframe",
+            weight=0.158,
+            write_frac=0.25,
+            name="tables",
+        ),
+        ComponentSpec(
+            "cold",
+            "einframe",
+            weight=0.012,
+            write_frac=0.05,
+            ilp="stream",
+            name="cin",
+        ),
         # Reconstruction/output: nearly pure stores — Modified lines that
         # Selective Decay never gates (its Fig 6(a) weakness here).
-        ComponentSpec("cold", "erecon", weight=0.012, write_frac=0.95,
-                      ilp="stream", name="cout"),
+        ComponentSpec(
+            "cold",
+            "erecon",
+            weight=0.012,
+            write_frac=0.95,
+            ilp="stream",
+            name="cout",
+        ),
         # Motion-estimation window: far below every decay time.
-        ComponentSpec("trail", "einframe", weight=0.030, write_frac=0.05,
-                      lag_units=0.35, ref="cin", name="mwin"),
+        ComponentSpec(
+            "trail",
+            "einframe",
+            weight=0.030,
+            write_frac=0.05,
+            lag_units=0.35,
+            ref="cin",
+            name="mwin",
+        ),
         # Frame-to-frame reference: dies at 64K, survives 128K/512K.
-        ComponentSpec("trail", "erecon", weight=0.006, write_frac=0.20,
-                      lag_units=1.3, ref="cout", name="fref"),
-        ComponentSpec("hot", "ectl", weight=0.050, write_frac=0.50,
-                      name="ratectl"),
+        ComponentSpec(
+            "trail",
+            "erecon",
+            weight=0.006,
+            write_frac=0.20,
+            lag_units=1.3,
+            ref="cout",
+            name="fref",
+        ),
+        ComponentSpec(
+            "hot",
+            "ectl",
+            weight=0.050,
+            write_frac=0.50,
+            name="ratectl",
+        ),
     ),
 )
 
 MPEG2DEC = Profile(
-    name="mpeg2dec", suite="alpbench", kind="multimedia",
-    n_phases=6, mean_gap=9.0,
+    name="mpeg2dec",
+    suite="alpbench",
+    kind="multimedia",
+    n_phases=6,
+    mean_gap=9.0,
     description="MPEG-2 decode: small footprint, 1.8-unit reference reuse",
     regions=(
         RegionSpec("dbits", 128),
@@ -66,26 +113,63 @@ MPEG2DEC = Profile(
         RegionSpec("dctl", 16, shared=True),
     ),
     components=(
-        ComponentSpec("hot", "dframe", weight=0.745, write_frac=0.40,
-                      name="hot"),
-        ComponentSpec("hot", "dbits", weight=0.172, write_frac=0.25,
-                      name="idct"),
-        ComponentSpec("cold", "dbits", weight=0.008, write_frac=0.0,
-                      ilp="stream", name="cbits"),
-        ComponentSpec("cold", "dframe", weight=0.012, write_frac=0.90,
-                      ilp="stream", name="cout"),
+        ComponentSpec(
+            "hot",
+            "dframe",
+            weight=0.745,
+            write_frac=0.40,
+            name="hot",
+        ),
+        ComponentSpec(
+            "hot",
+            "dbits",
+            weight=0.172,
+            write_frac=0.25,
+            name="idct",
+        ),
+        ComponentSpec(
+            "cold",
+            "dbits",
+            weight=0.008,
+            write_frac=0.0,
+            ilp="stream",
+            name="cbits",
+        ),
+        ComponentSpec(
+            "cold",
+            "dframe",
+            weight=0.012,
+            write_frac=0.90,
+            ilp="stream",
+            name="cout",
+        ),
         # Motion compensation reads the previous frame: ~1.8 units — the
         # Fig 6(b) "larger decay visibly helps mpeg2dec".
-        ComponentSpec("trail", "dframe", weight=0.008, write_frac=0.10,
-                      lag_units=1.7, ref="cout", name="ref"),
-        ComponentSpec("hot", "dctl", weight=0.055, write_frac=0.40,
-                      name="streamctl"),
+        ComponentSpec(
+            "trail",
+            "dframe",
+            weight=0.008,
+            write_frac=0.10,
+            lag_units=1.7,
+            ref="cout",
+            name="ref",
+        ),
+        ComponentSpec(
+            "hot",
+            "dctl",
+            weight=0.055,
+            write_frac=0.40,
+            name="streamctl",
+        ),
     ),
 )
 
 FACEREC = Profile(
-    name="facerec", suite="alpbench", kind="multimedia",
-    n_phases=4, mean_gap=11.0,
+    name="facerec",
+    suite="alpbench",
+    kind="multimedia",
+    n_phases=4,
+    mean_gap=11.0,
     description="Face recognition: streamed shared gallery, bimodal reuse",
     regions=(
         RegionSpec("fworkspace", 256),
@@ -93,38 +177,76 @@ FACEREC = Profile(
         RegionSpec("fresults", 32, shared=True),
     ),
     components=(
-        ComponentSpec("hot", "fworkspace", weight=0.720, write_frac=0.30,
-                      name="hot"),
-        ComponentSpec("hot", "fworkspace", weight=0.156, write_frac=0.25,
-                      name="filters"),
+        ComponentSpec(
+            "hot",
+            "fworkspace",
+            weight=0.720,
+            write_frac=0.30,
+            name="hot",
+        ),
+        ComponentSpec(
+            "hot",
+            "fworkspace",
+            weight=0.156,
+            write_frac=0.25,
+            name="filters",
+        ),
         ComponentSpec("sweep", "fgallery", weight=0.018, name="gal"),
         # Filter-bank correlation re-reads the tile just streamed.
-        ComponentSpec("trail", "fgallery", weight=0.050, write_frac=0.0,
-                      lag_units=0.15, ref="gal", name="tile"),
+        ComponentSpec(
+            "trail",
+            "fgallery",
+            weight=0.050,
+            write_frac=0.0,
+            lag_units=0.15,
+            ref="gal",
+            name="tile",
+        ),
         # Almost no mid-range mass: decay costs facerec nearly nothing.
-        ComponentSpec("trail", "fgallery", weight=0.003, write_frac=0.0,
-                      lag_units=1.0, ref="gal", name="tmid"),
-        ComponentSpec("cold", "fworkspace", weight=0.008, write_frac=0.50,
-                      ilp="stream", name="cwork"),
-        ComponentSpec("hot", "fresults", weight=0.045, write_frac=0.60,
-                      name="results"),
+        ComponentSpec(
+            "trail",
+            "fgallery",
+            weight=0.003,
+            write_frac=0.0,
+            lag_units=1.0,
+            ref="gal",
+            name="tmid",
+        ),
+        ComponentSpec(
+            "cold",
+            "fworkspace",
+            weight=0.008,
+            write_frac=0.50,
+            ilp="stream",
+            name="cwork",
+        ),
+        ComponentSpec(
+            "hot",
+            "fresults",
+            weight=0.045,
+            write_frac=0.60,
+            name="results",
+        ),
     ),
 )
 
 
-def mpeg2enc(n_cores: int = 4, scale: float = 1.0, seed: int = 1,
-             line_bytes: int = 64) -> Workload:
+def mpeg2enc(
+    n_cores: int = 4, scale: float = 1.0, seed: int = 1, line_bytes: int = 64
+) -> Workload:
     """MPEG-2 encoder: slice-parallel, write-heavy reconstruction buffers."""
     return build_profile_workload(MPEG2ENC, n_cores, scale, seed, line_bytes)
 
 
-def mpeg2dec(n_cores: int = 4, scale: float = 1.0, seed: int = 1,
-             line_bytes: int = 64) -> Workload:
+def mpeg2dec(
+    n_cores: int = 4, scale: float = 1.0, seed: int = 1, line_bytes: int = 64
+) -> Workload:
     """MPEG-2 decoder: small footprint, reference-frame reuse."""
     return build_profile_workload(MPEG2DEC, n_cores, scale, seed, line_bytes)
 
 
-def facerec(n_cores: int = 4, scale: float = 1.0, seed: int = 1,
-            line_bytes: int = 64) -> Workload:
+def facerec(
+    n_cores: int = 4, scale: float = 1.0, seed: int = 1, line_bytes: int = 64
+) -> Workload:
     """Face recognition: streamed shared gallery, bimodal reuse."""
     return build_profile_workload(FACEREC, n_cores, scale, seed, line_bytes)

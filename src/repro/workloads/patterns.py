@@ -89,6 +89,7 @@ class ColdStream(_Blocked):
         self.wrapped = 0
 
     def emit(self, history: List[int]) -> tuple:
+        """Next streaming access (advance by the stride, wrap at the region end)."""
         addr = self.region.base + self.pos * self.line_bytes
         self.pos += self.stride
         if self.pos >= self.n_lines:
@@ -147,6 +148,7 @@ class HotSet(_Blocked):
         return int(v)
 
     def emit(self, history: List[int]) -> tuple:
+        """One access to a (possibly Zipf-weighted) hot line."""
         addr = self.region.base + self._index() * self.line_bytes
         return (addr, self._write_flag(self.write_frac), self.ilp)
 
@@ -199,6 +201,7 @@ class LaggedRevisit(_Blocked):
         return self.lag + int(v)
 
     def emit(self, history: List[int]) -> tuple:
+        """Re-touch the address emitted ``lag`` accesses ago (or the fallback)."""
         lag = self._lag_sample()
         idx = len(history) - lag
         if idx < 0:
@@ -262,6 +265,7 @@ class TrailingRevisit(_Blocked):
         return max(1, self.lag + int(v))
 
     def emit(self, history: List[int]) -> tuple:
+        """Revisit a line the tracked cold stream touched ``lag`` steps ago."""
         cold = self.cold
         lag = self._lag_sample()
         covered = cold.pos + cold.wrapped * cold.n_lines
@@ -307,6 +311,7 @@ class SharedSweep(_Blocked):
         )
 
     def emit(self, history: List[int]) -> tuple:
+        """Delegate to the inner stream component."""
         return self.inner.emit(history)
 
 
@@ -349,6 +354,7 @@ class MigratoryChunk(_Blocked):
         return int(v)
 
     def emit(self, history: List[int]) -> tuple:
+        """One access of the read-modify-write (or plain) chunk pattern."""
         if self.rmw:
             # Alternate read / write to the same line: load, then store.
             if self._phase_read:
@@ -394,6 +400,7 @@ class ProducerConsumer(_Blocked):
         self.producing = producing
 
     def emit(self, history: List[int]) -> tuple:
+        """Delegate to the inner stream component."""
         return self.inner.emit(history)
 
 
@@ -430,6 +437,7 @@ class PointerChase(_Blocked):
         self.write_frac = write_frac
 
     def emit(self, history: List[int]) -> tuple:
+        """Follow one pointer hop (dependent load)."""
         addr = self.region.base + self._cur * self.line_bytes
         self._cur = int(self._next[self._cur])
         return (addr, self._write_flag(self.write_frac), ILP_DEPENDENT)
@@ -452,6 +460,7 @@ class WriteFracOverride(_Blocked):
         self.write_frac = write_frac
 
     def emit(self, history: List[int]) -> tuple:
+        """Delegate to the inner component, re-drawing the write flag."""
         addr, _, ilp = self.inner.emit(history)
         return (addr, self._write_flag(self.write_frac), ilp)
 

@@ -120,6 +120,7 @@ def phased_workload(
     )
 
     def factory(n: int) -> list:
+        """Materialize one record stream per core (validating the count)."""
         if n != n_cores:
             raise ValueError(f"workload {name} built for {n_cores} cores, asked {n}")
         return [

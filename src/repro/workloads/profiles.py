@@ -140,11 +140,13 @@ def build_profile_workload(
             ]
 
     def region_for(name: str, cid: int) -> Region:
+        """Resolve a region name to this core's (or the shared) region."""
         if name in shared_regions:
             return shared_regions[name]
         return private_regions[name][cid]
 
     def phase_factory(cid: int) -> List[PhaseSpec]:
+        """Build core ``cid``'s phase list from the profile tables."""
         s0 = seed * 9176 + cid * 997
         built: Dict[str, object] = {}
         weight_of: Dict[str, float] = {}
@@ -157,23 +159,40 @@ def build_profile_workload(
             s = s0 + i * 37
             if cs.kind == "hot":
                 n = cs.hot_lines or hot_set_lines(cs.weight, cs.write_frac, gap)
-                comp = HotSet(region_for(cs.region, cid), line_bytes, s,
-                              hot_lines=n, write_frac=cs.write_frac,
-                              ilp=ILP[cs.ilp])
+                comp = HotSet(
+                    region_for(cs.region, cid),
+                    line_bytes,
+                    s,
+                    hot_lines=n,
+                    write_frac=cs.write_frac,
+                    ilp=ILP[cs.ilp],
+                )
             elif cs.kind == "cold":
-                comp = ColdStream(region_for(cs.region, cid), line_bytes, s,
-                                  write_frac=cs.write_frac, ilp=ILP[cs.ilp])
+                comp = ColdStream(
+                    region_for(cs.region, cid),
+                    line_bytes,
+                    s,
+                    write_frac=cs.write_frac,
+                    ilp=ILP[cs.ilp],
+                )
             elif cs.kind == "sweep":
-                comp = SharedSweep(shared_regions[cs.region], line_bytes, s,
-                                   start_frac=cid / max(1, n_cores),
-                                   write_frac=cs.write_frac, ilp=ILP[cs.ilp])
+                comp = SharedSweep(
+                    shared_regions[cs.region],
+                    line_bytes,
+                    s,
+                    start_frac=cid / max(1, n_cores),
+                    write_frac=cs.write_frac,
+                    ilp=ILP[cs.ilp],
+                )
             elif cs.kind == "pchase":
                 region = region_for(cs.region, cid)
-                nodes = max(64, int(lag_accesses(cs.lag_units * d_unit, gap)
-                                    * cs.weight))
+                nodes = max(
+                    64, int(lag_accesses(cs.lag_units * d_unit, gap) * cs.weight)
+                )
                 nodes = min(nodes, region.n_lines(line_bytes))
-                comp = PointerChase(region, line_bytes, s, n_nodes=nodes,
-                                    write_frac=cs.write_frac)
+                comp = PointerChase(
+                    region, line_bytes, s, n_nodes=nodes, write_frac=cs.write_frac
+                )
             elif cs.kind == "trail":
                 comp = None  # second pass
             elif cs.kind in ("migratory", "prodcons"):
@@ -196,11 +215,17 @@ def build_profile_workload(
             s = s0 + 1000 + i * 41
             ref = built[cs.ref]
             cold = ref.inner if isinstance(ref, SharedSweep) else ref
-            steps = max(1, int(lag_accesses(cs.lag_units * d_unit, gap)
-                               * weight_of[cs.ref]))
-            comp = TrailingRevisit(cold, s, lag_cold_steps=steps,
-                                   write_frac=cs.write_frac, ilp=ILP[cs.ilp],
-                                   fallback=fallback)
+            steps = max(
+                1, int(lag_accesses(cs.lag_units * d_unit, gap) * weight_of[cs.ref])
+            )
+            comp = TrailingRevisit(
+                cold,
+                s,
+                lag_cold_steps=steps,
+                write_frac=cs.write_frac,
+                ilp=ILP[cs.ilp],
+                fallback=fallback,
+            )
             built[key] = comp
             fixed.append((comp, cs.weight, cs.kind))
 
@@ -235,21 +260,19 @@ def build_profile_workload(
             if w_cold_init > 0.8:
                 init_w = [w * 0.8 / w_cold_init for w in init_w]
                 w_cold_init = 0.8
-            w_rest_steady = sum(
-                w for (_, w, k) in fixed if k not in cold_kinds)
-            shrink = ((1.0 - w_cold_init) / w_rest_steady
-                      if w_rest_steady > 0 else 0.0)
+            w_rest_steady = sum(w for (_, w, k) in fixed if k not in cold_kinds)
+            shrink = (1.0 - w_cold_init) / w_rest_steady if w_rest_steady > 0 else 0.0
             init_comps = []
             for idx, ((c, w, k), wi) in enumerate(zip(fixed, init_w)):
                 if k in cold_kinds:
-                    init_comps.append(WriteFracOverride(
-                        c, profile.init_write_frac, s0 + 5000 + idx))
+                    init_comps.append(
+                        WriteFracOverride(c, profile.init_write_frac, s0 + 5000 + idx)
+                    )
                 else:
                     init_comps.append(c)
                     init_w[idx] = w * shrink
             if sum(init_w) > 0:
-                phases.append(PhaseSpec(init_comps, init_w,
-                                        init_accesses, gap))
+                phases.append(PhaseSpec(init_comps, init_w, init_accesses, gap))
         for p in range(profile.n_phases):
             comps = [c for c, _, _ in fixed]
             weights = [w for _, w, _ in fixed]
@@ -258,13 +281,16 @@ def build_profile_workload(
                 region = shared_regions[cs.region]
                 if cs.kind == "migratory":
                     chunk = region.slice((cid + p) % n_cores, n_cores)
-                    comps.append(MigratoryChunk(chunk, line_bytes, s, rmw=True,
-                                                ilp=ILP[cs.ilp]))
+                    comps.append(
+                        MigratoryChunk(chunk, line_bytes, s, rmw=True, ilp=ILP[cs.ilp])
+                    )
                 else:  # prodcons
                     producing = (p % n_cores) == cid
-                    comps.append(ProducerConsumer(region, line_bytes, s,
-                                                  producing=producing,
-                                                  ilp=ILP[cs.ilp]))
+                    comps.append(
+                        ProducerConsumer(
+                            region, line_bytes, s, producing=producing, ilp=ILP[cs.ilp]
+                        )
+                    )
                 weights.append(w)
             phases.append(PhaseSpec(comps, weights, per_phase, gap))
         return phases
@@ -272,10 +298,14 @@ def build_profile_workload(
     priv_bytes = sum(r[0].size for r in private_regions.values())
     shared_bytes = sum(r.size for r in shared_regions.values())
     return phased_workload(
-        name=profile.name, suite=profile.suite, kind=profile.kind,
-        phase_factory=phase_factory, n_cores=n_cores,
+        name=profile.name,
+        suite=profile.suite,
+        kind=profile.kind,
+        phase_factory=phase_factory,
+        n_cores=n_cores,
         accesses_per_core=total,
         footprint_bytes=priv_bytes + shared_bytes,
-        shared_bytes=shared_bytes, seed=seed,
+        shared_bytes=shared_bytes,
+        seed=seed,
         description=profile.description,
     )

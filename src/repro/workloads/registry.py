@@ -30,15 +30,26 @@ def _uniform(
     privs = [space.alloc_kb(f"heap{c}", 256) for c in range(n_cores)]
 
     def phase_factory(cid: int) -> List[PhaseSpec]:
-        comp = HotSet(privs[cid], line_bytes, seed * 131 + cid,
-                      write_frac=0.3, ilp=ILP_MODERATE)
+        """One single-phase stream per core."""
+        comp = HotSet(
+            privs[cid],
+            line_bytes,
+            seed * 131 + cid,
+            write_frac=0.3,
+            ilp=ILP_MODERATE,
+        )
         return [PhaseSpec([comp], [1.0], total, mean_gap=10.0)]
 
     return phased_workload(
-        name="uniform", suite="synthetic", kind="synthetic",
-        phase_factory=phase_factory, n_cores=n_cores,
-        accesses_per_core=total, footprint_bytes=privs[0].size,
-        shared_bytes=0, seed=seed,
+        name="uniform",
+        suite="synthetic",
+        kind="synthetic",
+        phase_factory=phase_factory,
+        n_cores=n_cores,
+        accesses_per_core=total,
+        footprint_bytes=privs[0].size,
+        shared_bytes=0,
+        seed=seed,
         description="uniform random over 256KB/core (test workload)",
     )
 
@@ -53,15 +64,26 @@ def _streaming(
     privs = [space.alloc_kb(f"stream{c}", 2048) for c in range(n_cores)]
 
     def phase_factory(cid: int) -> List[PhaseSpec]:
-        comp = ColdStream(privs[cid], line_bytes, seed * 137 + cid,
-                          write_frac=0.2, ilp=ILP_STREAMING)
+        """One single-phase stream per core."""
+        comp = ColdStream(
+            privs[cid],
+            line_bytes,
+            seed * 137 + cid,
+            write_frac=0.2,
+            ilp=ILP_STREAMING,
+        )
         return [PhaseSpec([comp], [1.0], total, mean_gap=8.0)]
 
     return phased_workload(
-        name="streaming", suite="synthetic", kind="synthetic",
-        phase_factory=phase_factory, n_cores=n_cores,
-        accesses_per_core=total, footprint_bytes=privs[0].size,
-        shared_bytes=0, seed=seed,
+        name="streaming",
+        suite="synthetic",
+        kind="synthetic",
+        phase_factory=phase_factory,
+        n_cores=n_cores,
+        accesses_per_core=total,
+        footprint_bytes=privs[0].size,
+        shared_bytes=0,
+        seed=seed,
         description="pure streaming over 2MB/core (test workload)",
     )
 
@@ -69,23 +91,37 @@ def _streaming(
 def _pingpong(
     n_cores: int = 4, scale: float = 1.0, seed: int = 1, line_bytes: int = 64
 ) -> Workload:
-    """All cores read-modify-write one small shared region (worst-case
-    invalidation traffic; exercises the Protocol technique heavily)."""
+    """All cores read-modify-write one small shared region.
+
+    Worst-case invalidation traffic; exercises the Protocol technique
+    heavily.
+    """
     check_scale(scale)
     total = accesses_per_core(scale)
     space = AddressSpace()
     shared = space.alloc_kb("pingpong", 64, shared=True)
 
     def phase_factory(cid: int) -> List[PhaseSpec]:
-        comp = HotSet(shared, line_bytes, seed * 139 + cid,
-                      write_frac=0.5, ilp=ILP_MODERATE)
+        """One single-phase shared-region stream per core."""
+        comp = HotSet(
+            shared,
+            line_bytes,
+            seed * 139 + cid,
+            write_frac=0.5,
+            ilp=ILP_MODERATE,
+        )
         return [PhaseSpec([comp], [1.0], total, mean_gap=12.0)]
 
     return phased_workload(
-        name="pingpong", suite="synthetic", kind="synthetic",
-        phase_factory=phase_factory, n_cores=n_cores,
-        accesses_per_core=total, footprint_bytes=shared.size,
-        shared_bytes=shared.size, seed=seed,
+        name="pingpong",
+        suite="synthetic",
+        kind="synthetic",
+        phase_factory=phase_factory,
+        n_cores=n_cores,
+        accesses_per_core=total,
+        footprint_bytes=shared.size,
+        shared_bytes=shared.size,
+        seed=seed,
         description="64KB shared RMW ping-pong (test workload)",
     )
 

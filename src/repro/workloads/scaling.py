@@ -59,10 +59,14 @@ def check_scale(scale: float) -> float:
     return scale
 
 
-def hot_set_lines(weight: float, write_frac: float, mean_gap: float,
-                  issue_width: int = 4, tail_margin: float = 7.0) -> int:
-    """Largest hot set whose *L2-visible* reuse never crosses the smallest
-    decay time.
+def hot_set_lines(
+    weight: float,
+    write_frac: float,
+    mean_gap: float,
+    issue_width: int = 4,
+    tail_margin: float = 7.0,
+) -> int:
+    """Largest hot set whose L2-visible reuse stays under the smallest decay time.
 
     The L1 absorbs hot *loads*; the private L2 sees a hot line only when a
     buffered store to it drains.  The per-line L2 touch interval is

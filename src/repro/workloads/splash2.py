@@ -33,8 +33,11 @@ from .profiles import ComponentSpec, Profile, RegionSpec, build_profile_workload
 from .trace import Workload
 
 WATER_NS = Profile(
-    name="water_ns", suite="splash2", kind="scientific",
-    n_phases=8, mean_gap=10.0,
+    name="water_ns",
+    suite="splash2",
+    kind="scientific",
+    n_phases=8,
+    mean_gap=10.0,
     description="N-body MD: migratory molecule records, 8 barrier phases",
     regions=(
         RegionSpec("wdata", 640),                  # per-core molecule partitions
@@ -43,23 +46,39 @@ WATER_NS = Profile(
     ),
     components=(
         ComponentSpec("hot", "wdata", weight=0.772, write_frac=0.40, name="hot"),
-        ComponentSpec("hot", "wforcetab", weight=0.16, write_frac=0.25,
-                      name="tables"),
-        ComponentSpec("cold", "wdata", weight=0.018, write_frac=0.55,
-                      name="cdata"),
+        ComponentSpec("hot", "wforcetab", weight=0.16, write_frac=0.25, name="tables"),
+        ComponentSpec("cold", "wdata", weight=0.018, write_frac=0.55, name="cdata"),
         # Inter-timestep molecule revisits: survive 128K/512K, die at 64K.
-        ComponentSpec("trail", "wdata", weight=0.010, write_frac=0.50,
-                      lag_units=1.4, ref="cdata", name="t1"),
+        ComponentSpec(
+            "trail",
+            "wdata",
+            weight=0.010,
+            write_frac=0.50,
+            lag_units=1.4,
+            ref="cdata",
+            name="t1",
+        ),
         # Long-range interactions: beyond every decay time.
-        ComponentSpec("trail", "wdata", weight=0.004, write_frac=0.05,
-                      lag_units=12.0, ref="cdata", ilp="dep", name="t2"),
+        ComponentSpec(
+            "trail",
+            "wdata",
+            weight=0.004,
+            write_frac=0.05,
+            lag_units=12.0,
+            ref="cdata",
+            ilp="dep",
+            name="t2",
+        ),
         ComponentSpec("migratory", "wmolecules", weight=0.036, name="mig"),
     ),
 )
 
 FMM = Profile(
-    name="fmm", suite="splash2", kind="scientific",
-    n_phases=4, mean_gap=9.0,
+    name="fmm",
+    suite="splash2",
+    kind="scientific",
+    n_phases=4,
+    mean_gap=9.0,
     description="Fast multipole: dependent tree chases, dirty node updates",
     regions=(
         RegionSpec("ftree", 640),                  # per-core octree partitions
@@ -68,27 +87,42 @@ FMM = Profile(
         RegionSpec("fbuffer", 64, shared=True),    # phase exchange buffer
     ),
     components=(
-        ComponentSpec("hot", "fparticles", weight=0.775, write_frac=0.45,
-                      name="hot"),
-        ComponentSpec("hot", "flists", weight=0.13, write_frac=0.20,
-                      name="lists"),
+        ComponentSpec("hot", "fparticles", weight=0.775, write_frac=0.45, name="hot"),
+        ComponentSpec("hot", "flists", weight=0.13, write_frac=0.20, name="lists"),
         # Tree traversals: wrap period ~6 decay units — only 512K keeps the
         # tree warm between passes; loads are dependent (fully exposed).
-        ComponentSpec("pchase", "ftree", weight=0.025, write_frac=0.60,
-                      lag_units=2.5, name="chase"),
-        ComponentSpec("cold", "ftree", weight=0.012, write_frac=0.50,
-                      name="ctree"),
-        ComponentSpec("cold", "fparticles", weight=0.010, write_frac=0.35,
-                      name="cpart"),
-        ComponentSpec("trail", "fparticles", weight=0.008, write_frac=0.20,
-                      lag_units=3.0, ref="cpart", ilp="dep", name="t1"),
+        ComponentSpec(
+            "pchase",
+            "ftree",
+            weight=0.025,
+            write_frac=0.60,
+            lag_units=2.5,
+            name="chase",
+        ),
+        ComponentSpec("cold", "ftree", weight=0.012, write_frac=0.50, name="ctree"),
+        ComponentSpec(
+            "cold", "fparticles", weight=0.010, write_frac=0.35, name="cpart"
+        ),
+        ComponentSpec(
+            "trail",
+            "fparticles",
+            weight=0.008,
+            write_frac=0.20,
+            lag_units=3.0,
+            ref="cpart",
+            ilp="dep",
+            name="t1",
+        ),
         ComponentSpec("prodcons", "fbuffer", weight=0.040, name="exchange"),
     ),
 )
 
 VOLREND = Profile(
-    name="volrend", suite="splash2", kind="scientific",
-    n_phases=4, mean_gap=12.0,
+    name="volrend",
+    suite="splash2",
+    kind="scientific",
+    n_phases=4,
+    mean_gap=12.0,
     description="Volume rendering: read-shared volume, decay-time-sensitive reuse",
     regions=(
         RegionSpec("vrays", 256),                  # per-core ray buffers
@@ -97,36 +131,50 @@ VOLREND = Profile(
     ),
     components=(
         ComponentSpec("hot", "vrays", weight=0.724, write_frac=0.30, name="hot"),
-        ComponentSpec("hot", "vrays", weight=0.135, write_frac=0.25,
-                      name="octtab"),
+        ComponentSpec("hot", "vrays", weight=0.135, write_frac=0.25, name="octtab"),
         ComponentSpec("sweep", "vvolume", weight=0.018, name="vol"),
         # Octree/transfer-function re-reads at 2.5 decay units: kept only
         # by the 512K decay — the Fig 6(b) "larger decay helps VOLREND".
-        ComponentSpec("trail", "vvolume", weight=0.010, write_frac=0.0,
-                      lag_units=2.5, ref="vol", name="tmid"),
-        ComponentSpec("trail", "vvolume", weight=0.055, write_frac=0.0,
-                      lag_units=0.3, ref="vol", name="tshort"),
-        ComponentSpec("cold", "vrays", weight=0.008, write_frac=0.40,
-                      name="crays"),
-        ComponentSpec("hot", "vtaskq", weight=0.050, write_frac=0.50,
-                      name="taskq"),
+        ComponentSpec(
+            "trail",
+            "vvolume",
+            weight=0.010,
+            write_frac=0.0,
+            lag_units=2.5,
+            ref="vol",
+            name="tmid",
+        ),
+        ComponentSpec(
+            "trail",
+            "vvolume",
+            weight=0.055,
+            write_frac=0.0,
+            lag_units=0.3,
+            ref="vol",
+            name="tshort",
+        ),
+        ComponentSpec("cold", "vrays", weight=0.008, write_frac=0.40, name="crays"),
+        ComponentSpec("hot", "vtaskq", weight=0.050, write_frac=0.50, name="taskq"),
     ),
 )
 
 
-def water_ns(n_cores: int = 4, scale: float = 1.0, seed: int = 1,
-             line_bytes: int = 64) -> Workload:
+def water_ns(
+    n_cores: int = 4, scale: float = 1.0, seed: int = 1, line_bytes: int = 64
+) -> Workload:
     """WATER-NS: N-body molecular dynamics with migratory molecule records."""
     return build_profile_workload(WATER_NS, n_cores, scale, seed, line_bytes)
 
 
-def fmm(n_cores: int = 4, scale: float = 1.0, seed: int = 1,
-        line_bytes: int = 64) -> Workload:
+def fmm(
+    n_cores: int = 4, scale: float = 1.0, seed: int = 1, line_bytes: int = 64
+) -> Workload:
     """FMM: fast multipole method — tree chase, heavy node updates."""
     return build_profile_workload(FMM, n_cores, scale, seed, line_bytes)
 
 
-def volrend(n_cores: int = 4, scale: float = 1.0, seed: int = 1,
-            line_bytes: int = 64) -> Workload:
+def volrend(
+    n_cores: int = 4, scale: float = 1.0, seed: int = 1, line_bytes: int = 64
+) -> Workload:
     """VOLREND: ray-casting over a read-only shared volume."""
     return build_profile_workload(VOLREND, n_cores, scale, seed, line_bytes)

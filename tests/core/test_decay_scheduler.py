@@ -105,3 +105,103 @@ class TestProcessing:
         sch.process_until(1000, lambda c, f, t: ps[c].on_clear(f))
         assert sch.pops == 1
         assert sch.fires == 1
+
+
+class TestAccounting:
+    """pops/refreshes/fires bookkeeping: the amortized-O(1) contract.
+
+    The flat-array engine inlines both sides of the scheduler protocol
+    (the L2 pushes events and the scheduler recomputes deadlines from the
+    policy columns), so these tests pin the exact counter accounting under
+    touch-after-arm, disarm-before-fire, and re-arm storms — any change in
+    amortized behavior shows up as a counter drift.
+    """
+
+    def test_touch_after_arm_costs_one_refresh(self):
+        ps, sch = make(decay=1000)
+        ps[0].on_fill(2, E, 0)
+        sch.ensure(0, 2)
+        for t in range(100, 900, 100):  # 8 touches, no ensure needed
+            ps[0].on_touch(2, E, t)
+        fired = []
+        sch.process_until(5000, lambda c, f, t: fired.append(t))
+        # one stale pop -> one refresh, then the refreshed event fires
+        assert fired == [1800]
+        assert (sch.pops, sch.refreshes, sch.fires) == (2, 1, 1)
+
+    def test_disarm_before_fire_pops_without_firing(self):
+        ps, sch = make(decay=1000)
+        ps[0].on_fill(2, E, 0)
+        sch.ensure(0, 2)
+        ps[0].on_clear(2)  # invalidated before the deadline
+        assert sch.process_until(5000, lambda *a: 1 / 0) == 0
+        assert (sch.pops, sch.refreshes, sch.fires) == (1, 0, 0)
+        assert sch.outstanding() == 0
+        assert not sch.has_pending(0, 2)
+
+    def test_disarm_then_rearm_before_pop_refreshes(self):
+        # A clear+refill between scheduling and the pop must behave like a
+        # touch: the stale event refreshes to the new deadline, it never
+        # fires at the dead line's deadline.
+        ps, sch = make(decay=1000)
+        ps[0].on_fill(2, E, 0)
+        sch.ensure(0, 2)
+        ps[0].on_clear(2)          # line dies at t=400 ...
+        ps[0].on_fill(2, E, 500)   # ... frame refilled at t=500
+        sch.ensure(0, 2)           # no-op: event still pending
+        assert sch.outstanding() == 1
+        fired = []
+        sch.process_until(5000, lambda c, f, t: fired.append(t))
+        assert fired == [1500]
+        assert (sch.pops, sch.refreshes, sch.fires) == (2, 1, 1)
+
+    def test_rearm_storm_keeps_one_event_and_two_pops(self):
+        ps, sch = make(decay=1000)
+        ps[0].on_fill(0, E, 0)
+        sch.ensure(0, 0)
+        for t in range(1, 500):  # 499 touches back-to-back
+            ps[0].on_touch(0, E, t)
+        assert sch.outstanding() == 1  # storms never grow the heap
+        sch.process_until(1400, lambda *a: 1 / 0)
+        assert (sch.pops, sch.refreshes, sch.fires) == (1, 1, 0)
+        assert sch.outstanding() == 1  # refreshed to t=1499
+        fired = []
+        sch.process_until(1499, lambda c, f, t: fired.append(t))
+        assert fired == [1499]
+        assert (sch.pops, sch.refreshes, sch.fires) == (2, 1, 1)
+
+    def test_selective_disarm_by_modified_then_downgrade(self):
+        from repro.core.policy import SelectiveDecayPolicy
+        from repro.coherence.states import M, S
+
+        pol = SelectiveDecayPolicy(8, DecayTimer(1000))
+        sch = DecayScheduler([pol])
+        pol.on_fill(3, E, 0)
+        sch.ensure(0, 3)
+        pol.on_state_change(3, E, M, 400)  # store: decay must stop
+        assert sch.process_until(5000, lambda *a: 1 / 0) == 0
+        assert (sch.pops, sch.refreshes, sch.fires) == (1, 0, 0)
+        pol.on_state_change(3, M, S, 6000)  # downgrade re-arms
+        sch.ensure(0, 3)
+        fired = []
+        sch.process_until(7000, lambda c, f, t: fired.append(t))
+        assert fired == [7000]
+        assert (sch.pops, sch.refreshes, sch.fires) == (2, 0, 1)
+
+    def test_builtin_subclass_overrides_are_honored(self):
+        # A subclass of a built-in policy may override deadline(); the
+        # scheduler must dispatch virtually instead of hijacking it with
+        # the inlined fixed-decay column formula.
+        class GracePeriod(FixedDecayPolicy):
+            def deadline(self, frame):
+                base = super().deadline(frame)
+                return base if base < 0 else base + 1000
+
+        pol = GracePeriod(8, DecayTimer(1000))
+        sch = DecayScheduler([pol])
+        pol.on_fill(2, E, 0)
+        sch.ensure(0, 2)
+        assert sch.next_due() == 2000  # override, not the built-in 1000
+        fired = []
+        sch.process_until(5000, lambda c, f, t: fired.append(t))
+        assert fired == [2000]

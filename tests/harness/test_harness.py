@@ -87,27 +87,16 @@ class TestRunnerCaching:
         assert runner.point_key(other) != runner.point_key(point)
 
 
-class TestTripleShims:
-    """The deprecated (workload, total_mb, technique) spellings."""
+class TestRunnerRejectsTriples:
+    """The deprecated (workload, total_mb, technique) shims are gone."""
 
-    def test_triple_run_point_warns_and_matches(self, runner):
-        point = runner.point("uniform", 1, "protocol")
-        res, energy = runner.run_point(point)
-        with pytest.deprecated_call():
-            res2, energy2 = runner.run_point("uniform", 1, "protocol")
-        assert res2 is res and energy2 is energy
+    def test_run_point_requires_a_sweep_point(self, runner):
+        with pytest.raises(TypeError):
+            runner.run_point("uniform", 1, "protocol")
 
-    def test_triple_point_key_matches(self, runner):
-        point = runner.point("uniform", 1, "protocol")
-        with pytest.deprecated_call():
-            key = runner.point_key("uniform", 1, "protocol")
-        assert key == runner.point_key(point)
-
-    def test_triple_metrics_for_matches(self, runner):
-        m_new = runner.metrics_for(runner.point("uniform", 1, "protocol"))
-        with pytest.deprecated_call():
-            m_old = runner.metrics_for("uniform", 1, "protocol")
-        assert m_old == m_new
+    def test_point_key_requires_a_sweep_point(self, runner):
+        with pytest.raises(TypeError):
+            runner.point_key("uniform", 1, "protocol")
 
 
 class TestFigureTable:

@@ -434,3 +434,44 @@ class TestRunnerIntegration:
         assert len(res.cores) == 2
         assert runner.lookup(point) is not None
         assert runner.lookup(runner.point("uniform", 1, "protocol")) is None
+
+
+class TestNonBareTechniqueLabels:
+    """Labels like ``decay@16K`` must survive the TOML round trip.
+
+    The emitter used to write them unquoted in ``[techniques.<label>]``
+    headers, producing invalid TOML that tomllib rejected on replay
+    (exactly what ``examples/decay_tuning.py --save`` generates).
+    """
+
+    @staticmethod
+    def _spec_with_odd_labels() -> ExperimentSpec:
+        return ExperimentSpec(
+            name="odd_labels",
+            workloads=("uniform",),
+            sizes_mb=(1,),
+            techniques=("baseline", "decay@16K", "sel decay.v2"),
+            custom_techniques={
+                "decay@16K": TechniqueConfig(name="decay", decay_cycles=16_000),
+                "sel decay.v2": TechniqueConfig(
+                    name="selective_decay", decay_cycles=64_000
+                ),
+            },
+        )
+
+    def test_toml_roundtrip_quotes_headers(self, tmp_path):
+        spec = self._spec_with_odd_labels()
+        path = str(tmp_path / "odd.toml")
+        save_spec(spec, path)
+        text = open(path).read()
+        assert '[techniques."decay@16K"]' in text
+        assert '[techniques."sel decay.v2"]' in text
+        assert load_spec(path) == spec
+
+    def test_minimal_parser_agrees_on_quoted_headers(self):
+        text = self._spec_with_odd_labels().to_toml()
+        assert parse_toml_minimal(text) == loads_toml(text)
+
+    def test_quoted_key_with_dot_is_one_part(self):
+        doc = parse_toml_minimal('[techniques."a.b"]\nx = 1\n')
+        assert doc == {"techniques": {"a.b": {"x": 1}}}

@@ -1,0 +1,87 @@
+"""Bit-identity of the flat-array engine against the seed engine.
+
+The struct-of-arrays rewrite (flat tag/state/stamp columns, fused
+L1-hit/store fast paths, inlined decay bookkeeping) must be a pure
+performance change: the metric blobs it writes into the result cache have
+to be **byte-identical** to the ones the object-per-line seed engine
+produced.  ``tests/golden/seed_engine_blobs.json`` pins the sha256 of
+every raw cache blob for a smoke slice of ``specs/paper_matrix.toml``
+(all 8 technique configs at one size, a second size, plus warmup
+overrides), captured from the seed engine at the commit boundary.
+
+If a deliberate semantic change ever invalidates these digests, recapture
+them *from a trusted engine build* and bump
+``repro.harness.runner.CACHE_VERSION`` in the same commit — the golden
+file and the cache schema version must move together.
+"""
+
+import hashlib
+import json
+import os
+from dataclasses import replace
+
+import pytest
+
+from repro.harness.runner import SweepRunner
+from repro.harness.spec import load_spec
+
+HERE = os.path.dirname(__file__)
+GOLDEN_PATH = os.path.join(HERE, "..", "golden", "seed_engine_blobs.json")
+SPEC_PATH = os.path.join(HERE, "..", "..", "specs", "paper_matrix.toml")
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(GOLDEN_PATH) as fh:
+        return json.load(fh)
+
+
+def make_runner(golden, tmp_path_factory, name):
+    return SweepRunner(
+        scale=golden["scale"],
+        seed=golden["seed"],
+        n_cores=golden["n_cores"],
+        cache_dir=str(tmp_path_factory.mktemp(name) / "cache"),
+        verbose=False,
+    )
+
+
+def blob_digest(runner, point):
+    runner.run_point(point)
+    key = runner.point_key(point)
+    with open(runner.cache.path_for(key), "rb") as fh:
+        return key, hashlib.sha256(fh.read()).hexdigest()
+
+
+def matrix_slice(runner, workload, total_mb):
+    """The paper-matrix points for one (workload, size) cell, all 8 techs."""
+    spec = load_spec(SPEC_PATH)
+    points = [
+        p
+        for p in runner.expand_spec(spec)
+        if p.workload == workload and p.total_mb == total_mb
+    ]
+    assert len(points) == 8, "paper matrix must expand to 8 technique configs"
+    return points
+
+
+class TestBlobIdentity:
+    def test_smoke_slice_all_techniques(self, golden, tmp_path_factory):
+        """mpeg2enc @ 1MB across every technique config of the matrix."""
+        runner = make_runner(golden, tmp_path_factory, "fast")
+        produced = dict(
+            blob_digest(runner, p) for p in matrix_slice(runner, "mpeg2enc", 1)
+        )
+        assert produced == golden["fast"]
+
+    @pytest.mark.slow
+    def test_second_size_and_warmup_overrides(self, golden, tmp_path_factory):
+        """water_ns @ 2MB (all techniques) + warmup-0 override points."""
+        runner = make_runner(golden, tmp_path_factory, "slow")
+        points = matrix_slice(runner, "water_ns", 2)
+        points += [
+            replace(runner.point("mpeg2enc", 1, tech), warmup=0.0)
+            for tech in ("protocol", "decay64K")
+        ]
+        produced = dict(blob_digest(runner, p) for p in points)
+        assert produced == golden["slow"]
