@@ -73,7 +73,12 @@ class CacheArray:
         self.repl: ReplacementPolicy = policy
         #: the LRU policy when active, else None — fused fast paths branch
         #: on this to inline the one-slot stamp write
-        self.lru: Optional[LRUPolicy] = policy if isinstance(policy, LRUPolicy) else None
+        # exact-type gate, not isinstance: a subclass overriding the
+        # recency hooks must never be hijacked by the inlined stamp
+        # writes (same discipline as repro.core.policy.fast_touch_kind)
+        self.lru: Optional[LRUPolicy] = (
+            policy if type(policy) is LRUPolicy else None
+        )
         #: cache-wide residency map (line_addr -> frame)
         self.line_to_frame: Dict[int, int] = {}
         self._assoc = geometry.assoc

@@ -46,7 +46,9 @@ class CacheGeometry:
 
     def __post_init__(self) -> None:
         if not is_pow2(self.line_bytes):
-            raise ValueError(f"line_bytes must be a power of two, got {self.line_bytes}")
+            raise ValueError(
+                f"line_bytes must be a power of two, got {self.line_bytes}"
+            )
         if self.assoc <= 0:
             raise ValueError(f"assoc must be positive, got {self.assoc}")
         if self.size_bytes <= 0 or self.size_bytes % (self.line_bytes * self.assoc):

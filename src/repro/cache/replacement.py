@@ -99,18 +99,22 @@ class LRUPolicy(ReplacementPolicy):
     def __init__(self, n_sets: int, assoc: int) -> None:
         super().__init__(n_sets, assoc)
         # Flat stamp column: each set starts with way 0 most recent.
-        self.stamp: List[int] = [assoc - 1 - w for _ in range(n_sets) for w in range(assoc)]
+        self.stamp: List[int] = [
+            assoc - 1 - w for _ in range(n_sets) for w in range(assoc)
+        ]
         #: next reference stamp (strictly above every stamp ever issued)
         self.next_stamp = assoc
         #: next invalidation stamp (strictly below every stamp ever issued)
         self._demote_stamp = -1
 
     def on_access(self, set_idx: int, way: int) -> None:
+        """Stamp ``way`` with the next (highest) reference stamp."""
         ns = self.next_stamp
         self.stamp[set_idx * self.assoc + way] = ns
         self.next_stamp = ns + 1
 
     def on_invalidate(self, set_idx: int, way: int) -> None:
+        """Stamp ``way`` below every live stamp (preferred victim)."""
         ds = self._demote_stamp
         self.stamp[set_idx * self.assoc + way] = ds
         self._demote_stamp = ds - 1
@@ -118,6 +122,7 @@ class LRUPolicy(ReplacementPolicy):
     def victim(
         self, set_idx: int, blocked: Optional[Callable[[int], bool]] = None
     ) -> int:
+        """Smallest-stamp way of the set (first non-blocked one)."""
         assoc = self.assoc
         base = set_idx * assoc
         stamp = self.stamp
@@ -130,6 +135,7 @@ class LRUPolicy(ReplacementPolicy):
         return -1
 
     def recency_order(self, set_idx: int) -> List[int]:
+        """Ways in descending-stamp (MRU-first) order."""
         base = set_idx * self.assoc
         stamp = self.stamp
         return sorted(range(self.assoc), key=lambda w: -stamp[base + w])
@@ -156,6 +162,7 @@ class TreePLRUPolicy(ReplacementPolicy):
         self._bits = bytearray(n_sets * self._stride)
 
     def on_access(self, set_idx: int, way: int) -> None:
+        """Point the bits along ``way``'s path away from it."""
         if self.assoc == 1:
             return
         bits = self._bits
@@ -168,6 +175,7 @@ class TreePLRUPolicy(ReplacementPolicy):
             node = 2 * node + 1 + bit
 
     def on_invalidate(self, set_idx: int, way: int) -> None:
+        """Point the bits along ``way``'s path toward it (next victim)."""
         if self.assoc == 1:
             return
         bits = self._bits
@@ -182,6 +190,7 @@ class TreePLRUPolicy(ReplacementPolicy):
     def victim(
         self, set_idx: int, blocked: Optional[Callable[[int], bool]] = None
     ) -> int:
+        """Follow the direction bits from the root to the PLRU leaf."""
         if self.assoc == 1:
             if blocked is not None and blocked(0):
                 return -1
@@ -205,8 +214,11 @@ class TreePLRUPolicy(ReplacementPolicy):
         return -1
 
     def recency_order(self, set_idx: int) -> List[int]:
-        # PLRU has no total order; return victim-last ordering by repeatedly
-        # simulating victims on a scratch copy (test helper only).
+        """Victim-last pseudo-order from repeated simulated evictions.
+
+        PLRU has no total order; this replays victims on a scratch copy
+        of the set's bits (test helper only).
+        """
         order: List[int] = []
         base = set_idx * self._stride
         saved = bytes(self._bits[base : base + self._stride])
@@ -232,14 +244,17 @@ class RandomPolicy(ReplacementPolicy):
         self._rng = random.Random(seed)
 
     def on_access(self, set_idx: int, way: int) -> None:  # noqa: ARG002
+        """References carry no state for random replacement."""
         return
 
     def on_invalidate(self, set_idx: int, way: int) -> None:  # noqa: ARG002
+        """Invalidations carry no state for random replacement."""
         return
 
     def victim(
         self, set_idx: int, blocked: Optional[Callable[[int], bool]] = None
     ) -> int:
+        """Draw a random start way; scan forward past blocked ways."""
         start = self._rng.randrange(self.assoc)
         for off in range(self.assoc):
             way = (start + off) % self.assoc
@@ -248,6 +263,7 @@ class RandomPolicy(ReplacementPolicy):
         return -1
 
     def recency_order(self, set_idx: int) -> List[int]:
+        """Way order (random replacement tracks no recency)."""
         return list(range(self.assoc))
 
 
@@ -259,7 +275,7 @@ _POLICIES = {
 
 
 def make_policy(name: str, n_sets: int, assoc: int) -> ReplacementPolicy:
-    """Factory: build a replacement policy by name (``lru``/``tree-plru``/``random``)."""
+    """Build a replacement policy by name (``lru``/``tree-plru``/``random``)."""
     try:
         cls = _POLICIES[name]
     except KeyError:

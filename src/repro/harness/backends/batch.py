@@ -131,6 +131,8 @@ def run_batch_worker(
         cache_dir=worker_result_dir(queue_dir, wid),
         **payload["params"],
     )
+    runner.backend_label = "batch"
+    runner.worker_id = wid
     done = 0
     for point in payload["points"][index::modulus]:
         if runner.lookup(point) is None:

@@ -38,6 +38,7 @@ def _init_worker(params: dict) -> None:
     """Pool initializer: build this worker's serial runner."""
     global _WORKER_RUNNER
     _WORKER_RUNNER = SweepRunner(verbose=False, **params)
+    _WORKER_RUNNER.backend_label = "local"
 
 
 def _run_point(point_dict: dict) -> Tuple[dict, dict, dict]:

@@ -200,8 +200,20 @@ class _TaskServer(socketserver.ThreadingTCPServer):
             self._completed.add(point)
             self.failures.pop(point, None)
         # install outside the lock: determinism makes re-installation of a
-        # duplicate byte-identical, so ordering between racers is moot
-        self.runner.install(point, res, energy)
+        # duplicate byte-identical, so ordering between racers is moot —
+        # but provenance (worker name, timestamp) is NOT byte-identical
+        # across racers, so only the first completion records it; a late
+        # duplicate must not overwrite the original producer's sidecar
+        self.runner.install(
+            point,
+            res,
+            energy,
+            provenance=(
+                None
+                if duplicate
+                else self.runner.provenance(worker=worker, backend="socket")
+            ),
+        )
         if self.runner.verbose and not duplicate:
             print(
                 f"[sweep:socket] {len(self._completed)}/{self.total} done: "

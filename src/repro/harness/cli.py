@@ -16,10 +16,19 @@ Examples::
 Experiment specs (the declarative scenario API; see ``specs/``)::
 
     repro-cmp spec validate specs/*.toml           # lint scenario files
-    repro-cmp spec expand specs/paper_matrix.toml  # list the points
+    repro-cmp spec expand specs/paper_matrix.toml  # list points (by digest)
+    repro-cmp spec diff specs/a.toml specs/b.toml  # compare two point sets
     repro-cmp spec load specs/paper_matrix.toml    # normalized JSON form
     repro-cmp run specs/paper_matrix.toml --jobs 8 # execute a scenario
     repro-cmp run my_scenario.toml --backend batch --csv out.csv
+    repro-cmp run specs/smoke.toml --replicas 5    # seed ensemble + 95% CIs
+
+Scenario families and ensembles (see ``repro.scenarios``)::
+
+    repro-cmp scenario list                        # registered families
+    repro-cmp scenario expand sizing_sensitivity   # points of one family
+    repro-cmp scenario run mix_smoke --replicas 2 --scale 0.05
+    repro-cmp scenario save core_scaling my.toml   # freeze one as a file
 
 Distributed sweeps (see ``docs/architecture.md``)::
 
@@ -48,10 +57,18 @@ from .backends import (
     worker_main,
 )
 from .executor import ParallelSweepRunner
-from .figures import EXPERIMENTS, FigureTable, run_experiment, table1
+from .figures import (
+    EXPERIMENTS,
+    FigureTable,
+    ensemble_table,
+    format_cores,
+    run_experiment,
+    show_cores_column,
+    table1,
+)
 from .result_cache import ResultCache
 from .runner import CACHE_VERSION, SweepRunner
-from .spec import SpecError, load_spec
+from .spec import SpecError, load_spec, save_spec
 
 #: default workload time-dilation when neither flag nor spec sets one
 DEFAULT_SCALE = 0.1
@@ -70,7 +87,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "command",
         help="experiment id (fig3a..fig6b, table1), 'list', 'point', "
-        "'spec', 'run', 'cache', 'serve', or 'work'",
+        "'spec', 'scenario', 'run', 'cache', 'serve', or 'work'",
     )
     p.add_argument("args", nargs="*", help="command-specific arguments")
     p.add_argument(
@@ -82,6 +99,15 @@ def build_parser() -> argparse.ArgumentParser:
         "table supplies the default for 'run')",
     )
     p.add_argument("--seed", type=int, default=None)
+    p.add_argument(
+        "--replicas",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run the spec/scenario as an N-seed ensemble and report "
+        "mean ± 95%% CI tables (default: the spec's [ensemble] table, "
+        "else a single run)",
+    )
     p.add_argument(
         "--sizes",
         type=str,
@@ -288,27 +314,115 @@ def _spec_paths(patterns: List[str]) -> List[str]:
     return paths
 
 
+def _load_expanded(path: str, cli_scale: Optional[float]):
+    """Load + strictly validate a spec file and expand its points.
+
+    Scale resolves exactly like ``repro-cmp run`` would for this file,
+    so the expanded configs/digests match what a run of the same spec
+    executes.  Returns ``(spec, scale, points)``.
+    """
+    spec = load_spec(path)
+    spec.validate(strict=True)
+    ctx = spec.context(scale=cli_scale)
+    scale = ctx.get("scale", DEFAULT_SCALE)
+    return spec, scale, spec.expand(scale=scale)
+
+
+def _print_points(points) -> None:
+    """One line per point, deterministically ordered by digest.
+
+    Sorting by the process-independent digest keeps ``spec expand``
+    output byte-stable across ``PYTHONHASHSEED`` values and worker
+    interleavings — what spec diffs and CI logs compare against.
+    """
+    for digest, point in sorted((p.digest(), p) for p in points):
+        print(f"{point.describe():40s} digest={digest[:12]}")
+
+
+def _spec_diff(args: argparse.Namespace, patterns: List[str]) -> int:
+    """Run ``repro-cmp spec diff A B``: compare expanded point sets."""
+    if len(patterns) != 2:
+        print(
+            "usage: repro-cmp spec diff <A.toml|json> <B.toml|json>",
+            file=sys.stderr,
+        )
+        return 2
+    expanded = []
+    for path in patterns:
+        try:
+            expanded.append(_load_expanded(path, args.scale))
+        except (OSError, SpecError) as exc:
+            print(f"{path}: INVALID: {exc}", file=sys.stderr)
+            return 2
+    (_, _, points_a), (_, _, points_b) = expanded
+    by_digest_a = {p.digest(): p for p in points_a}
+    by_digest_b = {p.digest(): p for p in points_b}
+    only_a = {d: p for d, p in by_digest_a.items() if d not in by_digest_b}
+    only_b = {d: p for d, p in by_digest_b.items() if d not in by_digest_a}
+    # "changed" = a triple that lost a digest on one side and gained a
+    # new one on the other (same coordinates, different resolved
+    # hardware/context).  Pairing is per triple and *counted*: a triple
+    # that lost 1 digest but gained 2 is one change plus one addition —
+    # surplus digests on either side are never silently dropped
+    lost_by_triple: dict = {}
+    for digest, point in only_a.items():
+        lost_by_triple.setdefault(point.triple, []).append(digest)
+    gained_by_triple: dict = {}
+    for digest, point in only_b.items():
+        gained_by_triple.setdefault(point.triple, []).append(digest)
+    changed_a: set = set()
+    changed_b: set = set()
+    for triple, lost in lost_by_triple.items():
+        gained = gained_by_triple.get(triple, [])
+        for digest_a, digest_b in zip(sorted(lost), sorted(gained)):
+            changed_a.add(digest_a)
+            changed_b.add(digest_b)
+    added = removed = changed = 0
+    for digest in sorted(only_a):
+        point = only_a[digest]
+        kind = "~" if digest in changed_a else "-"
+        changed += kind == "~"
+        removed += kind == "-"
+        print(f"{kind} {point.describe():40s} digest={digest[:12]}")
+    for digest in sorted(only_b):
+        point = only_b[digest]
+        # each paired B digest was reported as changed ("~") from A's side
+        if digest in changed_b:
+            continue
+        added += 1
+        print(f"+ {point.describe():40s} digest={digest[:12]}")
+    if not (added or removed or changed):
+        print(
+            f"identical: {len(points_a)} points "
+            f"({patterns[0]} == {patterns[1]})"
+        )
+        return 0
+    print(
+        f"differ: {added} added, {removed} removed, {changed} changed "
+        f"({len(points_a)} -> {len(points_b)} points)"
+    )
+    return 1
+
+
 def _spec_command(args: argparse.Namespace) -> int:
-    """Run ``repro-cmp spec validate|expand|load <file>...``."""
-    usage = "usage: repro-cmp spec [validate|expand|load] <spec.toml|json>..."
+    """Run ``repro-cmp spec validate|expand|load|diff <file>...``."""
+    usage = (
+        "usage: repro-cmp spec [validate|expand|load] <spec.toml|json>... "
+        "| spec diff A B"
+    )
     if not args.args:
         print(usage, file=sys.stderr)
         return 2
     sub, *patterns = args.args
+    if sub == "diff":
+        return _spec_diff(args, patterns)
     if sub not in ("validate", "expand", "load") or not patterns:
         print(usage, file=sys.stderr)
         return 2
     status = 0
     for path in _spec_paths(patterns):
         try:
-            spec = load_spec(path)
-            spec.validate(strict=True)
-            # resolve scale exactly like `repro-cmp run` would for this
-            # file, so the expanded configs/digests match what a run of
-            # the same spec executes
-            ctx = spec.context(scale=args.scale)
-            scale = ctx.get("scale", DEFAULT_SCALE)
-            points = spec.expand(scale=scale)
+            spec, scale, points = _load_expanded(path, args.scale)
         except (OSError, SpecError) as exc:
             print(f"{path}: INVALID: {exc}", file=sys.stderr)
             status = 1
@@ -319,19 +433,25 @@ def _spec_command(args: argparse.Namespace) -> int:
             sys.stdout.write(spec.to_json())
         else:  # expand
             print(f"# {spec.name}: {len(points)} points (scale={scale})")
-            for point in points:
-                print(f"{point.describe():40s} digest={point.digest()[:12]}")
+            _print_points(points)
     return status
 
 
 def _metrics_table(spec_name: str, metrics) -> FigureTable:
-    """Flat per-point metric table for ``repro-cmp run`` output."""
+    """Flat per-point metric table for ``repro-cmp run`` output.
+
+    A ``cores`` column appears only when some point pins ``n_cores``
+    (e.g. the core-scaling family; see
+    :func:`~repro.harness.figures.show_cores_column`).
+    """
+    show_cores = show_cores_column(metrics)
     table = FigureTable(
         exp_id=spec_name,
         title="experiment spec results",
         columns=[
-            "workload", "MB", "technique", "energy_red", "ipc_loss",
-            "occupancy", "miss_rate",
+            "workload", "MB",
+            *(["cores"] if show_cores else []),
+            "technique", "energy_red", "ipc_loss", "occupancy", "miss_rate",
         ],
     )
     for i, m in enumerate(metrics):
@@ -340,6 +460,7 @@ def _metrics_table(spec_name: str, metrics) -> FigureTable:
             [
                 m.workload,
                 str(m.total_mb),
+                *([format_cores(m.n_cores)] if show_cores else []),
                 m.technique,
                 f"{m.energy_reduction * 100:.1f}%",
                 f"{m.ipc_loss * 100:.1f}%",
@@ -350,12 +471,64 @@ def _metrics_table(spec_name: str, metrics) -> FigureTable:
     return table
 
 
+def _emit_table(args: argparse.Namespace, table: FigureTable) -> None:
+    """Print a result table and honor the ``--csv`` flag."""
+    print(table.render())
+    if args.csv:
+        with open(args.csv, "w", newline="") as fh:
+            fh.write(table.to_csv())
+        if not args.quiet:
+            print(f"[csv] wrote {args.csv}")
+
+
+def _execute_spec(args: argparse.Namespace, spec) -> int:
+    """Run one validated spec (single run, or ensemble) and print tables.
+
+    The ensemble path engages when replication is requested
+    (``--replicas``/``[ensemble] replicas``) **or** the spec pins a
+    ``base_seed`` — a 1-replica ensemble with a pinned seed must still
+    simulate that seed, not the runner default.  A plain spec falls
+    through to the per-point table.
+    """
+    from ..scenarios.ensemble import EnsembleSpec, run_ensemble
+
+    # explicit CLI flags beat the spec's [run] table, which beats the
+    # harness defaults
+    ctx = spec.context(scale=args.scale, seed=args.seed)
+    runner = make_runner(
+        args,
+        scale=ctx.get("scale"),
+        seed=ctx.get("seed"),
+        n_cores=ctx.get("n_cores"),
+        warmup=ctx.get("warmup"),
+    )
+    try:
+        ensemble = EnsembleSpec.from_spec(spec, replicas=args.replicas)
+    except SpecError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if ensemble.replicas > 1 or ensemble.base_seed is not None:
+        result = run_ensemble(runner, ensemble)
+        seeds = ensemble.replica_seeds(runner.seed)
+        table = ensemble_table(
+            spec.name,
+            result.aggregated,
+            title=f"ensemble results, {ensemble.replicas} replica(s) "
+            f"(seeds {seeds[0]}..{seeds[-1]}), mean ± 95% CI",
+        )
+        _emit_table(args, table)
+        return 0
+    metrics = runner.run_spec(runner.expand_spec(spec))
+    _emit_table(args, _metrics_table(spec.name, metrics))
+    return 0
+
+
 def _run_spec_command(args: argparse.Namespace) -> int:
     """Run ``repro-cmp run <spec file>`` through the selected backend."""
     if len(args.args) != 1:
         print(
             "usage: repro-cmp run <spec.toml|spec.json> "
-            "[--backend ...] [--jobs N] [--csv PATH]",
+            "[--backend ...] [--jobs N] [--replicas N] [--csv PATH]",
             file=sys.stderr,
         )
         return 2
@@ -363,29 +536,81 @@ def _run_spec_command(args: argparse.Namespace) -> int:
     try:
         spec = load_spec(path)
         spec.validate(strict=True)
-        # explicit CLI flags beat the spec's [run] table, which beats
-        # the harness defaults
-        ctx = spec.context(scale=args.scale, seed=args.seed)
-        runner = make_runner(
-            args,
-            scale=ctx.get("scale"),
-            seed=ctx.get("seed"),
-            n_cores=ctx.get("n_cores"),
-            warmup=ctx.get("warmup"),
-        )
-        points = runner.expand_spec(spec)
     except (OSError, SpecError) as exc:
         print(f"{path}: INVALID: {exc}", file=sys.stderr)
         return 1
-    metrics = runner.run_spec(points)
-    table = _metrics_table(spec.name, metrics)
-    print(table.render())
-    if args.csv:
-        with open(args.csv, "w", newline="") as fh:
-            fh.write(table.to_csv())
-        if not args.quiet:
-            print(f"[csv] wrote {args.csv}")
-    return 0
+    return _execute_spec(args, spec)
+
+
+def _scenario_command(args: argparse.Namespace) -> int:
+    """Run ``repro-cmp scenario list|expand|run|save ...``.
+
+    Scenario families are registered templates
+    (:mod:`repro.scenarios.templates`) that build ordinary specs;
+    ``run`` executes one through the selected backend — with
+    ``--replicas``/``[ensemble]`` replication — and ``save`` freezes
+    one into a spec file for hand-editing and shipping.
+    """
+    from ..scenarios.templates import get_scenario, scenario_names
+
+    usage = (
+        "usage: repro-cmp scenario list | scenario expand <name> | "
+        "scenario run <name> [--replicas N] [--backend ...] [--csv PATH] "
+        "| scenario save <name> <out.toml|json>"
+    )
+    sub = args.args[0] if args.args else "list"
+    if sub == "list":
+        print("scenario families:")
+        for name in scenario_names():
+            template = get_scenario(name)
+            spec = template.build()
+            replicas = spec.ensemble.get("replicas", 1)
+            print(
+                f"  {name:22s} {len(spec.expand()):4d} points x "
+                f"{replicas} replica(s)  {template.description}"
+            )
+        return 0
+    if sub not in ("expand", "run", "save") or len(args.args) < 2:
+        print(usage, file=sys.stderr)
+        return 2
+    name = args.args[1]
+    try:
+        spec = get_scenario(name).build()
+        spec.validate(strict=True)
+    except (ValueError, SpecError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if sub == "save":
+        if len(args.args) != 3:
+            print(usage, file=sys.stderr)
+            return 2
+        try:
+            print(save_spec(spec, args.args[2]))
+        except (OSError, SpecError) as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        return 0
+    if sub == "expand":
+        from ..scenarios.ensemble import EnsembleSpec
+
+        # resolve scale *and* seed exactly like `scenario run` would, so
+        # the previewed replica seeds match what a run will simulate
+        ctx = spec.context(scale=args.scale, seed=args.seed)
+        scale = ctx.get("scale", DEFAULT_SCALE)
+        points = spec.expand(scale=scale)
+        try:
+            ensemble = EnsembleSpec.from_spec(spec, replicas=args.replicas)
+        except SpecError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        seeds = ensemble.replica_seeds(ctx.get("seed", DEFAULT_SEED))
+        print(
+            f"# {spec.name}: {len(points)} points (scale={scale}), "
+            f"{ensemble.replicas} replica(s), seeds {seeds}"
+        )
+        _print_points(points)
+        return 0
+    return _execute_spec(args, spec)
 
 
 def _serve_command(args: argparse.Namespace) -> int:
@@ -477,6 +702,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "run":
         return _run_spec_command(args)
+
+    if args.command == "scenario":
+        return _scenario_command(args)
 
     if args.command == "serve":
         return _serve_command(args)

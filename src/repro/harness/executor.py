@@ -85,6 +85,7 @@ class ParallelSweepRunner(SweepRunner):
             # constructed backend to control spawn counts/ports/queues
             backend = make_backend(backend)
         self.backend = backend
+        self.backend_label = getattr(backend, "name", "local")
 
     # ------------------------------------------------------------------
     def plan_points(self, points: Iterable[SweepPoint]) -> List[SweepPoint]:

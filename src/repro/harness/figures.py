@@ -274,6 +274,74 @@ def fig6b(
     )
 
 
+def show_cores_column(rows: Sequence) -> bool:
+    """True when any row/metric pins ``n_cores`` (show a cores column).
+
+    Shared by the single-run and ensemble tables so the two cannot
+    drift: the column appears exactly when some point carries an
+    ``n_cores`` override (e.g. the core-scaling family) — otherwise
+    rows with identical workload/size/technique but different core
+    counts would be indistinguishable.
+    """
+    return any(getattr(row, "n_cores", None) is not None for row in rows)
+
+
+def format_cores(n_cores: Optional[int]) -> str:
+    """Cores-column cell text (``-`` = the runner's default count)."""
+    return str(n_cores) if n_cores is not None else "-"
+
+
+#: ensemble-table columns: attribute -> column header
+ENSEMBLE_COLUMNS = (
+    ("energy_reduction", "energy_red"),
+    ("ipc_loss", "ipc_loss"),
+    ("occupancy", "occupancy"),
+    ("miss_rate", "miss_rate"),
+)
+
+
+def ensemble_table(
+    exp_id: str,
+    aggregated: Sequence,
+    title: str = "ensemble results (mean ± 95% CI)",
+    columns: Sequence = ENSEMBLE_COLUMNS,
+) -> FigureTable:
+    """Render aggregated ensemble rows as ``value ± ci`` columns.
+
+    ``aggregated`` is the :func:`repro.scenarios.stats.aggregate_metrics`
+    output (one :class:`~repro.scenarios.stats.EnsembleMetrics` per base
+    point); each selected metric renders as ``mean%±ci`` via
+    :meth:`~repro.scenarios.stats.SummaryStat.format_pct`.  With one
+    replica the ± vanishes and the table matches a single run.  A
+    ``cores`` column appears only when some row pins ``n_cores`` (the
+    core-scaling family; see :func:`show_cores_column`).
+    """
+    show_cores = show_cores_column(aggregated)
+    table = FigureTable(
+        exp_id=exp_id,
+        title=title,
+        columns=[
+            "workload", "MB",
+            *(["cores"] if show_cores else []),
+            "technique", "n",
+            *(h for _, h in columns),
+        ],
+    )
+    for i, row in enumerate(aggregated):
+        table.add_row(
+            f"p{i:03d}",
+            [
+                row.workload,
+                str(row.total_mb),
+                *([format_cores(row.n_cores)] if show_cores else []),
+                row.technique,
+                str(row.n),
+                *(row.stats[attr].format_pct() for attr, _ in columns),
+            ],
+        )
+    return table
+
+
 def table1() -> FigureTable:
     """Table I: the turn-off legality matrix (no simulation needed)."""
     t = FigureTable(

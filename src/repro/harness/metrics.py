@@ -83,6 +83,9 @@ class PointMetrics:
     energy_reduction: float
     l2_leakage_share: float
     peak_temp_c: Optional[float] = None
+    #: the point's n_cores override (None = the runner's default); kept
+    #: so core-scaling tables can tell their rows apart
+    n_cores: Optional[int] = None
 
     @classmethod
     def for_point(
@@ -102,6 +105,7 @@ class PointMetrics:
             base_energy,
             res,
             energy,
+            n_cores=point.n_cores,
         )
 
     @classmethod
@@ -114,6 +118,7 @@ class PointMetrics:
         base_energy: EnergyBreakdown,
         res: SimResult,
         energy: EnergyBreakdown,
+        n_cores: Optional[int] = None,
     ) -> "PointMetrics":
         """Bundle every figure metric for one sweep point."""
         peak = (
@@ -133,6 +138,7 @@ class PointMetrics:
             energy_reduction=energy_reduction(base_energy, energy),
             l2_leakage_share=energy.l2_leakage_share,
             peak_temp_c=peak,
+            n_cores=n_cores,
         )
 
     def as_dict(self) -> Dict[str, float]:
@@ -149,6 +155,7 @@ class PointMetrics:
             "energy_reduction": self.energy_reduction,
             "l2_leakage_share": self.l2_leakage_share,
             "peak_temp_c": self.peak_temp_c,
+            "n_cores": self.n_cores,
         }
 
 

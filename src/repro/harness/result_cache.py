@@ -9,6 +9,10 @@ Layout (one directory per schema version, 256 shards per version)::
                 <key>.json      # one sweep point, shard = sha1(key)[:2]
             a0/
                 ...
+            provenance/
+                3f/
+                    <key>.json  # who produced the entry (sidecar; the
+                                # manifest folds these into its rows)
 
 Properties the sweep executor relies on:
 
@@ -40,6 +44,9 @@ from ..sim.config import stable_digest
 
 #: manifest file name inside each version directory
 MANIFEST_NAME = "index.json"
+
+#: per-entry provenance sidecars live under this version subdirectory
+PROVENANCE_DIR = "provenance"
 
 _TMP_PREFIX = ".tmp-"
 
@@ -190,6 +197,12 @@ class ResultCache:
         """Entry path of ``key`` in the current version."""
         return os.path.join(self.version_dir(), shard_of(key), key + ".json")
 
+    def provenance_path(self, key: str) -> str:
+        """Provenance-sidecar path of ``key`` in the current version."""
+        return os.path.join(
+            self.version_dir(), PROVENANCE_DIR, shard_of(key), key + ".json"
+        )
+
     # ------------------------------------------------------------------
     # Entry I/O
     # ------------------------------------------------------------------
@@ -233,8 +246,35 @@ class ResultCache:
         except OSError:
             return None
 
+    def put_provenance(self, key: str, info: dict) -> str:
+        """Atomically record who produced an entry (worker/host/backend).
+
+        Provenance lives in a *sidecar* file, never inside the entry
+        blob — result blobs stay byte-identical across workers, hosts
+        and wall-clock time, which is the property every bit-identity
+        test and byte-for-byte merge relies on.  The manifest
+        (:meth:`write_manifest`) folds the sidecars into its rows.
+        """
+        return atomic_write(
+            self.provenance_path(key),
+            json.dumps(info, sort_keys=True).encode("utf-8"),
+        )
+
+    def get_provenance(self, key: str) -> Optional[dict]:
+        """Load one entry's provenance record; ``None`` when absent."""
+        try:
+            with open(self.provenance_path(key)) as fh:
+                info = json.load(fh)
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        return info if isinstance(info, dict) else None
+
     def invalidate(self, key: str) -> bool:
-        """Delete one entry; True if it existed."""
+        """Delete one entry (and its provenance); True if it existed."""
+        try:
+            os.unlink(self.provenance_path(key))
+        except OSError:
+            pass
         try:
             os.unlink(self.path_for(key))
             return True
@@ -257,6 +297,8 @@ class ResultCache:
         except OSError:
             return
         for shard in shards:
+            if shard == PROVENANCE_DIR:
+                continue
             shard_dir = os.path.join(vdir, shard)
             if not os.path.isdir(shard_dir):
                 continue
@@ -348,12 +390,16 @@ class ResultCache:
         entries = {}
         for key, path in self.iter_entries():
             try:
-                entries[key] = {
+                row = {
                     "bytes": os.path.getsize(path),
                     "shard": shard_of(key),
                 }
             except OSError:
                 continue
+            prov = self.get_provenance(key)
+            if prov is not None:
+                row["provenance"] = prov
+            entries[key] = row
         manifest = {
             "version": self.version,
             "count": len(entries),
@@ -444,4 +490,11 @@ class ResultCache:
                 report.identical += 1
             else:
                 report.conflicts += 1
+                continue
+            # carry the producer's provenance sidecar along with its
+            # entry (local records win; conflicts keep local everything)
+            if self.get_provenance(key) is None:
+                prov = src.get_provenance(key)
+                if prov is not None:
+                    self.put_provenance(key, prov)
         return report

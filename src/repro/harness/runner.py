@@ -33,7 +33,10 @@ point list across a backend.
 
 from __future__ import annotations
 
+import datetime
 import json
+import os
+import socket
 from dataclasses import asdict
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
@@ -105,6 +108,10 @@ class SweepRunner:
         self.cache_dir = cache_dir
         self.cache = ResultCache(cache_dir, CACHE_VERSION) if cache_dir else None
         self.verbose = verbose
+        #: provenance identity: which execution path produced entries
+        #: (backends overwrite this on their worker runners)
+        self.backend_label = "serial"
+        self.worker_id = f"{socket.gethostname()}-{os.getpid()}"
         self._workloads: Dict[tuple, object] = {}
         self._memo: Dict[str, PointResult] = {}
         #: memoized technique table (``point_key`` sits on the cache hot
@@ -268,23 +275,48 @@ class SweepRunner:
         self._memo[key] = pair
         return pair
 
+    def provenance(self, **overrides: str) -> Dict[str, str]:
+        """Provenance record for a result this process just produced.
+
+        Worker id, host, backend label and a UTC timestamp — stored in
+        a cache *sidecar* (never the result blob, which must stay
+        byte-identical), and surfaced per entry by ``repro-cmp cache
+        manifest``.  ``overrides`` patch individual fields (the socket
+        coordinator records the remote worker's name, not its own).
+        """
+        now = datetime.datetime.now(datetime.timezone.utc)
+        info = {
+            "worker": self.worker_id,
+            "host": socket.gethostname(),
+            "backend": self.backend_label,
+            "installed_at": now.isoformat(timespec="seconds"),
+        }
+        info.update(overrides)
+        return info
+
     def install(
         self,
         point: SweepPoint,
         res: SimResult,
         energy: EnergyBreakdown,
         write_cache: bool = True,
+        provenance: Optional[Dict[str, str]] = None,
     ) -> None:
         """Publish one point's results into the memo (and the disk cache).
 
         The parallel executor calls this with results received from
         workers; ``write_cache=False`` skips the disk write when the
-        worker already persisted the entry itself.
+        worker already persisted the entry itself.  ``provenance``
+        (when given, and a cache is configured) is recorded as the
+        entry's sidecar — pass it for freshly *simulated* results, not
+        for cache/memo republications.
         """
         key = self.point_key(point)
         self._memo[key] = (res, energy)
         if write_cache and self.cache is not None:
             self.cache.put(key, encode_entry(res, energy))
+        if provenance is not None and self.cache is not None:
+            self.cache.put_provenance(key, provenance)
 
     def run_point(self, p: SweepPoint) -> PointResult:
         """Simulate (or load) one point; returns (result, energy)."""
@@ -304,7 +336,7 @@ class SweepRunner:
             warmup_fraction=float(ctx["warmup"]),
         )
         energy = EnergyModel(cfg).evaluate(res)
-        self.install(p, res, energy)
+        self.install(p, res, energy, provenance=self.provenance())
         return res, energy
 
     # ------------------------------------------------------------------

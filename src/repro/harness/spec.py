@@ -50,6 +50,9 @@ CONTEXT_KEYS = ("n_cores", "scale", "seed", "warmup")
 #: keys a ``skip`` constraint may match on
 SKIP_KEYS = ("workload", "size_mb", "technique")
 
+#: keys an ``[ensemble]`` table may set (see ``repro.scenarios.ensemble``)
+ENSEMBLE_KEYS = ("replicas", "base_seed", "seed_stride")
+
 
 class SpecError(ValueError):
     """An experiment spec (or sweep point) failed validation."""
@@ -239,6 +242,13 @@ class ExperimentSpec:
     applied when the spec is executed through the CLI, overridable by
     explicit flags, and deliberately **not** baked into the expanded
     points, so one spec file can be replayed at any fidelity.
+
+    ``ensemble`` declares the scenario's *requested* replication —
+    ``replicas``/``base_seed``/``seed_stride`` — consumed by the
+    ensemble engine (:mod:`repro.scenarios.ensemble`) and the
+    ``--replicas`` CLI flag; like ``run`` it never changes what
+    :meth:`expand` returns, so plain single-run consumers are
+    unaffected by a spec that also describes an ensemble.
     """
 
     name: str
@@ -250,6 +260,7 @@ class ExperimentSpec:
     run: Dict[str, Any] = field(default_factory=dict)
     skip: Tuple[Dict[str, Any], ...] = ()
     points: Tuple[Dict[str, Any], ...] = ()
+    ensemble: Dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         self.workloads = tuple(self.workloads)
@@ -257,6 +268,7 @@ class ExperimentSpec:
         self.techniques = tuple(self.techniques)
         self.skip = tuple(dict(s) for s in self.skip)
         self.points = tuple(dict(p) for p in self.points)
+        self.ensemble = dict(self.ensemble)
         self.validate()
 
     # -- validation ---------------------------------------------------------
@@ -308,6 +320,7 @@ class ExperimentSpec:
             f"unknown [run] keys: {', '.join(sorted(unknown))} "
             f"(allowed: {', '.join(CONTEXT_KEYS)})",
         )
+        self._validate_ensemble()
         for rule in self.skip:
             _require(
                 isinstance(rule, dict) and bool(rule),
@@ -336,17 +349,45 @@ class ExperimentSpec:
             )
             self._validate_point_values(entry)
         if strict:
-            from ..workloads.registry import list_workloads
+            from ..workloads.registry import list_workloads, workload_exists
 
-            known = set(list_workloads())
             for wl in self._all_workloads():
                 _require(
-                    wl in known,
+                    workload_exists(wl),
                     f"unknown workload {wl!r}; available: "
-                    f"{', '.join(sorted(known))}",
+                    f"{', '.join(list_workloads())} "
+                    f"(or a mix:<a>+<b> co-schedule of them)",
                 )
             for label in self._all_technique_labels():
                 resolve_technique(label, 1.0, self.custom_techniques)
+
+    def _validate_ensemble(self) -> None:
+        """Check the ``[ensemble]`` table (shape only, like ``[run]``)."""
+        unknown = set(self.ensemble) - set(ENSEMBLE_KEYS)
+        _require(
+            not unknown,
+            f"unknown [ensemble] keys: {', '.join(sorted(unknown))} "
+            f"(allowed: {', '.join(ENSEMBLE_KEYS)})",
+        )
+        if "replicas" in self.ensemble:
+            v = self.ensemble["replicas"]
+            _require(
+                isinstance(v, int) and not isinstance(v, bool) and v >= 1,
+                f"[ensemble] replicas must be a positive integer, got {v!r}",
+            )
+        for key in ("base_seed", "seed_stride"):
+            if key in self.ensemble:
+                v = self.ensemble[key]
+                _require(
+                    isinstance(v, int) and not isinstance(v, bool),
+                    f"[ensemble] {key} must be an integer, got {v!r}",
+                )
+        if "seed_stride" in self.ensemble:
+            _require(
+                self.ensemble["seed_stride"] != 0,
+                "[ensemble] seed_stride must be non-zero (replicas would "
+                "collapse onto one seed)",
+            )
 
     @staticmethod
     def _validate_point_values(entry: Mapping[str, Any]) -> None:
@@ -497,6 +538,8 @@ class ExperimentSpec:
             out["skip"] = [dict(rule) for rule in self.skip]
         if self.points:
             out["points"] = [dict(entry) for entry in self.points]
+        if self.ensemble:
+            out["ensemble"] = dict(self.ensemble)
         return out
 
     @classmethod
@@ -511,7 +554,7 @@ class ExperimentSpec:
         )
         known = {
             "format", "name", "description", "axes", "techniques", "run",
-            "skip", "points",
+            "skip", "points", "ensemble",
         }
         unknown = set(data) - known
         _require(
@@ -527,6 +570,10 @@ class ExperimentSpec:
         )
         custom_raw = data.get("techniques", {})
         _require(isinstance(custom_raw, Mapping), "[techniques] must be a table")
+        _require(
+            isinstance(data.get("ensemble", {}), Mapping),
+            "[ensemble] must be a table",
+        )
         custom: Dict[str, TechniqueConfig] = {}
         for label, table in custom_raw.items():
             try:
@@ -545,6 +592,7 @@ class ExperimentSpec:
             run=dict(data.get("run", {})),
             skip=tuple(data.get("skip", ())),
             points=tuple(data.get("points", ())),
+            ensemble=dict(data.get("ensemble", {})),
         )
 
     def to_json(self) -> str:

@@ -1,0 +1,60 @@
+"""Scenario & ensemble subsystem: spec families, replication, statistics.
+
+Layered on :mod:`repro.harness.spec`, this package turns the harness
+from "replay the paper's one matrix" into "generate, run, and
+statistically summarize families of experiments":
+
+* :mod:`repro.scenarios.templates` — the scenario library: a
+  :class:`~repro.scenarios.templates.ScenarioTemplate` protocol plus a
+  registry of built-in families (multi-program mixes, sizing
+  sensitivity, core scaling);
+* :mod:`repro.scenarios.ensemble` — the ensemble engine:
+  :class:`~repro.scenarios.ensemble.EnsembleSpec` expands one spec into
+  N seed replicas that any sweep backend executes unchanged;
+* :mod:`repro.scenarios.stats` — mean/stddev/95%-CI aggregation of the
+  per-replica metrics into ``value ± ci`` figure rows.
+
+CLI: ``repro-cmp scenario list|expand|run`` and ``--replicas N``.
+"""
+
+from .ensemble import EnsembleResult, EnsembleSpec, run_ensemble
+from .stats import (
+    METRIC_ATTRS,
+    EnsembleMetrics,
+    SummaryStat,
+    aggregate_metrics,
+    summarize,
+    t_critical_95,
+)
+from .templates import (
+    CoreScalingTemplate,
+    MixSmokeTemplate,
+    MultiProgramMixTemplate,
+    ScenarioTemplate,
+    SizingSensitivityTemplate,
+    build_scenario,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+)
+
+__all__ = [
+    "EnsembleMetrics",
+    "EnsembleResult",
+    "EnsembleSpec",
+    "METRIC_ATTRS",
+    "ScenarioTemplate",
+    "SummaryStat",
+    "CoreScalingTemplate",
+    "MixSmokeTemplate",
+    "MultiProgramMixTemplate",
+    "SizingSensitivityTemplate",
+    "aggregate_metrics",
+    "build_scenario",
+    "get_scenario",
+    "register_scenario",
+    "run_ensemble",
+    "scenario_names",
+    "summarize",
+    "t_critical_95",
+]

@@ -1,0 +1,159 @@
+"""The ensemble engine: one spec → N seed replicas → aggregated CIs.
+
+An :class:`EnsembleSpec` wraps an
+:class:`~repro.harness.spec.ExperimentSpec` with a replication policy:
+``replicas`` copies of every expanded point, replica ``r`` pinning seed
+``base_seed + r·seed_stride`` (a point that already pins its own seed is
+offset from *that* seed instead, so explicit off-grid seeds stay
+distinct across replicas).  Replicas are ordinary
+:class:`~repro.harness.spec.SweepPoint` lists — points remain the
+transport unit, so any :class:`~repro.harness.backends.base.SweepBackend`
+executes an ensemble unchanged and every replica's results land in the
+ordinary result cache under its own seed-resolved digest.
+
+:func:`run_ensemble` is the whole life-cycle: expand, fan out through
+the runner's backend (when it has one), assemble per-replica metric
+lists in deterministic order, and aggregate them into
+mean/stddev/95%-CI rows via :mod:`repro.scenarios.stats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence
+
+from ..harness.metrics import PointMetrics
+from ..harness.runner import SweepRunner
+from ..harness.spec import ExperimentSpec, SpecError, SweepPoint
+from .stats import METRIC_ATTRS, EnsembleMetrics, aggregate_metrics
+
+
+@dataclass
+class EnsembleSpec:
+    """A replication policy over one experiment spec.
+
+    ``base_seed=None`` means "inherit the executing runner's seed" —
+    the spec file then replays under any ``--seed`` with the replicas
+    strided off it, while a pinned ``base_seed`` makes the ensemble
+    byte-reproducible regardless of runner flags.
+    """
+
+    spec: ExperimentSpec
+    replicas: int = 1
+    base_seed: Optional[int] = None
+    seed_stride: int = 1
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.replicas, int) or self.replicas < 1:
+            raise SpecError(
+                f"replicas must be a positive integer, got {self.replicas!r}"
+            )
+        if self.seed_stride == 0:
+            raise SpecError("seed_stride must be non-zero")
+
+    @classmethod
+    def from_spec(
+        cls, spec: ExperimentSpec, replicas: Optional[int] = None
+    ) -> "EnsembleSpec":
+        """Build from a spec's ``[ensemble]`` table, with a CLI override.
+
+        ``replicas`` (the ``--replicas`` flag) beats the table; a spec
+        with no table and no override is a 1-replica ensemble, which
+        degenerates to an ordinary single run.
+        """
+        table = spec.ensemble
+        return cls(
+            spec=spec,
+            replicas=(
+                replicas if replicas is not None else table.get("replicas", 1)
+            ),
+            base_seed=table.get("base_seed"),
+            seed_stride=table.get("seed_stride", 1),
+        )
+
+    # ------------------------------------------------------------------
+    def replica_seeds(self, runner_seed: int) -> List[int]:
+        """The seed each replica pins (for unseeded points)."""
+        base = self.base_seed if self.base_seed is not None else runner_seed
+        return [base + r * self.seed_stride for r in range(self.replicas)]
+
+    def expand(
+        self, scale: float = 1.0, runner_seed: int = 1
+    ) -> List[List[SweepPoint]]:
+        """Per-replica point lists (``result[r][i]`` = replica r of point i).
+
+        Every replica has identical length and order; replica ``r``
+        differs from the base expansion only in its pinned ``seed``.
+        """
+        base_points = self.spec.expand(scale=scale)
+        seeds = self.replica_seeds(runner_seed)
+        out: List[List[SweepPoint]] = []
+        for r, seed in enumerate(seeds):
+            out.append(
+                [
+                    replace(
+                        p,
+                        seed=(
+                            p.seed + r * self.seed_stride
+                            if p.seed is not None
+                            else seed
+                        ),
+                    )
+                    for p in base_points
+                ]
+            )
+        return out
+
+
+@dataclass
+class EnsembleResult:
+    """Everything one ensemble run produced.
+
+    ``metrics[r][i]`` is replica ``r`` of base point ``i``;
+    ``aggregated[i]`` is that point's mean/stddev/CI summary row.
+    """
+
+    spec_name: str
+    replicas: List[List[SweepPoint]]
+    metrics: List[List[PointMetrics]]
+    aggregated: List[EnsembleMetrics] = field(default_factory=list)
+
+    @property
+    def n_replicas(self) -> int:
+        """How many replicas ran."""
+        return len(self.replicas)
+
+    @property
+    def n_points(self) -> int:
+        """How many base points each replica expanded to."""
+        return len(self.replicas[0]) if self.replicas else 0
+
+
+def run_ensemble(
+    runner: SweepRunner,
+    ensemble: EnsembleSpec,
+    attrs: Sequence[str] = METRIC_ATTRS,
+) -> EnsembleResult:
+    """Execute an ensemble through ``runner`` and aggregate its metrics.
+
+    When ``runner`` is a
+    :class:`~repro.harness.executor.ParallelSweepRunner`, the flattened
+    replica list (plus every baseline twin) is prefetched through its
+    backend in one fan-out — replicas are plain points, so local pools,
+    socket workers, and batch queues all parallelize across replicas and
+    points alike.  Metric assembly then runs in deterministic base-point
+    order per replica, which makes the aggregated table independent of
+    backend interleaving.
+    """
+    replicas = ensemble.expand(scale=runner.scale, runner_seed=runner.seed)
+    flat = [p for replica in replicas for p in replica]
+    prefetch = getattr(runner, "prefetch_points", None)
+    if prefetch is not None:
+        prefetch(flat)
+    metrics = [[runner.metrics_for(p) for p in replica] for replica in replicas]
+    return EnsembleResult(
+        spec_name=ensemble.spec.name,
+        replicas=replicas,
+        metrics=metrics,
+        aggregated=aggregate_metrics(metrics, attrs=attrs),
+    )

@@ -1,0 +1,179 @@
+"""Ensemble statistics: mean / stddev / 95% confidence intervals.
+
+The synthetic workloads draw their access streams from seeded RNGs, so
+every headline number of the reproduction carries seed-level variance
+the single-run paper matrix silently ignores.  This module turns the
+per-replica metric lists an ensemble run produces into summary rows —
+one :class:`SummaryStat` (mean, sample stddev, 95% CI half-width) per
+metric per point — that figure code renders as ``value ± ci`` columns.
+
+Confidence intervals use the Student-t distribution (the replica count
+is small, typically 3–10, where the normal approximation visibly
+under-covers); the two-sided 95% critical values are tabulated below so
+the harness needs no scipy.  A single replica degenerates gracefully:
+stddev and CI are zero, and the table is exactly the single-run values.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..harness.metrics import PointMetrics
+
+#: the PointMetrics attributes an ensemble aggregates (figure metrics)
+METRIC_ATTRS: Tuple[str, ...] = (
+    "occupancy",
+    "miss_rate",
+    "bandwidth_increase",
+    "amat_increase",
+    "ipc_loss",
+    "energy_reduction",
+    "l2_leakage_share",
+)
+
+#: two-sided 95% Student-t critical values, indexed by degrees of freedom
+#: 1..30; beyond 30 the normal value is within ~2% and we use 1.96.
+_T95 = (
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+)
+
+
+def t_critical_95(df: int) -> float:
+    """Two-sided 95% Student-t critical value for ``df`` degrees of freedom."""
+    if df < 1:
+        raise ValueError(f"degrees of freedom must be >= 1, got {df}")
+    if df <= len(_T95):
+        return _T95[df - 1]
+    return 1.96
+
+
+@dataclass(frozen=True)
+class SummaryStat:
+    """Mean / sample stddev / 95% CI half-width of one metric's replicas."""
+
+    mean: float
+    stddev: float
+    ci95: float
+    n: int
+
+    def format_pct(self, digits: int = 1) -> str:
+        """Render as a percentage ``mean ± ci`` cell, e.g. ``12.3%±0.4``."""
+        if self.n <= 1:
+            return f"{self.mean * 100:.{digits}f}%"
+        return f"{self.mean * 100:.{digits}f}%±{self.ci95 * 100:.{digits}f}"
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain dict (JSON/CSV-friendly)."""
+        return {
+            "mean": self.mean,
+            "stddev": self.stddev,
+            "ci95": self.ci95,
+            "n": self.n,
+        }
+
+
+def summarize(values: Sequence[float]) -> SummaryStat:
+    """Summary statistics of one metric across replicas.
+
+    Uses the *sample* standard deviation (n−1 denominator); the 95% CI
+    half-width is ``t(n−1) · s / √n``.  One value yields zero spread —
+    an ensemble of one replica is exactly a single run.
+    """
+    vals = [float(v) for v in values]
+    if not vals:
+        raise ValueError("cannot summarize an empty replica list")
+    n = len(vals)
+    mean = sum(vals) / n
+    if n == 1:
+        return SummaryStat(mean=mean, stddev=0.0, ci95=0.0, n=1)
+    var = sum((v - mean) ** 2 for v in vals) / (n - 1)
+    sd = math.sqrt(var)
+    ci = t_critical_95(n - 1) * sd / math.sqrt(n)
+    return SummaryStat(mean=mean, stddev=sd, ci95=ci, n=n)
+
+
+@dataclass
+class EnsembleMetrics:
+    """Aggregated figure metrics of one base point across replicas."""
+
+    workload: str
+    total_mb: int
+    technique: str
+    stats: Dict[str, SummaryStat] = field(default_factory=dict)
+    #: the base point's n_cores override (None = runner default)
+    n_cores: Optional[int] = None
+
+    @property
+    def n(self) -> int:
+        """Replica count (uniform across metrics)."""
+        return next(iter(self.stats.values())).n if self.stats else 0
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat dict: coordinates plus ``<attr>_{mean,stddev,ci95}``."""
+        out: Dict[str, object] = {
+            "workload": self.workload,
+            "total_mb": self.total_mb,
+            "technique": self.technique,
+            "n_cores": self.n_cores,
+            "replicas": self.n,
+        }
+        for attr, stat in self.stats.items():
+            out[f"{attr}_mean"] = stat.mean
+            out[f"{attr}_stddev"] = stat.stddev
+            out[f"{attr}_ci95"] = stat.ci95
+        return out
+
+
+def aggregate_metrics(
+    per_replica: Sequence[Sequence[PointMetrics]],
+    attrs: Sequence[str] = METRIC_ATTRS,
+) -> List[EnsembleMetrics]:
+    """Collapse per-replica metric lists into one summary row per point.
+
+    ``per_replica[r][i]`` must be replica ``r`` of base point ``i`` —
+    the shape :func:`repro.scenarios.ensemble.run_ensemble` produces:
+    every replica list has the same length and point order, replicas
+    differing only in seed.  Raises on ragged input.
+    """
+    if not per_replica:
+        return []
+    width = len(per_replica[0])
+    for r, replica in enumerate(per_replica):
+        if len(replica) != width:
+            raise ValueError(
+                f"ragged ensemble: replica {r} has {len(replica)} points, "
+                f"replica 0 has {width}"
+            )
+    out: List[EnsembleMetrics] = []
+    for i in range(width):
+        column = [replica[i] for replica in per_replica]
+        first = column[0]
+        for m in column[1:]:
+            if (m.workload, m.total_mb, m.technique, m.n_cores) != (
+                first.workload,
+                first.total_mb,
+                first.technique,
+                first.n_cores,
+            ):
+                raise ValueError(
+                    f"ensemble column {i} mixes points: "
+                    f"{first.workload}/{first.total_mb}/{first.technique} "
+                    f"vs {m.workload}/{m.total_mb}/{m.technique}"
+                )
+        out.append(
+            EnsembleMetrics(
+                workload=first.workload,
+                total_mb=first.total_mb,
+                technique=first.technique,
+                n_cores=first.n_cores,
+                stats={
+                    attr: summarize([getattr(m, attr) for m in column])
+                    for attr in attrs
+                },
+            )
+        )
+    return out

@@ -1,0 +1,265 @@
+"""Scenario library: named generators of experiment specs.
+
+A *scenario template* is a parameterized family of experiments — "mix
+every scientific benchmark with every multimedia one", "sweep decay
+intervals against cache sizing", "scale the core count" — that
+``build()``s into an ordinary, serializable
+:class:`~repro.harness.spec.ExperimentSpec`.  Templates are the layer
+above spec files: a spec is one frozen scenario, a template mints them.
+
+The protocol is deliberately tiny (``name``/``description``/``build``)
+so projects can register their own families next to the built-ins::
+
+    from repro.scenarios import register_scenario
+
+    class NightlyTemplate:
+        name = "nightly"
+        description = "the grid the nightly lane runs"
+
+        def build(self, **params):
+            return grid_spec(...)
+
+    register_scenario(NightlyTemplate())
+
+Built-in families (``repro-cmp scenario list``):
+
+* ``multiprogram_mix`` — scientific×multimedia co-schedules through the
+  ``mix:`` workload layer;
+* ``mix_smoke`` — a 2-replica miniature of it for CI lanes;
+* ``sizing_sensitivity`` — cache-capacity × decay-interval grid à la
+  Bai et al. (PAPERS.md), with off-paper decay times as custom
+  technique tables;
+* ``core_scaling`` — the paper's 4-core matrix stretched to 2/4/8 cores
+  via per-point ``n_cores`` overrides.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Protocol, Sequence, Tuple
+
+from ..harness.spec import ExperimentSpec, grid_spec
+from ..sim.config import (
+    BASELINE,
+    DECAY,
+    SELECTIVE_DECAY,
+    TechniqueConfig,
+)
+from ..workloads.mix import mix_name
+from ..workloads.registry import MULTIMEDIA, SCIENTIFIC
+
+
+class ScenarioTemplate(Protocol):
+    """A named, parameterized generator of experiment specs."""
+
+    #: registry name, e.g. ``"multiprogram_mix"``
+    name: str
+    #: one-line summary shown by ``repro-cmp scenario list``
+    description: str
+
+    def build(self, **params: Any) -> ExperimentSpec:
+        """Materialize one spec; ``params`` override the family defaults."""
+        ...
+
+
+#: scenario registry: name -> template instance
+_REGISTRY: Dict[str, ScenarioTemplate] = {}
+
+
+def register_scenario(template: ScenarioTemplate) -> None:
+    """Register a scenario template under its ``name``."""
+    if template.name in _REGISTRY:
+        raise ValueError(f"scenario {template.name!r} already registered")
+    _REGISTRY[template.name] = template
+
+
+def scenario_names() -> Tuple[str, ...]:
+    """Registered scenario names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_scenario(name: str) -> ScenarioTemplate:
+    """Look up a template by name (``ValueError`` lists what exists)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; one of: {', '.join(scenario_names())}"
+        ) from None
+
+
+def build_scenario(name: str, **params: Any) -> ExperimentSpec:
+    """Build one spec from a registered family (convenience wrapper)."""
+    return get_scenario(name).build(**params)
+
+
+# ---------------------------------------------------------------------------
+# Built-in families
+# ---------------------------------------------------------------------------
+class MultiProgramMixTemplate:
+    """Scientific × multimedia co-schedules over the mix layer.
+
+    Every (scientific, multimedia) pair becomes one ``mix:sci+mm``
+    workload — cores alternate between the two programs — swept over
+    the given sizes and techniques.  This is the consolidation story
+    the paper's homogeneous matrix cannot answer: how much leakage the
+    techniques recover when reuse profiles differ *across* cores.
+    """
+
+    name = "multiprogram_mix"
+    description = "scientific+multimedia co-schedule mixes (mix: layer)"
+
+    def build(
+        self,
+        pairs: Sequence[Tuple[str, str]] = (),
+        sizes_mb: Sequence[int] = (2, 4),
+        techniques: Sequence[str] = (
+            BASELINE,
+            "protocol",
+            "decay64K",
+            "sel_decay64K",
+        ),
+        **run: Any,
+    ) -> ExperimentSpec:
+        """Build the mix grid; ``pairs`` defaults to SCIENTIFIC×MULTIMEDIA."""
+        pairs = list(pairs) or [
+            (sci, mm) for sci in SCIENTIFIC for mm in MULTIMEDIA
+        ]
+        return grid_spec(
+            name=self.name,
+            description=self.description,
+            workloads=[mix_name(pair) for pair in pairs],
+            sizes_mb=sizes_mb,
+            techniques=techniques,
+            run=dict(run),
+        )
+
+
+class MixSmokeTemplate:
+    """A miniature 2-replica mix ensemble for CI smoke lanes."""
+
+    name = "mix_smoke"
+    description = "tiny 1-mix, 2-replica ensemble (CI smoke lane)"
+
+    def build(
+        self,
+        pair: Tuple[str, str] = ("water_ns", "mpeg2dec"),
+        replicas: int = 2,
+        **run: Any,
+    ) -> ExperimentSpec:
+        """One mix, one size, three techniques, ``replicas`` seeds."""
+        context = {"scale": 0.05}
+        context.update(run)
+        return grid_spec(
+            name=self.name,
+            description=self.description,
+            workloads=[mix_name(pair)],
+            sizes_mb=(1,),
+            techniques=(BASELINE, "protocol", "decay64K"),
+            run=context,
+            ensemble={"replicas": replicas},
+        )
+
+
+class SizingSensitivityTemplate:
+    """Cache-capacity × decay-interval sensitivity grid (à la Bai et al.).
+
+    Bai et al. (PAPERS.md) show leakage trade-offs shift materially
+    with cache sizing, so this family crosses the paper's capacities
+    with a *denser* decay-interval axis than the paper's three nominal
+    times.  Off-paper intervals are emitted as ``[techniques.<label>]``
+    tables with literal (pre-scaled) cycles — custom tables are never
+    rescaled on load — and the matching ``scale`` is pinned in the
+    spec's ``[run]`` table so the file stays self-consistent.
+    """
+
+    name = "sizing_sensitivity"
+    description = "capacity x decay-interval grid (Bai et al. sensitivity)"
+
+    def build(
+        self,
+        workloads: Sequence[str] = ("water_ns", "mpeg2dec"),
+        sizes_mb: Sequence[int] = (1, 2, 4, 8),
+        decay_cycles: Sequence[int] = (16_000, 64_000, 256_000, 512_000),
+        selective: bool = True,
+        scale: float = 0.1,
+        **run: Any,
+    ) -> ExperimentSpec:
+        """Cross ``sizes_mb`` with decay intervals for both decay flavors."""
+        labels: List[str] = [BASELINE, "protocol"]
+        custom: Dict[str, TechniqueConfig] = {}
+        flavors = [(DECAY, "decay")] + (
+            [(SELECTIVE_DECAY, "sel_decay")] if selective else []
+        )
+        for tech, prefix in flavors:
+            for cycles in decay_cycles:
+                label = f"{prefix}@{cycles // 1000}K"
+                custom[label] = TechniqueConfig(
+                    name=tech,
+                    decay_cycles=max(1, int(round(cycles * scale))),
+                )
+                labels.append(label)
+        context = {"scale": scale}
+        context.update(run)
+        return grid_spec(
+            name=self.name,
+            description=self.description,
+            workloads=workloads,
+            sizes_mb=sizes_mb,
+            techniques=labels,
+            custom_techniques=custom,
+            run=context,
+        )
+
+
+class CoreScalingTemplate:
+    """Core-count scaling at fixed total L2 (per-point overrides).
+
+    The paper fixes 4 cores; this family replays selected points at
+    2/4/8 cores via the point-level ``n_cores`` override, keeping the
+    *total* L2 constant so per-core capacity shrinks as cores grow —
+    the sizing trade-off the coherence techniques are sensitive to.
+    """
+
+    name = "core_scaling"
+    description = "2/4/8-core scaling at fixed total L2 (n_cores overrides)"
+
+    def build(
+        self,
+        workloads: Sequence[str] = ("water_ns", "mpeg2dec"),
+        total_mb: int = 4,
+        core_counts: Sequence[int] = (2, 4, 8),
+        techniques: Sequence[str] = (
+            BASELINE,
+            "protocol",
+            "decay64K",
+            "sel_decay64K",
+        ),
+        **run: Any,
+    ) -> ExperimentSpec:
+        """Explicit point list: every (workload, cores, technique) combo."""
+        points = [
+            {
+                "workload": wl,
+                "size_mb": int(total_mb),
+                "technique": tech,
+                "n_cores": int(n),
+            }
+            for n in core_counts
+            for wl in workloads
+            for tech in techniques
+        ]
+        return ExperimentSpec(
+            name=self.name,
+            description=self.description,
+            points=tuple(points),
+            run=dict(run),
+        )
+
+
+for _template in (
+    MultiProgramMixTemplate(),
+    MixSmokeTemplate(),
+    SizingSensitivityTemplate(),
+    CoreScalingTemplate(),
+):
+    register_scenario(_template)

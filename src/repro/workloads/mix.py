@@ -1,0 +1,173 @@
+"""Multi-program workload mixes: heterogeneous per-core co-schedules.
+
+The paper evaluates homogeneous runs — every core executes the same
+benchmark.  Real CMP consolidation co-schedules *different* programs,
+and the leakage techniques react to the per-core reuse/sharing profile,
+so the scenario subsystem needs heterogeneous matrices: e.g. two cores
+of WATER-NS next to two cores of mpeg2dec.
+
+A mix is addressed by name, so it flows through every existing seam
+(specs, cache keys, backends) unchanged::
+
+    mix:water_ns+mpeg2dec
+
+``mix:`` is the dispatch prefix; the ``+``-separated components are
+assigned to cores round-robin (core ``c`` runs component ``c % len``).
+Each component workload is built once at its full core count and the
+mix takes core ``c``'s stream from component ``c % len``, rebased into
+the component's own disjoint address window (:data:`REBASE_STRIDE`) —
+so a core of a mix replays exactly the access stream it would have had
+in the homogeneous run, shifted by a constant that preserves line
+offsets and set-index bits, and two co-scheduled programs never alias
+each other's cache lines.  Mixes stay fully deterministic.
+
+Known modeling caveat — **barriers gang across programs**: the
+simulator releases a barrier when no core is runnable, so a mix core
+arriving at its program's barrier also waits for the co-scheduled
+program's cores to block (real co-scheduled programs share the memory
+system but not barriers).  Absolute mix timings therefore include this
+cross-program coupling; *relative* metrics stay internally consistent,
+because a mix point's baseline twin is the same mix under the same
+coupling.  Per-program barrier groups in the engine are a roadmap item.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence
+
+from .trace import FLAG_BARRIER, Record, Workload, WorkloadMeta
+
+#: dispatch prefix of mix workload names
+MIX_PREFIX = "mix:"
+
+#: separator between component names inside a mix name
+MIX_SEPARATOR = "+"
+
+#: address offset between component programs.  Every workload carves its
+#: regions from a fresh bump allocator starting at the same base, so two
+#: independently built programs would otherwise overlap — and the MESI
+#: simulator would see phantom cross-program sharing.  Rebasing each
+#: distinct component by a 4 GiB stride keeps programs disjoint while
+#: preserving line offsets and set-index bits (the stride is a multiple
+#: of every cache-set span in use); sharing *within* a program is
+#: untouched because all of its cores get the same offset.
+REBASE_STRIDE = 1 << 32
+
+
+def is_mix_name(name: str) -> bool:
+    """True when ``name`` addresses a workload mix (``mix:a+b``)."""
+    return name.startswith(MIX_PREFIX)
+
+
+def mix_name(components: Sequence[str]) -> str:
+    """Canonical mix name of an ordered component list."""
+    if not components:
+        raise ValueError("a mix needs at least one component workload")
+    return MIX_PREFIX + MIX_SEPARATOR.join(components)
+
+
+def parse_mix_name(name: str) -> List[str]:
+    """Split a ``mix:a+b`` name into its ordered component names.
+
+    Raises ``ValueError`` for names without the prefix or with empty
+    components (``mix:``, ``mix:a++b``).  Components are *not* checked
+    against the registry here — resolution happens when the mix is
+    built, so callers can validate names without building workloads.
+    """
+    if not is_mix_name(name):
+        raise ValueError(f"not a mix name (no {MIX_PREFIX!r} prefix): {name!r}")
+    components = name[len(MIX_PREFIX) :].split(MIX_SEPARATOR)
+    if not components or any(not c for c in components):
+        raise ValueError(
+            f"bad mix name {name!r}; expected "
+            f"{MIX_PREFIX}<workload>{MIX_SEPARATOR}<workload>..."
+        )
+    return components
+
+
+def mix_components_exist(name: str) -> bool:
+    """True when every component of mix ``name`` is a known workload."""
+    from .registry import list_workloads
+
+    try:
+        components = parse_mix_name(name)
+    except ValueError:
+        return False
+    known = set(list_workloads())
+    return all(c in known for c in components)
+
+
+def assignment(components: Sequence[str], n_cores: int) -> List[str]:
+    """Round-robin component assigned to each core (len ``n_cores``)."""
+    return [components[c % len(components)] for c in range(n_cores)]
+
+
+def _rebased(stream: Iterator[Record], offset: int) -> Iterator[Record]:
+    """Shift a record stream's addresses by ``offset`` (barriers kept)."""
+    if offset == 0:
+        return stream
+
+    def gen() -> Iterator[Record]:
+        for gap, addr, flags in stream:
+            if flags & FLAG_BARRIER:
+                yield (gap, addr, flags)
+            else:
+                yield (gap, addr + offset, flags)
+
+    return gen()
+
+
+def mix_workload(
+    name: str,
+    n_cores: int = 4,
+    scale: float = 1.0,
+    seed: int = 1,
+    line_bytes: int = 64,
+) -> Workload:
+    """Build the heterogeneous workload a ``mix:`` name describes.
+
+    Every *distinct* component is built once through the registry with
+    the mix's full ``n_cores``/``scale``/``seed``, then rebased into its
+    own 4 GiB address window (:data:`REBASE_STRIDE`) so co-scheduled
+    programs never alias each other's cache lines; core ``c`` of the
+    mix then consumes core ``c``'s stream of its assigned component.
+    The metadata aggregates conservatively: per-core access counts and
+    footprints take the maximum over components (the simulator stops
+    each core at its own stream's end; see the module docstring for the
+    cross-program barrier caveat).
+    """
+    from .registry import get_workload
+
+    components = parse_mix_name(name)
+    assigned = assignment(components, n_cores)
+    # first-appearance order: stable offsets however cores are assigned
+    distinct = list(dict.fromkeys(components))
+    offsets = {c: i * REBASE_STRIDE for i, c in enumerate(distinct)}
+    built = {
+        c: get_workload(
+            c, n_cores=n_cores, scale=scale, seed=seed, line_bytes=line_bytes
+        )
+        for c in distinct
+    }
+    meta = WorkloadMeta(
+        name=name,
+        suite="mix",
+        kind="mix",
+        accesses_per_core=max(w.meta.accesses_per_core for w in built.values()),
+        footprint_bytes=max(w.meta.footprint_bytes for w in built.values()),
+        shared_bytes=max(w.meta.shared_bytes for w in built.values()),
+        description="multi-program mix: "
+        + ", ".join(f"core{c}={assigned[c]}" for c in range(n_cores)),
+    )
+
+    def factory(n: int) -> list:
+        """Fresh per-core streams, each drawn from its assigned component."""
+        if n != n_cores:
+            raise ValueError(f"mix {name} built for {n_cores} cores, asked {n}")
+        per_component = {c: built[c].streams(n) for c in distinct}
+        return [
+            _rebased(per_component[assigned[c]][c], offsets[assigned[c]])
+            for c in range(n)
+        ]
+
+    return Workload(meta, factory)

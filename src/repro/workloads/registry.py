@@ -2,7 +2,9 @@
 
 ``get_workload`` is the single entry point used by the harness, examples
 and benches.  Besides the six paper benchmarks it registers three plain
-synthetic workloads used in tests and the quickstart example.
+synthetic workloads used in tests and the quickstart example, and
+dispatches ``mix:a+b`` names to the multi-program mix layer
+(:mod:`repro.workloads.mix`).
 """
 
 from __future__ import annotations
@@ -11,6 +13,7 @@ from typing import Callable, Dict, List
 
 from .address_space import AddressSpace
 from .alpbench import facerec, mpeg2dec, mpeg2enc
+from .mix import is_mix_name, mix_components_exist, mix_workload
 from .patterns import ColdStream, HotSet
 from .phases import PhaseSpec, phased_workload
 from .scaling import accesses_per_core, check_scale
@@ -156,8 +159,19 @@ MULTIMEDIA = ("mpeg2enc", "mpeg2dec", "facerec")
 
 
 def list_workloads() -> List[str]:
-    """All registered workload names."""
+    """All registered workload names (mixes are addressed, not listed)."""
     return sorted(_REGISTRY)
+
+
+def workload_exists(name: str) -> bool:
+    """True when ``name`` resolves: registered, or a mix of registered names.
+
+    This is the check spec validation uses — it must accept every name
+    :func:`get_workload` would build without actually building it.
+    """
+    if name in _REGISTRY:
+        return True
+    return is_mix_name(name) and mix_components_exist(name)
 
 
 def get_workload(
@@ -167,12 +181,17 @@ def get_workload(
     seed: int = 1,
     line_bytes: int = 64,
 ) -> Workload:
-    """Build a workload by name."""
+    """Build a workload by name (``mix:a+b`` builds a multi-program mix)."""
+    if is_mix_name(name):
+        return mix_workload(
+            name, n_cores=n_cores, scale=scale, seed=seed, line_bytes=line_bytes
+        )
     try:
         builder = _REGISTRY[name]
     except KeyError:
         raise ValueError(
             f"unknown workload {name!r}; available: {', '.join(list_workloads())}"
+            f" (or a mix:<a>+<b> co-schedule of them)"
         ) from None
     return builder(n_cores=n_cores, scale=scale, seed=seed, line_bytes=line_bytes)
 

@@ -1,0 +1,107 @@
+"""Ensemble statistics: summarize, t-table, aggregation shapes."""
+
+import math
+
+import pytest
+
+from repro.harness.metrics import PointMetrics
+from repro.scenarios.stats import (
+    METRIC_ATTRS,
+    SummaryStat,
+    aggregate_metrics,
+    summarize,
+    t_critical_95,
+)
+
+
+def _metrics(workload="uniform", mb=1, tech="protocol", **vals) -> PointMetrics:
+    base = dict(
+        occupancy=0.9,
+        miss_rate=0.1,
+        bandwidth_increase=0.0,
+        amat_increase=0.0,
+        ipc_loss=0.0,
+        energy_reduction=0.1,
+        l2_leakage_share=0.5,
+    )
+    base.update(vals)
+    return PointMetrics(workload=workload, total_mb=mb, technique=tech, **base)
+
+
+class TestSummarize:
+    def test_known_values(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.mean == pytest.approx(2.0)
+        assert s.stddev == pytest.approx(1.0)  # sample stddev, n-1
+        # t(2, 95%) = 4.303; ci = 4.303 * 1 / sqrt(3)
+        assert s.ci95 == pytest.approx(4.303 / math.sqrt(3))
+        assert s.n == 3
+
+    def test_single_value_degenerates(self):
+        s = summarize([0.42])
+        assert s == SummaryStat(mean=0.42, stddev=0.0, ci95=0.0, n=1)
+        assert s.format_pct() == "42.0%"
+
+    def test_format_pct_with_ci(self):
+        s = summarize([0.10, 0.20])
+        assert "%±" in s.format_pct()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_identical_replicas_have_zero_spread(self):
+        s = summarize([0.5, 0.5, 0.5, 0.5])
+        assert s.stddev == 0.0
+        assert s.ci95 == 0.0
+
+
+class TestTCritical:
+    def test_tabulated_values(self):
+        assert t_critical_95(1) == pytest.approx(12.706)
+        assert t_critical_95(4) == pytest.approx(2.776)
+        assert t_critical_95(30) == pytest.approx(2.042)
+
+    def test_large_df_is_normal(self):
+        assert t_critical_95(31) == pytest.approx(1.96)
+        assert t_critical_95(1000) == pytest.approx(1.96)
+
+    def test_monotone_decreasing(self):
+        vals = [t_critical_95(df) for df in range(1, 40)]
+        assert vals == sorted(vals, reverse=True)
+
+    def test_bad_df_rejected(self):
+        with pytest.raises(ValueError):
+            t_critical_95(0)
+
+
+class TestAggregate:
+    def test_shape_and_values(self):
+        per_replica = [
+            [_metrics(energy_reduction=0.10), _metrics(tech="decay64K")],
+            [_metrics(energy_reduction=0.20), _metrics(tech="decay64K")],
+        ]
+        rows = aggregate_metrics(per_replica)
+        assert [r.technique for r in rows] == ["protocol", "decay64K"]
+        assert rows[0].n == 2
+        assert rows[0].stats["energy_reduction"].mean == pytest.approx(0.15)
+        assert set(rows[0].stats) == set(METRIC_ATTRS)
+
+    def test_flat_dict_export(self):
+        rows = aggregate_metrics([[_metrics()], [_metrics()]])
+        d = rows[0].as_dict()
+        assert d["replicas"] == 2
+        assert "energy_reduction_mean" in d
+        assert "energy_reduction_ci95" in d
+
+    def test_ragged_input_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_metrics([[_metrics()], []])
+
+    def test_misaligned_points_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_metrics([[_metrics(tech="protocol")],
+                               [_metrics(tech="decay64K")]])
+
+    def test_empty_ensemble(self):
+        assert aggregate_metrics([]) == []

@@ -1,0 +1,139 @@
+"""Scenario library: registry, built-in families, shipped spec twins."""
+
+import os
+
+import pytest
+
+from repro.harness.spec import SpecError, load_spec
+from repro.scenarios.templates import (
+    build_scenario,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+)
+
+REPO_ROOT = os.path.join(os.path.dirname(__file__), "..", "..")
+SPECS_DIR = os.path.join(REPO_ROOT, "specs")
+
+#: families frozen as shipped spec files (regression-tested below)
+SHIPPED = ("mix_smoke", "sizing_sensitivity", "core_scaling")
+
+
+class TestRegistry:
+    def test_ships_at_least_three_families(self):
+        names = scenario_names()
+        assert len(names) >= 3
+        assert {"multiprogram_mix", "sizing_sensitivity",
+                "core_scaling"} <= set(names)
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(ValueError, match="multiprogram_mix"):
+            get_scenario("nope")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_scenario(get_scenario("core_scaling"))
+
+    def test_every_family_builds_a_strictly_valid_spec(self):
+        for name in scenario_names():
+            spec = build_scenario(name)
+            spec.validate(strict=True)
+            assert spec.expand(), name
+
+
+class TestFamilies:
+    def test_multiprogram_mix_crosses_suites(self):
+        spec = build_scenario("multiprogram_mix")
+        assert all(wl.startswith("mix:") for wl in spec.workloads)
+        assert "mix:water_ns+mpeg2dec" in spec.workloads
+        assert len(spec.workloads) == 9  # 3 scientific x 3 multimedia
+
+    def test_multiprogram_mix_custom_pairs(self):
+        spec = build_scenario(
+            "multiprogram_mix", pairs=[("uniform", "pingpong")], sizes_mb=(1,)
+        )
+        assert spec.workloads == ("mix:uniform+pingpong",)
+
+    def test_sizing_sensitivity_scales_custom_cycles(self):
+        spec = build_scenario("sizing_sensitivity", scale=0.1)
+        assert spec.run["scale"] == 0.1
+        assert spec.custom_techniques["decay@16K"].decay_cycles == 1600
+        assert spec.custom_techniques["sel_decay@512K"].decay_cycles == 51200
+        # a denser decay axis than the paper's three nominal times
+        decay_labels = [t for t in spec.techniques if t.startswith("decay@")]
+        assert len(decay_labels) == 4
+
+    def test_core_scaling_pins_n_cores(self):
+        spec = build_scenario("core_scaling")
+        counts = {p["n_cores"] for p in spec.points}
+        assert counts == {2, 4, 8}
+        points = spec.expand()
+        assert {p.n_cores for p in points} == {2, 4, 8}
+        assert all(p.total_mb == 4 for p in points)
+
+    def test_mix_smoke_declares_an_ensemble(self):
+        spec = build_scenario("mix_smoke")
+        assert spec.ensemble == {"replicas": 2}
+        assert spec.run["scale"] == 0.05
+
+
+class TestShippedSpecFiles:
+    """The checked-in specs/ files are frozen template defaults."""
+
+    @pytest.mark.parametrize("name", SHIPPED)
+    def test_shipped_file_matches_template_default(self, name):
+        shipped = load_spec(os.path.join(SPECS_DIR, f"{name}.toml"))
+        assert shipped.to_dict() == build_scenario(name).to_dict()
+
+    @pytest.mark.parametrize("name", SHIPPED)
+    def test_shipped_file_is_strictly_valid(self, name):
+        spec = load_spec(os.path.join(SPECS_DIR, f"{name}.toml"))
+        spec.validate(strict=True)
+
+
+class TestEnsembleSpecTable:
+    def test_unknown_ensemble_keys_rejected(self):
+        from repro.harness.spec import ExperimentSpec
+
+        with pytest.raises(SpecError, match="ensemble"):
+            ExperimentSpec(
+                name="x",
+                points=({"workload": "uniform", "size_mb": 1,
+                         "technique": "baseline"},),
+                ensemble={"bogus": 1},
+            )
+
+    def test_bad_replicas_rejected(self):
+        from repro.harness.spec import ExperimentSpec
+
+        for bad in (0, -1, "two", True):
+            with pytest.raises(SpecError):
+                ExperimentSpec(
+                    name="x",
+                    points=({"workload": "uniform", "size_mb": 1,
+                             "technique": "baseline"},),
+                    ensemble={"replicas": bad},
+                )
+
+    def test_zero_stride_rejected(self):
+        from repro.harness.spec import ExperimentSpec
+
+        with pytest.raises(SpecError, match="seed_stride"):
+            ExperimentSpec(
+                name="x",
+                points=({"workload": "uniform", "size_mb": 1,
+                         "technique": "baseline"},),
+                ensemble={"seed_stride": 0},
+            )
+
+    def test_round_trip_through_toml_and_json(self):
+        from repro.harness.spec import ExperimentSpec
+
+        spec = ExperimentSpec(
+            name="ens",
+            points=({"workload": "uniform", "size_mb": 1,
+                     "technique": "baseline"},),
+            ensemble={"replicas": 5, "base_seed": 100, "seed_stride": 7},
+        )
+        assert ExperimentSpec.from_toml(spec.to_toml()).ensemble == spec.ensemble
+        assert ExperimentSpec.from_json(spec.to_json()).ensemble == spec.ensemble

@@ -1,0 +1,123 @@
+"""Multi-program mix layer: names, dispatch, stream assignment."""
+
+import pytest
+
+from repro.workloads.mix import (
+    assignment,
+    is_mix_name,
+    mix_components_exist,
+    mix_name,
+    mix_workload,
+    parse_mix_name,
+)
+from repro.workloads.registry import get_workload, workload_exists
+
+
+class TestMixNames:
+    def test_roundtrip(self):
+        name = mix_name(["water_ns", "mpeg2dec"])
+        assert name == "mix:water_ns+mpeg2dec"
+        assert is_mix_name(name)
+        assert parse_mix_name(name) == ["water_ns", "mpeg2dec"]
+
+    def test_single_component_allowed(self):
+        assert parse_mix_name("mix:uniform") == ["uniform"]
+
+    def test_bad_names_rejected(self):
+        with pytest.raises(ValueError):
+            parse_mix_name("water_ns+mpeg2dec")  # no prefix
+        with pytest.raises(ValueError):
+            parse_mix_name("mix:")
+        with pytest.raises(ValueError):
+            parse_mix_name("mix:a++b")
+        with pytest.raises(ValueError):
+            mix_name([])
+
+    def test_component_existence(self):
+        assert mix_components_exist("mix:uniform+pingpong")
+        assert not mix_components_exist("mix:uniform+nope")
+        assert not mix_components_exist("plain_name")
+
+    def test_workload_exists_covers_mixes(self):
+        assert workload_exists("uniform")
+        assert workload_exists("mix:uniform+pingpong")
+        assert not workload_exists("mix:uniform+nope")
+        assert not workload_exists("nope")
+
+    def test_assignment_round_robin(self):
+        assert assignment(["a", "b"], 4) == ["a", "b", "a", "b"]
+        assert assignment(["a", "b", "c"], 4) == ["a", "b", "c", "a"]
+
+
+class TestMixWorkload:
+    def test_registry_dispatch(self):
+        wl = get_workload("mix:uniform+pingpong", n_cores=4, scale=0.04)
+        assert wl.name == "mix:uniform+pingpong"
+        assert wl.meta.suite == "mix"
+
+    def test_unknown_component_raises(self):
+        with pytest.raises(ValueError):
+            get_workload("mix:uniform+nope", scale=0.04)
+
+    def test_core_streams_match_homogeneous_parents(self):
+        """Core c replays core c of its component, shifted per component."""
+        from repro.workloads.mix import REBASE_STRIDE
+
+        mix = get_workload("mix:uniform+pingpong", n_cores=4, scale=0.04)
+        uni = get_workload("uniform", n_cores=4, scale=0.04)
+        ping = get_workload("pingpong", n_cores=4, scale=0.04)
+        mix_streams = mix.streams(4)
+        uni_streams = uni.streams(4)
+        ping_streams = ping.streams(4)
+        # component 0 sits in the base window, component 1 one stride up
+        for c, parent, off in ((0, uni_streams, 0),
+                               (1, ping_streams, REBASE_STRIDE)):
+            got = [next(mix_streams[c]) for _ in range(50)]
+            want = [
+                (gap, addr + off, flags)
+                for gap, addr, flags in (next(parent[c]) for _ in range(50))
+            ]
+            assert got == want
+
+    def test_components_never_alias_cache_lines(self):
+        """Co-scheduled programs must not share any line address."""
+        mix = get_workload("mix:uniform+pingpong", n_cores=2, scale=0.04)
+        streams = mix.streams(2)
+        lines = []
+        for stream in streams:
+            lines.append(
+                {addr // 64 for _, addr, flags in
+                 (next(stream) for _ in range(2000)) if not (flags & 0x8)}
+            )
+        assert not (lines[0] & lines[1])
+
+    def test_repeated_component_shares_one_window(self):
+        """mix:a+b+a: both 'a' cores stay in the same address window."""
+        from repro.workloads.mix import REBASE_STRIDE
+
+        mix = get_workload("mix:pingpong+uniform+pingpong", n_cores=3,
+                           scale=0.04)
+        streams = mix.streams(3)
+        addrs = [
+            [addr for _, addr, flags in (next(s) for _ in range(100))
+             if not (flags & 0x8)]
+            for s in streams
+        ]
+        # cores 0 and 2 run pingpong (offset 0): all below one stride;
+        # core 1 runs uniform, rebased one stride up
+        assert all(a < REBASE_STRIDE for a in addrs[0] + addrs[2])
+        assert all(REBASE_STRIDE <= a < 2 * REBASE_STRIDE for a in addrs[1])
+        # pingpong is a shared-region ping-pong: its two cores must still
+        # genuinely share lines after the rebase
+        assert {a // 64 for a in addrs[0]} & {a // 64 for a in addrs[2]}
+
+    def test_streams_fresh_per_call(self):
+        wl = mix_workload("mix:uniform+pingpong", n_cores=2, scale=0.04)
+        a = [next(wl.streams(2)[0]) for _ in range(20)]
+        b = [next(wl.streams(2)[0]) for _ in range(20)]
+        assert a == b
+
+    def test_wrong_core_count_rejected(self):
+        wl = mix_workload("mix:uniform+pingpong", n_cores=4, scale=0.04)
+        with pytest.raises(ValueError):
+            wl.streams(2)
