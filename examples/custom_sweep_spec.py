@@ -21,7 +21,7 @@ import argparse
 import os
 import tempfile
 
-from repro.harness import SweepRunner, load_spec, save_spec
+from repro.harness import ResultQuery, SweepRunner, load_spec, save_spec
 from repro.harness.spec import ExperimentSpec
 from repro.sim.config import COUNTER_HIERARCHICAL, TechniqueConfig
 
@@ -99,6 +99,14 @@ def main() -> None:
         name = f"{m.workload} {m.total_mb}MB {m.technique}"
         print(f"{name:32s} {m.energy_reduction:10.1%} {m.ipc_loss:9.1%} "
               f"{m.occupancy:10.1%}")
+
+    # selection is a ResultQuery - the same object `repro-cmp query`
+    # and the HTTP /v1/query endpoint execute
+    best = ResultQuery(sort=("-energy_reduction",), limit=2).apply(metrics)
+    print("\nbiggest energy savers:")
+    for m in best:
+        print(f"  {m.workload} {m.total_mb}MB {m.technique}: "
+              f"{m.energy_reduction:.1%} (ipc loss {m.ipc_loss:.1%})")
 
     print("\nOff-grid reading: the 24K hierarchical config decays harder "
           "than 96K (lower\noccupancy everywhere).  Where the working set "

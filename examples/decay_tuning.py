@@ -14,7 +14,7 @@ replayed verbatim via ``repro-cmp run``.
 
 import argparse
 
-from repro.harness import SweepRunner, save_spec
+from repro.harness import ResultQuery, SweepRunner, save_spec
 from repro.harness.spec import ExperimentSpec
 from repro.sim.config import TechniqueConfig
 
@@ -79,7 +79,8 @@ def main() -> None:
     for name in TECH_NAMES:
         for nominal in NOMINAL_DECAYS:
             label = f"{name}@{nominal // 1000}K"
-            (m,) = [x for x in metrics if x.technique == label]
+            # the same ResultQuery selection the CLI/HTTP layers execute
+            (m,) = ResultQuery(techniques=(label,)).apply(metrics)
             # energy ratio and delay ratio from the relative metrics:
             # instructions are fixed per workload, so the cycle (delay)
             # ratio is the inverse IPC ratio

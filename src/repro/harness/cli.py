@@ -37,6 +37,15 @@ Distributed sweeps (see ``docs/architecture.md``)::
     repro-cmp serve --port 7777 --jobs 2           # coordinator, no figure
     repro-cmp fig5a --backend batch --queue-dir q  # task file + ingest
     repro-cmp work --queue-dir q --slice 0/2       # a batch worker shell
+
+Result queries and the HTTP result service (see ``repro.serving``)::
+
+    repro-cmp query '' specs/smoke.toml            # every cached row
+    repro-cmp query 'workload=uniform sort=-energy_reduction limit=5'
+    repro-cmp query 'size=4 fields=digest,technique,ipc_loss' --json
+    repro-cmp run specs/smoke.toml --query 'technique=protocol'
+    repro-cmp serve-results specs/smoke.toml --port 8031
+    # then: curl localhost:8031/v1/query?workload=uniform
 """
 
 from __future__ import annotations
@@ -66,9 +75,10 @@ from .figures import (
     show_cores_column,
     table1,
 )
+from .query import QueryError, ResultQuery, ResultStore
 from .result_cache import ResultCache
 from .runner import CACHE_VERSION, SweepRunner
-from .spec import SpecError, load_spec, save_spec
+from .spec import SpecError, load_spec, paper_matrix_spec, save_spec
 
 #: default workload time-dilation when neither flag nor spec sets one
 DEFAULT_SCALE = 0.1
@@ -87,7 +97,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "command",
         help="experiment id (fig3a..fig6b, table1), 'list', 'point', "
-        "'spec', 'scenario', 'run', 'cache', 'serve', or 'work'",
+        "'spec', 'scenario', 'run', 'cache', 'serve', 'work', 'query', "
+        "or 'serve-results'",
     )
     p.add_argument("args", nargs="*", help="command-specific arguments")
     p.add_argument(
@@ -200,6 +211,28 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="also write the experiment table as CSV to PATH",
+    )
+    p.add_argument(
+        "--json",
+        dest="as_json",
+        action="store_true",
+        help="query: emit the canonical JSON document (byte-identical "
+        "to the HTTP /v1/query response) instead of a table",
+    )
+    p.add_argument(
+        "--query",
+        type=str,
+        default=None,
+        metavar="FILTER",
+        help="run/scenario run: restrict and order the reported rows "
+        "with a result-query filter string (e.g. "
+        "'workload=uniform sort=-energy_reduction limit=5')",
+    )
+    p.add_argument(
+        "--simulate",
+        action="store_true",
+        help="query/serve-results: simulate missing points on demand "
+        "instead of skipping them (reads stay read-only by default)",
     )
     p.add_argument("--quiet", action="store_true")
     return p
@@ -507,8 +540,9 @@ def _execute_spec(args: argparse.Namespace, spec) -> int:
     except SpecError as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    query = _parse_query_flag(args)
     if ensemble.replicas > 1 or ensemble.base_seed is not None:
-        result = run_ensemble(runner, ensemble)
+        result = run_ensemble(runner, ensemble, query=query)
         seeds = ensemble.replica_seeds(runner.seed)
         table = ensemble_table(
             spec.name,
@@ -519,6 +553,8 @@ def _execute_spec(args: argparse.Namespace, spec) -> int:
         _emit_table(args, table)
         return 0
     metrics = runner.run_spec(runner.expand_spec(spec))
+    if query is not None:
+        metrics = query.apply(metrics)
     _emit_table(args, _metrics_table(spec.name, metrics))
     return 0
 
@@ -649,6 +685,143 @@ def _serve_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_query_flag(args: argparse.Namespace) -> Optional[ResultQuery]:
+    """Parse the ``--query`` filter flag; ``None`` when unset.
+
+    Raises ``SystemExit(2)`` with the parse error on bad filter text, so
+    every command that honors the flag rejects it identically.
+    """
+    if args.query is None:
+        return None
+    try:
+        return ResultQuery.parse(args.query)
+    except QueryError as exc:
+        raise SystemExit(f"bad --query filter: {exc}")
+
+
+def _open_store(
+    args: argparse.Namespace, spec_arg: Optional[str]
+) -> ResultStore:
+    """Mount the result store ``query``/``serve-results`` read from.
+
+    ``spec_arg`` is an optional spec-file path; without one the paper's
+    full matrix is mounted.  The store resolves scale/seed exactly like
+    ``repro-cmp run`` (CLI flags beat the spec's ``[run]`` table), so it
+    computes the same cache keys a run of the same spec populated.
+    """
+    if spec_arg is not None:
+        spec = load_spec(spec_arg)
+        spec.validate(strict=True)
+    else:
+        spec = paper_matrix_spec()
+    if args.no_cache and not args.simulate:
+        raise SystemExit(
+            "--no-cache leaves nothing to read from; drop it, or add "
+            "--simulate to compute rows on demand"
+        )
+    return ResultStore.open(
+        None if args.no_cache else args.cache_dir,
+        spec,
+        scale=args.scale if args.scale is not None else None,
+        seed=args.seed if args.seed is not None else None,
+        simulate_missing=args.simulate,
+        verbose=args.simulate and not args.quiet,
+    )
+
+
+def _query_command(args: argparse.Namespace) -> int:
+    """Run ``repro-cmp query '<filter>' [spec]`` against the cache.
+
+    The filter string, the selection, and the emitted rows are the same
+    objects the HTTP service uses — ``--json`` output is byte-identical
+    to ``GET /v1/query`` for the same filter over the same cache.
+    """
+    from ..serving.wire import encode_json, query_document, rows_csv
+
+    if not args.args or len(args.args) > 2:
+        print(
+            "usage: repro-cmp query '<filter>' [spec.toml] "
+            "[--json] [--csv PATH] [--simulate]\n"
+            "  e.g. repro-cmp query 'workload=uniform size=4 "
+            "sort=-energy_reduction limit=5' specs/smoke.toml",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        query = ResultQuery.parse(args.args[0])
+    except QueryError as exc:
+        print(f"bad query filter: {exc}", file=sys.stderr)
+        return 2
+    try:
+        store = _open_store(args, args.args[1] if len(args.args) == 2 else None)
+    except (OSError, SpecError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    result = store.run_query(query)
+    if args.as_json:
+        sys.stdout.buffer.write(encode_json(query_document(result)))
+        return 0
+    if result.metrics:
+        print(_metrics_table(result.name, result.metrics).render())
+    if args.csv:
+        with open(args.csv, "wb") as fh:
+            fh.write(rows_csv(result.rows, fields=query.fields or None))
+        if not args.quiet:
+            print(f"[csv] wrote {args.csv}")
+    if not args.quiet:
+        print(
+            f"[query] {result.matched} row(s) of {result.total} spec "
+            f"point(s); {result.missing} not cached"
+        )
+    return 0
+
+
+def _serve_results_command(args: argparse.Namespace) -> int:
+    """Run ``repro-cmp serve-results [spec] --cache-dir D --port P``.
+
+    Mounts the cache read-only behind the async HTTP service and blocks
+    until interrupted.  Missing points 404 (the server never simulates
+    unless ``--simulate``).
+    """
+    import asyncio
+
+    from ..serving import ResultServer, ResultService
+
+    if len(args.args) > 1:
+        print(
+            "usage: repro-cmp serve-results [spec.toml] "
+            "[--cache-dir DIR] [--bind HOST] [--port P] [--simulate]",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        store = _open_store(args, args.args[0] if args.args else None)
+    except (OSError, SpecError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    service = ResultService(store)
+    cached = len(store.metrics())
+    missing = len(store.missing_points())
+
+    async def _serve() -> None:
+        server = ResultServer(service.handle, host=args.bind, port=args.port)
+        await server.start()
+        print(
+            f"[serve-results] {store.name}: {cached} cached row(s), "
+            f"{missing} missing; listening on "
+            f"http://{args.bind}:{server.port}/v1/",
+            flush=True,
+        )
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        if not args.quiet:
+            print("[serve-results] stopped")
+    return 0
+
+
 def _parse_slice(text: str) -> Tuple[int, int]:
     """Parse a ``--slice I/N`` value."""
     try:
@@ -708,6 +881,12 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "serve":
         return _serve_command(args)
+
+    if args.command == "query":
+        return _query_command(args)
+
+    if args.command == "serve-results":
+        return _serve_results_command(args)
 
     if args.command == "work":
         return _work_command(args)

@@ -21,9 +21,10 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..coherence.turnoff import table_rows
-from ..sim.config import PAPER_TOTAL_L2_MB
+from ..sim.config import BASELINE, PAPER_TOTAL_L2_MB, paper_technique_order
 from ..workloads.registry import PAPER_BENCHMARKS
-from .metrics import metrics_by_point
+from .metrics import PointMetrics
+from .query import ResultQuery
 from .runner import SweepRunner
 from .spec import grid_spec
 
@@ -58,6 +59,17 @@ class FigureTable:
             writer.writerow([r, *self.cells[r]])
         return buf.getvalue()
 
+    def to_doc(self) -> Dict[str, object]:
+        """JSON-safe document of the rendered table (the wire form)."""
+        return {
+            "exp_id": self.exp_id,
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": list(self.rows),
+            "cells": {name: list(self.cells[name]) for name in self.rows},
+            "notes": self.notes,
+        }
+
     def render(self) -> str:
         """ASCII table in paper order."""
         w0 = max([len(r) for r in self.rows] + [len(self.exp_id)]) + 2
@@ -85,6 +97,103 @@ def _pct(x: float) -> str:
     return f"{x * 100:.1f}%"
 
 
+def canonical_techniques(metrics: Sequence[PointMetrics]) -> List[str]:
+    """Technique labels present in ``metrics``, in paper row order.
+
+    Baseline first, then the paper's technique families, then any
+    off-matrix labels (custom decay tunings, …) in first-appearance
+    order — the row order every figure slice uses when the caller does
+    not pin one.
+    """
+    seen = {m.technique for m in metrics}
+    ordered = [t for t in (BASELINE, *paper_technique_order()) if t in seen]
+    for m in metrics:
+        if m.technique not in ordered:
+            ordered.append(m.technique)
+    return ordered
+
+
+def size_slice(
+    exp_id: str,
+    title: str,
+    attr: str,
+    metrics: Sequence[PointMetrics],
+    sizes: Optional[Sequence[int]] = None,
+    techniques: Optional[Sequence[str]] = None,
+    notes: str = "",
+) -> FigureTable:
+    """Shared shape of Figs 3–5: techniques × size, averaged over benchmarks.
+
+    A pure builder over metric rows — selection runs through
+    :class:`~repro.harness.query.ResultQuery`, so the CLI, the bench
+    scripts, and the HTTP figure endpoint render identical slices from
+    the same rows.  Unpinned axes derive from the rows themselves.
+    """
+    if sizes is None:
+        sizes = sorted({m.total_mb for m in metrics})
+    if techniques is None:
+        techniques = canonical_techniques(metrics)
+    table = FigureTable(
+        exp_id=exp_id,
+        title=title,
+        columns=[f"{mb}MB" for mb in sizes],
+        notes=notes,
+    )
+    for tech in techniques:
+        if tech == BASELINE and attr not in ("occupancy", "miss_rate"):
+            continue  # ratios vs. baseline are identically zero
+        vals = []
+        for mb in sizes:
+            cell = ResultQuery(sizes_mb=(mb,), techniques=(tech,)).apply(metrics)
+            mean = (
+                sum(getattr(m, attr) for m in cell) / len(cell) if cell else 0.0
+            )
+            vals.append(_pct(mean))
+        table.add_row(tech, vals)
+    return table
+
+
+def benchmark_slice(
+    exp_id: str,
+    title: str,
+    attr: str,
+    metrics: Sequence[PointMetrics],
+    total_mb: int,
+    benchmarks: Optional[Sequence[str]] = None,
+    techniques: Optional[Sequence[str]] = None,
+    notes: str = "",
+) -> FigureTable:
+    """Shared shape of Fig 6: techniques × benchmark at one size.
+
+    Pure like :func:`size_slice`; a benchmark with no row at
+    ``total_mb`` renders as ``-`` rather than failing, so partial caches
+    still produce a table.
+    """
+    if benchmarks is None:
+        benchmarks = list(
+            dict.fromkeys(m.workload for m in metrics if m.total_mb == total_mb)
+        )
+    if techniques is None:
+        techniques = canonical_techniques(metrics)
+    table = FigureTable(
+        exp_id=exp_id,
+        title=f"{title} (total {total_mb}MB)",
+        columns=list(benchmarks),
+        notes=notes,
+    )
+    for tech in techniques:
+        if tech == BASELINE:
+            continue
+        vals = []
+        for wl in benchmarks:
+            cell = ResultQuery(
+                workloads=(wl,), sizes_mb=(total_mb,), techniques=(tech,)
+            ).apply(metrics)
+            vals.append(_pct(getattr(cell[0], attr)) if cell else "-")
+        table.add_row(tech, vals)
+    return table
+
+
 def _size_figure(
     runner: SweepRunner,
     exp_id: str,
@@ -94,7 +203,7 @@ def _size_figure(
     benchmarks: Sequence[str],
     notes: str = "",
 ) -> FigureTable:
-    """Shared shape of Figs 3–5: techniques × size, averaged over benchmarks."""
+    """Run the figure's grid spec, then render it via :func:`size_slice`."""
     # Include the baseline in the spec: occupancy/miss-rate figures show
     # its row (100 % / baseline miss rate); its points are cached anyway
     # since every ratio metric pairs against them.
@@ -105,23 +214,15 @@ def _size_figure(
         sizes_mb=sizes,
         techniques=runner.technique_order(),
     )
-    metrics = runner.run_spec(spec)
-    avg = runner.averaged(metrics, attr)
-    table = FigureTable(
-        exp_id=exp_id,
-        title=title,
-        columns=[f"{mb}MB" for mb in sizes],
+    return size_slice(
+        exp_id,
+        title,
+        attr,
+        runner.run_spec(spec),
+        sizes=sizes,
+        techniques=runner.technique_order(),
         notes=notes,
     )
-    for tech in runner.technique_order():
-        if tech == "baseline" and attr not in ("occupancy", "miss_rate"):
-            continue  # ratios vs. baseline are identically zero
-        vals = [
-            _pct(avg[(mb, tech)]) if (mb, tech) in avg else _pct(0.0)
-            for mb in sizes
-        ]
-        table.add_row(tech, vals)
-    return table
 
 
 def fig3a(
@@ -215,7 +316,7 @@ def _benchmark_figure(
     benchmarks: Sequence[str],
     notes: str = "",
 ) -> FigureTable:
-    """Shared shape of Fig 6: techniques × benchmark at one size."""
+    """Run the grid spec, then render it via :func:`benchmark_slice`."""
     spec = grid_spec(
         name=exp_id,
         description=title,
@@ -223,22 +324,16 @@ def _benchmark_figure(
         sizes_mb=[total_mb],
         techniques=runner.technique_order(),
     )
-    by_point = metrics_by_point(runner.run_spec(spec))
-    table = FigureTable(
-        exp_id=exp_id,
-        title=f"{title} (total {total_mb}MB)",
-        columns=list(benchmarks),
+    return benchmark_slice(
+        exp_id,
+        title,
+        attr,
+        runner.run_spec(spec),
+        total_mb,
+        benchmarks=benchmarks,
+        techniques=runner.technique_order(),
         notes=notes,
     )
-    for tech in runner.technique_order():
-        if tech == "baseline":
-            continue
-        vals = [
-            _pct(getattr(by_point[(wl, total_mb, tech)], attr))
-            for wl in benchmarks
-        ]
-        table.add_row(tech, vals)
-    return table
 
 
 def fig6a(
@@ -368,6 +463,61 @@ EXPERIMENTS: Dict[str, Callable] = {
     "fig6a": fig6a,
     "fig6b": fig6b,
 }
+
+
+#: Figure-slice registry: id -> (title, metric attribute, table shape).
+#: ``size`` slices are techniques × size averaged over benchmarks;
+#: ``benchmark`` slices are techniques × benchmark at one size.  Used by
+#: the serving layer to render any figure from *cached* rows alone.
+FIGURE_SLICES: Dict[str, Dict[str, str]] = {
+    "fig3a": {"title": "L2 occupation rate", "attr": "occupancy",
+              "shape": "size"},
+    "fig3b": {"title": "L2 miss rate", "attr": "miss_rate", "shape": "size"},
+    "fig4a": {"title": "Memory bandwidth increase",
+              "attr": "bandwidth_increase", "shape": "size"},
+    "fig4b": {"title": "AMAT increase", "attr": "amat_increase",
+              "shape": "size"},
+    "fig5a": {"title": "Energy reduction", "attr": "energy_reduction",
+              "shape": "size"},
+    "fig5b": {"title": "IPC loss", "attr": "ipc_loss", "shape": "size"},
+    "fig6a": {"title": "Energy reduction per benchmark",
+              "attr": "energy_reduction", "shape": "benchmark"},
+    "fig6b": {"title": "IPC loss per benchmark", "attr": "ipc_loss",
+              "shape": "benchmark"},
+}
+
+
+def figure_slice(
+    name: str,
+    metrics: Sequence[PointMetrics],
+    total_mb: Optional[int] = None,
+) -> FigureTable:
+    """Render one registered figure from in-memory metric rows.
+
+    The read-only counterpart of :func:`run_experiment`: axes derive
+    from the rows (never re-simulating), so a partially-populated cache
+    renders a partial — but correct — table.  ``total_mb`` pins the size
+    of benchmark-shaped figures (default: the paper's 4 MB when present,
+    else the smallest size in the rows).  Raises ``ValueError`` on an
+    unknown name or when no row matches.
+    """
+    if name not in FIGURE_SLICES:
+        raise ValueError(
+            f"unknown figure {name!r}; available: {sorted(FIGURE_SLICES)}"
+        )
+    if not metrics:
+        raise ValueError(f"no metric rows to render figure {name!r} from")
+    info = FIGURE_SLICES[name]
+    if info["shape"] == "size":
+        return size_slice(name, info["title"], info["attr"], metrics)
+    sizes = sorted({m.total_mb for m in metrics})
+    mb = total_mb if total_mb is not None else (4 if 4 in sizes else sizes[0])
+    if mb not in sizes:
+        raise ValueError(
+            f"no metric rows at {mb}MB for figure {name!r}; "
+            f"cached sizes: {sizes}"
+        )
+    return benchmark_slice(name, info["title"], info["attr"], metrics, mb)
 
 
 def run_experiment(

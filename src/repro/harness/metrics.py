@@ -9,6 +9,7 @@ better.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional
 
@@ -165,23 +166,43 @@ def select_metrics(
     total_mb: Optional[int] = None,
     technique: Optional[str] = None,
 ) -> List[PointMetrics]:
-    """Filter a spec's flat metric list by any subset of coordinates.
+    """Deprecated: filter a metric list by loose coordinate kwargs.
 
-    Figure code runs one spec and *selects* from its results instead of
-    re-enumerating the matrix — so a figure over a custom scenario never
-    needs to know which axes the spec declared.
+    Superseded by :class:`repro.harness.query.ResultQuery` — build one
+    query object (``ResultQuery(workloads=(...,), sizes_mb=(...,),
+    techniques=(...,)).apply(metrics)``) and every consumer (CLI,
+    figures, ensembles, HTTP) selects identically.  This shim forwards
+    for one release, then goes away (the PR 3→4 retirement pattern).
     """
-    return [
-        m
-        for m in metrics
-        if (workload is None or m.workload == workload)
-        and (total_mb is None or m.total_mb == total_mb)
-        and (technique is None or m.technique == technique)
-    ]
+    warnings.warn(
+        "select_metrics() is deprecated; build a "
+        "repro.harness.query.ResultQuery and call .apply(metrics)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from .query import ResultQuery  # deferred: query imports this module
+
+    return ResultQuery(
+        workloads=(workload,) if workload is not None else (),
+        sizes_mb=(total_mb,) if total_mb is not None else (),
+        techniques=(technique,) if technique is not None else (),
+    ).apply(metrics)
 
 
 def metrics_by_point(
     metrics: Iterable[PointMetrics],
 ) -> Dict[tuple, PointMetrics]:
-    """Index a metric list by ``(workload, total_mb, technique)``."""
-    return {(m.workload, m.total_mb, m.technique): m for m in metrics}
+    """Deprecated: index a metric list by ``(workload, total_mb, technique)``.
+
+    Superseded by :func:`repro.harness.query.index_by_triple`; this shim
+    forwards for one release, then goes away.
+    """
+    warnings.warn(
+        "metrics_by_point() is deprecated; use "
+        "repro.harness.query.index_by_triple",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from .query import index_by_triple  # deferred: query imports this module
+
+    return dict(index_by_triple(metrics))

@@ -380,12 +380,16 @@ class ResultCache:
                     report.corrupt_entries += 1
         return report
 
-    def write_manifest(self) -> str:
-        """Write an atomic ``index.json`` snapshot of the current version.
+    def build_manifest(self) -> dict:
+        """A fresh, read-only manifest of what is on disk *right now*.
 
-        The manifest is a convenience for humans and external tooling
-        (sync scripts, CI artifact diffing); lookups never consult it, so
-        a stale manifest can never serve stale results.
+        Every row is re-verified against its blob file: a key whose blob
+        vanished between the directory listing and the stat — or that
+        survives only as a provenance sidecar after
+        :meth:`invalidate`/:meth:`prune` — is dropped, never listed.
+        The invariant consumers rely on: every key in the returned
+        manifest had a blob :meth:`read_bytes` could read at build time
+        (so a serving layer never advertises an entry it cannot serve).
         """
         entries = {}
         for key, path in self.iter_entries():
@@ -395,16 +399,28 @@ class ResultCache:
                     "shard": shard_of(key),
                 }
             except OSError:
-                continue
+                continue  # blob vanished since listing: drop, don't 404 later
             prov = self.get_provenance(key)
             if prov is not None:
                 row["provenance"] = prov
             entries[key] = row
-        manifest = {
+        return {
             "version": self.version,
             "count": len(entries),
             "entries": entries,
         }
+
+    def write_manifest(self) -> str:
+        """Write an atomic ``index.json`` snapshot of the current version.
+
+        The written manifest is a convenience for humans and external
+        tooling (sync scripts, CI artifact diffing); lookups never
+        consult it, so a stale manifest can never serve stale results —
+        and readers that must be fresh (the HTTP ``/v1/manifest``
+        endpoint) call :meth:`build_manifest` directly instead of
+        trusting a possibly-stale ``index.json``.
+        """
+        manifest = self.build_manifest()
         return atomic_write(
             os.path.join(self.version_dir(), MANIFEST_NAME),
             json.dumps(manifest, indent=1, sort_keys=True).encode("utf-8"),

@@ -20,9 +20,12 @@ mean/stddev/95%-CI rows via :mod:`repro.scenarios.stats`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from ..harness.metrics import PointMetrics
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..harness.query import ResultQuery
 from ..harness.runner import SweepRunner
 from ..harness.spec import ExperimentSpec, SpecError, SweepPoint
 from .stats import METRIC_ATTRS, EnsembleMetrics, aggregate_metrics
@@ -133,8 +136,14 @@ def run_ensemble(
     runner: SweepRunner,
     ensemble: EnsembleSpec,
     attrs: Sequence[str] = METRIC_ATTRS,
+    query: Optional["ResultQuery"] = None,
 ) -> EnsembleResult:
     """Execute an ensemble through ``runner`` and aggregate its metrics.
+
+    ``query`` restricts and orders the *aggregated* rows (see
+    :func:`repro.scenarios.stats.aggregate_metrics`); the raw
+    per-replica ``metrics`` grid stays complete, so a filtered view
+    never hides data from downstream consumers.
 
     When ``runner`` is a
     :class:`~repro.harness.executor.ParallelSweepRunner`, the flattened
@@ -155,5 +164,5 @@ def run_ensemble(
         spec_name=ensemble.spec.name,
         replicas=replicas,
         metrics=metrics,
-        aggregated=aggregate_metrics(metrics, attrs=attrs),
+        aggregated=aggregate_metrics(metrics, attrs=attrs, query=query),
     )

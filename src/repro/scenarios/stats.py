@@ -18,9 +18,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from ..harness.metrics import PointMetrics
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..harness.query import ResultQuery
 
 #: the PointMetrics attributes an ensemble aggregates (figure metrics)
 METRIC_ATTRS: Tuple[str, ...] = (
@@ -131,6 +134,7 @@ class EnsembleMetrics:
 def aggregate_metrics(
     per_replica: Sequence[Sequence[PointMetrics]],
     attrs: Sequence[str] = METRIC_ATTRS,
+    query: Optional["ResultQuery"] = None,
 ) -> List[EnsembleMetrics]:
     """Collapse per-replica metric lists into one summary row per point.
 
@@ -138,6 +142,14 @@ def aggregate_metrics(
     the shape :func:`repro.scenarios.ensemble.run_ensemble` produces:
     every replica list has the same length and point order, replicas
     differing only in seed.  Raises on ragged input.
+
+    ``query`` (a :class:`~repro.harness.query.ResultQuery`) restricts
+    and orders the output rows: points are filtered by the query's
+    coordinate axes *before* aggregation (a dropped point costs
+    nothing), and the summary rows are sorted/limited through the same
+    :meth:`~repro.harness.query.ResultQuery.arrange` every other
+    consumer uses — sort columns resolve against each row's ``stats``
+    means.
     """
     if not per_replica:
         return []
@@ -148,6 +160,10 @@ def aggregate_metrics(
                 f"ragged ensemble: replica {r} has {len(replica)} points, "
                 f"replica 0 has {width}"
             )
+    if query is not None:
+        keep = [i for i, m in enumerate(per_replica[0]) if query.matches(m)]
+        per_replica = [[replica[i] for i in keep] for replica in per_replica]
+        width = len(keep)
     out: List[EnsembleMetrics] = []
     for i in range(width):
         column = [replica[i] for replica in per_replica]
@@ -176,4 +192,6 @@ def aggregate_metrics(
                 },
             )
         )
+    if query is not None:
+        out = query.arrange(out)
     return out

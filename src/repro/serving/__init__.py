@@ -1,0 +1,46 @@
+"""Results-as-a-service: a read-only async HTTP layer over the cache.
+
+``repro.serving`` mounts an existing result-cache directory (plus the
+experiment spec that populated it) and serves the paper's numbers over
+hand-rolled, stdlib-only HTTP/1.1:
+
+* ``GET /v1/points/<digest>/metrics`` — one content-addressed metric
+  row, ``ETag: "<digest>"``, immutable cache policy;
+* ``GET /v1/query?...`` — filtered/sorted/projected rows (JSON or CSV),
+  executing the same :class:`~repro.harness.query.ResultQuery` the CLI
+  and figure code run;
+* ``GET /v1/manifest`` / ``GET /v1/provenance/<digest>`` — the cache's
+  own metadata;
+* ``GET /v1/figures/<name>`` — rendered figure-table slices.
+
+The service never simulates: a missing cache entry is a 404, not a
+compute job.  Start one from the CLI with ``repro-cmp serve-results``.
+"""
+
+from .server import BackgroundServer, HttpError, Request, Response, ResultServer
+from .service import ResultService
+from .wire import (
+    CACHE_IMMUTABLE,
+    encode_json,
+    error_document,
+    etag_for,
+    point_document,
+    query_document,
+    rows_csv,
+)
+
+__all__ = [
+    "BackgroundServer",
+    "CACHE_IMMUTABLE",
+    "HttpError",
+    "Request",
+    "Response",
+    "ResultServer",
+    "ResultService",
+    "encode_json",
+    "error_document",
+    "etag_for",
+    "point_document",
+    "query_document",
+    "rows_csv",
+]

@@ -1,0 +1,169 @@
+"""URL routing of the result service: path patterns → handlers.
+
+Each handler is a pure function from ``(service, request, match)`` to a
+:class:`~repro.serving.server.Response`; application failures raise
+:class:`~repro.serving.server.HttpError` and surface as JSON error
+bodies.  The handlers contain no selection logic of their own — every
+row they serve comes out of :meth:`ResultStore.run_query` or the figure
+slice builders, the same seams the CLI uses.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable, List, Match, Pattern, Tuple
+
+from ..harness.figures import FIGURE_SLICES, figure_slice, table1
+from ..harness.query import ResultQuery, QueryError
+from .server import HttpError, Request, Response
+from .wire import (
+    CACHE_IMMUTABLE,
+    CSV_TYPE,
+    encode_json,
+    etag_for,
+    figure_document,
+    point_document,
+    query_document,
+    rows_csv,
+)
+
+_DIGEST = r"(?P<digest>[0-9a-f]{6,64})"
+
+
+def _pop_param(request: Request, name: str) -> List[str]:
+    """Remove and return every value of one query parameter."""
+    values = [v for k, v in request.params if k == name]
+    request.params = [(k, v) for k, v in request.params if k != name]
+    return values
+
+
+def _format_of(request: Request) -> str:
+    """The requested body format: ``json`` (default) or ``csv``."""
+    values = _pop_param(request, "format")
+    fmt = values[-1].lower() if values else "json"
+    if fmt not in ("json", "csv"):
+        raise HttpError(400, f"unknown format {fmt!r}; use json or csv")
+    return fmt
+
+
+def handle_index(service: Any, request: Request, match: Match) -> Response:
+    """``GET /`` — describe the service and its endpoints."""
+    return Response.json(service.describe())
+
+
+def handle_query(service: Any, request: Request, match: Match) -> Response:
+    """``GET /v1/query`` — filtered metric rows as JSON or CSV."""
+    fmt = _format_of(request)
+    try:
+        query = ResultQuery.from_params(request.params)
+    except QueryError as exc:
+        raise HttpError(400, str(exc)) from exc
+    result = service.store.run_query(query)
+    if fmt == "csv":
+        return Response(
+            body=rows_csv(result.rows, fields=query.fields or None),
+            content_type=CSV_TYPE,
+        )
+    return Response.json(query_document(result))
+
+
+def handle_point_metrics(
+    service: Any, request: Request, match: Match
+) -> Response:
+    """``GET /v1/points/<digest>/metrics`` — one content-addressed row.
+
+    The digest is the point's own
+    :meth:`~repro.harness.spec.SweepPoint.digest`, so the document can
+    never change: responses carry ``ETag: "<digest>"`` and an
+    ``immutable`` cache policy, and repeated fetches are byte-identical.
+    """
+    digest = match.group("digest")
+    hit = service.store.metrics_for_digest(digest)
+    if hit is None:
+        raise HttpError(404, f"unknown point digest {digest!r}")
+    point, metrics = hit
+    if metrics is None:
+        raise HttpError(
+            404,
+            f"point {digest!r} (or its baseline) is not in the result "
+            "cache; run its spec first",
+        )
+    return Response(
+        body=encode_json(point_document(digest, point, metrics)),
+        headers={"ETag": etag_for(digest), "Cache-Control": CACHE_IMMUTABLE},
+    )
+
+
+def handle_manifest(service: Any, request: Request, match: Match) -> Response:
+    """``GET /v1/manifest`` — a fresh manifest of the mounted cache."""
+    return Response.json(service.manifest())
+
+
+def handle_provenance(
+    service: Any, request: Request, match: Match
+) -> Response:
+    """``GET /v1/provenance/<digest>`` — one point's provenance sidecar."""
+    digest = match.group("digest")
+    if service.store.digest_index().get(digest) is None:
+        raise HttpError(404, f"unknown point digest {digest!r}")
+    doc = service.store.provenance_for_digest(digest)
+    if doc is None:
+        raise HttpError(404, f"no provenance recorded for point {digest!r}")
+    return Response.json({"digest": digest, "provenance": doc})
+
+
+def handle_figure(service: Any, request: Request, match: Match) -> Response:
+    """``GET /v1/figures/<name>`` — one rendered figure-table slice.
+
+    ``table1`` needs no cache (it is the coherence legality matrix);
+    every other figure renders from the store's cached rows only.
+    ``?size=`` pins benchmark-shaped figures; ``?format=csv`` serves the
+    table as CSV.
+    """
+    name = match.group("name")
+    fmt = _format_of(request)
+    sizes = _pop_param(request, "size")
+    total_mb = None
+    if sizes:
+        try:
+            total_mb = int(sizes[-1])
+        except ValueError:
+            raise HttpError(
+                400, f"size must be an integer (MB), got {sizes[-1]!r}"
+            ) from None
+    if name == "table1":
+        table = table1()
+    else:
+        if name not in FIGURE_SLICES:
+            raise HttpError(
+                404,
+                f"unknown figure {name!r}; available: "
+                f"{sorted(FIGURE_SLICES) + ['table1']}",
+            )
+        try:
+            table = figure_slice(name, service.store.metrics(), total_mb)
+        except ValueError as exc:
+            raise HttpError(404, str(exc)) from exc
+    if fmt == "csv":
+        return Response(body=table.to_csv().encode("utf-8"), content_type=CSV_TYPE)
+    return Response.json(figure_document(table))
+
+
+#: the route table: compiled path pattern → handler
+ROUTES: List[Tuple[Pattern[str], Callable[..., Response]]] = [
+    (re.compile(r"^/(v1/?)?$"), handle_index),
+    (re.compile(r"^/v1/query$"), handle_query),
+    (re.compile(rf"^/v1/points/{_DIGEST}/metrics$"), handle_point_metrics),
+    (re.compile(r"^/v1/manifest$"), handle_manifest),
+    (re.compile(rf"^/v1/provenance/{_DIGEST}$"), handle_provenance),
+    (re.compile(r"^/v1/figures/(?P<name>[A-Za-z0-9_.-]+)$"), handle_figure),
+]
+
+
+def dispatch(service: Any, request: Request) -> Response:
+    """Route one request; unknown paths 404 with a JSON body."""
+    for pattern, handler in ROUTES:
+        match = pattern.match(request.path)
+        if match is not None:
+            return handler(service, request, match)
+    raise HttpError(404, f"no such resource: {request.path}")

@@ -1,0 +1,88 @@
+"""The result service: a mounted store behind the async HTTP surface.
+
+:class:`ResultService` glues the three layers together: it owns a
+:class:`~repro.harness.query.ResultStore` (the query seam), answers
+parsed requests through the route table, and exposes the store-level
+documents (index, manifest) the routes serve.  It contains no socket
+code — :class:`~repro.serving.server.ResultServer` takes its
+:meth:`handle` as the handler callable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from ..harness.query import ResultStore
+from ..harness.spec import ExperimentSpec
+from .routes import FIGURE_SLICES, dispatch
+from .server import Request, Response
+
+
+class ResultService:
+    """Read-only HTTP semantics over one mounted result store."""
+
+    def __init__(self, store: ResultStore) -> None:
+        self.store = store
+
+    @classmethod
+    def mount(
+        cls,
+        cache_dir: str,
+        spec: ExperimentSpec,
+        scale: Optional[float] = None,
+        seed: Optional[int] = None,
+        n_cores: Optional[int] = None,
+        warmup: Optional[float] = None,
+        simulate_missing: bool = False,
+    ) -> "ResultService":
+        """Mount a cache directory under a spec's resolved context."""
+        return cls(
+            ResultStore.open(
+                cache_dir,
+                spec,
+                scale=scale,
+                seed=seed,
+                n_cores=n_cores,
+                warmup=warmup,
+                simulate_missing=simulate_missing,
+            )
+        )
+
+    async def handle(self, request: Request) -> Response:
+        """The server-facing handler: route one parsed request."""
+        return dispatch(self, request)
+
+    # ------------------------------------------------------------------
+    def describe(self) -> Dict[str, Any]:
+        """The index document: what is mounted, which endpoints exist."""
+        return {
+            "service": "repro-cmp results",
+            "spec": self.store.name,
+            "points": len(self.store.points()),
+            "cached": len(self.store.metrics()),
+            "missing": len(self.store.missing_points()),
+            "figures": sorted(FIGURE_SLICES) + ["table1"],
+            "endpoints": [
+                "/v1/query?workload=&technique=&size=&cores="
+                "&sort=&fields=&limit=&format=",
+                "/v1/points/<digest>/metrics",
+                "/v1/manifest",
+                "/v1/provenance/<digest>",
+                "/v1/figures/<name>?size=&format=",
+            ],
+        }
+
+    def manifest(self) -> Dict[str, Any]:
+        """A freshly-built manifest of the mounted cache directory.
+
+        Built (not read from ``index.json``) on every request so rows
+        whose blob vanished since the last
+        :meth:`~repro.harness.result_cache.ResultCache.write_manifest`
+        never get served.
+        """
+        cache = self.store.runner.cache
+        if cache is None:
+            return {"entries": {}, "count": 0}
+        manifest = cache.build_manifest()
+        manifest["count"] = len(manifest.get("entries", {}))
+        return manifest

@@ -1,0 +1,98 @@
+"""Wire schemas of the result service: stable JSON/CSV response bodies.
+
+Every response document the HTTP layer emits is built here, from the
+same objects the CLI prints — so byte-level parity between
+``repro-cmp query --json`` and ``GET /v1/query`` is a property of this
+module, not a coincidence.  Encoding is canonical (sorted keys, fixed
+indent, trailing newline): a digest-addressed document is byte-identical
+across processes and server restarts, which is what makes the
+``ETag: "<digest>"`` + ``Cache-Control: immutable`` contract honest.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
+
+from ..harness.metrics import PointMetrics
+from ..harness.query import PROJECTION_FIELDS, QueryResult
+from ..harness.spec import SweepPoint
+
+#: media types the service emits
+JSON_TYPE = "application/json; charset=utf-8"
+CSV_TYPE = "text/csv; charset=utf-8"
+
+#: cache policy of content-addressed responses: a digest-keyed document
+#: never changes, so any intermediary may cache it forever
+CACHE_IMMUTABLE = "public, max-age=31536000, immutable"
+
+
+def etag_for(digest: str) -> str:
+    """The strong validator of a content-addressed response."""
+    return f'"{digest}"'
+
+
+def encode_json(doc: Mapping[str, Any]) -> bytes:
+    """Canonical JSON bytes: sorted keys, indent 1, trailing newline."""
+    return (json.dumps(doc, sort_keys=True, indent=1) + "\n").encode("utf-8")
+
+
+def query_document(result: QueryResult) -> Dict[str, Any]:
+    """The ``/v1/query`` (and ``repro-cmp query --json``) body."""
+    return {
+        "name": result.name,
+        "query": result.query.to_dict(),
+        "count": result.matched,
+        "missing": result.missing,
+        "total": result.total,
+        "rows": result.rows,
+    }
+
+
+def point_document(
+    digest: str, point: SweepPoint, metrics: PointMetrics
+) -> Dict[str, Any]:
+    """The ``/v1/points/<digest>/metrics`` body."""
+    return {
+        "digest": digest,
+        "point": point.to_dict(),
+        "metrics": metrics.as_dict(),
+    }
+
+
+def error_document(status: int, message: str) -> Dict[str, Any]:
+    """The JSON error body every non-2xx/304 response carries."""
+    return {"error": {"status": status, "message": message}}
+
+
+def rows_csv(
+    rows: Iterable[Mapping[str, Any]],
+    fields: Optional[Sequence[str]] = None,
+) -> bytes:
+    """Rows as CSV bytes; column order follows the query projection.
+
+    With no explicit ``fields`` the header uses the canonical projection
+    order restricted to columns the rows actually carry.
+    """
+    rows = list(rows)
+    if fields:
+        header: List[str] = list(fields)
+    else:
+        present = set()
+        for row in rows:
+            present.update(row)
+        header = [name for name in PROJECTION_FIELDS if name in present]
+        header.extend(name for name in sorted(present) if name not in header)
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=header, extrasaction="ignore")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow({name: row.get(name) for name in header})
+    return buf.getvalue().encode("utf-8")
+
+
+def figure_document(table: Any) -> Dict[str, Any]:
+    """The ``/v1/figures/<name>`` body (a rendered FigureTable slice)."""
+    return table.to_doc()

@@ -137,6 +137,47 @@ class TestManifest:
         assert [k for k, _ in cache.iter_entries()] == ["k1"]
         assert cache.stats().entries == 1
 
+    def test_manifest_drops_vanished_blob(self, cache):
+        """Regression: a key whose blob file vanished must not be listed.
+
+        The provenance sidecar survives the deletion — the manifest must
+        go by the blob (what ``read_bytes`` can actually serve), never by
+        leftover metadata.
+        """
+        cache.put("k1", {"a": 1})
+        cache.put("k2", {"b": 2})
+        cache.put_provenance("k2", {"worker": "w0"})
+        cache.write_manifest()
+        os.unlink(cache.path_for("k2"))  # blob gone; sidecar remains
+        fresh = cache.build_manifest()
+        assert set(fresh["entries"]) == {"k1"}
+        assert fresh["count"] == 1
+        # every listed key must be readable right now
+        assert all(cache.read_bytes(k) is not None for k in fresh["entries"])
+        # rewriting replaces the stale on-disk snapshot too
+        cache.write_manifest()
+        assert set(cache.read_manifest()["entries"]) == {"k1"}
+
+    def test_manifest_drops_blob_vanishing_mid_build(self, cache, monkeypatch):
+        """A blob deleted between directory listing and stat is dropped."""
+        import repro.harness.result_cache as rc
+
+        cache.put("k1", {"a": 1})
+        cache.put("k2", {"b": 2})
+        k2_path = cache.path_for("k2")
+        real_getsize = os.path.getsize
+
+        def racing_getsize(path):
+            if path == k2_path:
+                if os.path.exists(path):
+                    os.unlink(path)  # simulate a concurrent prune
+                return real_getsize(path)  # raises OSError
+            return real_getsize(path)
+
+        monkeypatch.setattr(rc.os.path, "getsize", racing_getsize)
+        manifest = cache.build_manifest()
+        assert set(manifest["entries"]) == {"k1"}
+
 
 class TestImportEntries:
     """Multi-host sync: manifest-driven, byte-for-byte shard merging."""

@@ -105,3 +105,39 @@ class TestAggregate:
 
     def test_empty_ensemble(self):
         assert aggregate_metrics([]) == []
+
+
+class TestAggregateWithQuery:
+    def _replicas(self):
+        def replica(e1, e2):
+            return [
+                _metrics(tech="protocol", energy_reduction=e1),
+                _metrics(tech="decay64K", energy_reduction=e2),
+            ]
+
+        return [replica(0.10, 0.30), replica(0.12, 0.32)]
+
+    def test_query_filters_columns_before_aggregation(self):
+        from repro.harness.query import ResultQuery
+
+        rows = aggregate_metrics(
+            self._replicas(), query=ResultQuery(techniques=("decay64K",))
+        )
+        assert [r.technique for r in rows] == ["decay64K"]
+        assert math.isclose(rows[0].stats["energy_reduction"].mean, 0.31)
+
+    def test_query_arranges_aggregated_rows_by_stat_mean(self):
+        from repro.harness.query import ResultQuery
+
+        rows = aggregate_metrics(
+            self._replicas(), query=ResultQuery(sort=("-energy_reduction",))
+        )
+        assert [r.technique for r in rows] == ["decay64K", "protocol"]
+
+    def test_query_on_ragged_input_still_rejected(self):
+        from repro.harness.query import ResultQuery
+
+        with pytest.raises(ValueError, match="replica"):
+            aggregate_metrics(
+                [[_metrics()], []], query=ResultQuery(techniques=("protocol",))
+            )

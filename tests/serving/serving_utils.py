@@ -1,0 +1,45 @@
+"""Shared helpers of the serving-layer tests (spec + HTTP client)."""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Dict, Optional, Tuple
+
+from repro.harness.spec import grid_spec
+
+#: the run context the serving smoke spec pins (fast, deterministic)
+SERVING_RUN = {"scale": 0.04, "seed": 1}
+
+
+def serving_spec():
+    """The spec whose results every serving test reads."""
+    return grid_spec(
+        name="serving_smoke",
+        description="uniform x 1MB x (baseline, protocol), tiny scale",
+        workloads=("uniform",),
+        sizes_mb=(1,),
+        techniques=("baseline", "protocol"),
+        run=dict(SERVING_RUN),
+    )
+
+
+def http_get(
+    port: int, path: str, headers: Optional[Dict[str, str]] = None
+) -> Tuple[int, Dict[str, str], bytes]:
+    """One GET against a test server: ``(status, headers, body)``."""
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+    try:
+        conn.request("GET", path, headers=headers or {})
+        resp = conn.getresponse()
+        body = resp.read()
+        return resp.status, {k.lower(): v for k, v in resp.getheaders()}, body
+    finally:
+        conn.close()
+
+
+def get_json(port: int, path: str):
+    """GET + JSON-decode; asserts a JSON content type."""
+    status, headers, body = http_get(port, path)
+    assert "application/json" in headers["content-type"]
+    return status, json.loads(body)

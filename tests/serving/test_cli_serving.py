@@ -1,0 +1,153 @@
+"""CLI/HTTP parity: one ResultQuery, identical rows on every surface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.harness.cli import main
+from repro.harness.query import ResultQuery, ResultStore
+from repro.serving import BackgroundServer, ResultService
+
+from serving_utils import http_get, serving_spec
+
+FILTER = "technique=protocol sort=-energy_reduction"
+
+
+def cli_json(capsys, args):
+    """Run ``repro-cmp`` and return its raw stdout."""
+    assert main(args) == 0
+    return capsys.readouterr().out
+
+
+class TestParity:
+    def test_cli_json_is_byte_identical_to_http(
+        self, populated_cache, capsys
+    ):
+        """The acceptance property: same filter, same bytes, both doors."""
+        cache_dir, spec_path = populated_cache
+        out = cli_json(
+            capsys,
+            [
+                "query", FILTER, spec_path,
+                "--cache-dir", cache_dir, "--json", "--quiet",
+            ],
+        )
+        store = ResultStore.open(cache_dir, serving_spec())
+        with BackgroundServer(ResultService(store).handle) as bg:
+            _, _, body = http_get(
+                bg.port,
+                "/v1/query?technique=protocol&sort=-energy_reduction",
+            )
+        assert out.encode("utf-8") == body
+
+    def test_cli_http_and_figures_select_identical_rows(
+        self, populated_cache, store
+    ):
+        """CLI selection == figures selection == HTTP rows, same query."""
+        query = ResultQuery.parse(FILTER)
+        # the CLI/store door
+        store_rows = store.run_query(query)
+        # the figures door: the same .apply over the same metric list
+        figure_rows = query.apply(store.metrics())
+        assert store_rows.metrics == figure_rows
+        # the HTTP door
+        with BackgroundServer(ResultService(store).handle) as bg:
+            _, _, body = http_get(
+                bg.port,
+                "/v1/query?technique=protocol&sort=-energy_reduction",
+            )
+        http_rows = json.loads(body)["rows"]
+        digests = store.digest_index()
+        assert [
+            {"digest": d, **m.as_dict()}
+            for d, m in (
+                (next(dg for dg, p in digests.items()
+                      if store.metrics_for_digest(dg)[1] == m), m)
+                for m in figure_rows
+            )
+        ] == http_rows
+
+
+class TestQueryCommand:
+    def test_table_output_and_summary(self, populated_cache, capsys):
+        cache_dir, spec_path = populated_cache
+        out = cli_json(
+            capsys, ["query", "", spec_path, "--cache-dir", cache_dir]
+        )
+        assert "serving_smoke" in out
+        assert "[query] 2 row(s) of 2 spec point(s); 0 not cached" in out
+
+    def test_csv_output(self, populated_cache, capsys, tmp_path):
+        cache_dir, spec_path = populated_cache
+        csv_path = str(tmp_path / "rows.csv")
+        cli_json(
+            capsys,
+            [
+                "query", "fields=digest,technique", spec_path,
+                "--cache-dir", cache_dir, "--csv", csv_path, "--quiet",
+            ],
+        )
+        with open(csv_path) as fh:
+            lines = fh.read().splitlines()
+        assert lines[0] == "digest,technique"
+        assert len(lines) == 3
+
+    def test_bad_filter_exits_2(self, populated_cache, capsys):
+        cache_dir, spec_path = populated_cache
+        assert main(
+            ["query", "bogus=1", spec_path, "--cache-dir", cache_dir]
+        ) == 2
+        assert "unknown query key" in capsys.readouterr().err
+
+    def test_usage_error_exits_2(self, capsys):
+        assert main(["query"]) == 2
+        assert "usage:" in capsys.readouterr().err
+
+    def test_no_cache_without_simulate_rejected(
+        self, populated_cache, capsys
+    ):
+        _, spec_path = populated_cache
+        with pytest.raises(SystemExit, match="--no-cache"):
+            main(["query", "", spec_path, "--no-cache"])
+
+
+class TestServeResultsCommand:
+    def test_usage_error_exits_2(self, capsys):
+        assert main(["serve-results", "a.toml", "extra"]) == 2
+        assert "usage:" in capsys.readouterr().err
+
+    def test_missing_spec_file_exits_1(self, capsys, tmp_path):
+        assert main(
+            ["serve-results", str(tmp_path / "nope.toml"),
+             "--cache-dir", str(tmp_path)]
+        ) == 1
+
+
+class TestRunQueryFlag:
+    def test_run_with_query_restricts_the_table(
+        self, populated_cache, capsys
+    ):
+        cache_dir, spec_path = populated_cache
+        out = cli_json(
+            capsys,
+            [
+                "run", spec_path, "--cache-dir", cache_dir,
+                "--query", "technique=protocol", "--quiet",
+            ],
+        )
+        assert "protocol" in out
+        assert "baseline" not in out
+
+    def test_run_with_bad_query_flag_exits_nonzero(
+        self, populated_cache, capsys
+    ):
+        cache_dir, spec_path = populated_cache
+        with pytest.raises(SystemExit, match="bad --query"):
+            main(
+                [
+                    "run", spec_path, "--cache-dir", cache_dir,
+                    "--query", "bogus=1", "--quiet",
+                ]
+            )

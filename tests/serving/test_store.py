@@ -1,0 +1,92 @@
+"""ResultStore semantics: read-only metrics over the cached spec."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.query import ResultQuery, ResultStore
+from repro.harness.runner import SweepRunner
+
+from serving_utils import SERVING_RUN, serving_spec
+
+
+class TestStoreReads:
+    def test_metrics_match_a_fresh_run(self, populated_cache, store):
+        """Store rows equal what running the same spec computes."""
+        cache_dir, _ = populated_cache
+        runner = SweepRunner(
+            scale=SERVING_RUN["scale"],
+            seed=SERVING_RUN["seed"],
+            cache_dir=cache_dir,
+            verbose=False,
+        )
+        assert store.metrics() == runner.run_spec(serving_spec())
+        assert store.missing_points() == []
+
+    def test_digest_index_covers_every_point(self, store):
+        idx = store.digest_index()
+        assert len(idx) == len(store.points())
+        for digest, point in idx.items():
+            assert point.digest() == digest
+
+    def test_metrics_for_digest(self, store):
+        digest = store.points()[0].digest()
+        point, metrics = store.metrics_for_digest(digest)
+        assert point.digest() == digest
+        assert metrics is not None
+        assert store.metrics_for_digest("0" * 40) is None
+
+    def test_provenance_roundtrip(self, store):
+        point = store.points()[0]
+        key = store.runner.point_key(point)
+        store.runner.cache.put_provenance(key, {"worker": "w0"})
+        assert store.provenance_for_digest(point.digest()) == {"worker": "w0"}
+
+    def test_missing_points_are_skipped_not_simulated(self, tmp_path):
+        """An empty cache yields no rows — the store must never simulate."""
+        store = ResultStore.open(str(tmp_path / "empty"), serving_spec())
+        assert store.metrics() == []
+        assert len(store.missing_points()) == len(store.points())
+        result = store.run_query(ResultQuery())
+        assert result.rows == []
+        assert result.missing == result.total > 0
+
+    def test_simulate_missing_fills_on_demand(self, tmp_path):
+        store = ResultStore.open(
+            str(tmp_path / "sim"), serving_spec(), simulate_missing=True
+        )
+        assert len(store.metrics()) == len(store.points())
+
+
+class TestRunQuery:
+    def test_rows_carry_digest_and_all_columns(self, store):
+        result = store.run_query(ResultQuery())
+        assert result.matched == len(store.metrics())
+        digests = set(store.digest_index())
+        for row, m in zip(result.rows, result.metrics):
+            assert row["digest"] in digests
+            assert row["workload"] == m.workload
+            assert row["energy_reduction"] == m.energy_reduction
+
+    def test_projection_restricts_row_columns(self, store):
+        q = ResultQuery(fields=("digest", "technique"))
+        rows = store.run_query(q).rows
+        assert rows and all(set(r) == {"digest", "technique"} for r in rows)
+
+    def test_filter_and_sort_funnel_through_apply(self, store):
+        q = ResultQuery(techniques=("protocol",), sort=("-energy_reduction",))
+        result = store.run_query(q)
+        assert result.metrics == q.apply(store.metrics())
+        assert all(r["technique"] == "protocol" for r in result.rows)
+
+    def test_context_mismatch_sees_nothing(self, populated_cache):
+        """A different seed resolves different cache keys: all missing."""
+        cache_dir, _ = populated_cache
+        store = ResultStore.open(cache_dir, serving_spec(), seed=999)
+        assert store.metrics() == []
+
+    @pytest.mark.parametrize("limit", [1, 2])
+    def test_limit(self, store, limit):
+        assert store.run_query(ResultQuery(limit=limit)).matched == min(
+            limit, len(store.metrics())
+        )
