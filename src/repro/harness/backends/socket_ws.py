@@ -211,7 +211,9 @@ class _TaskServer(socketserver.ThreadingTCPServer):
             provenance=(
                 None
                 if duplicate
-                else self.runner.provenance(worker=worker, backend="socket")
+                else self.runner.point_provenance(
+                    point, worker=worker, backend="socket"
+                )
             ),
         )
         if self.runner.verbose and not duplicate:

@@ -46,6 +46,16 @@ Result queries and the HTTP result service (see ``repro.serving``)::
     repro-cmp run specs/smoke.toml --query 'technique=protocol'
     repro-cmp serve-results specs/smoke.toml --port 8031
     # then: curl localhost:8031/v1/query?workload=uniform
+
+File-backed traces (see ``repro.traces``)::
+
+    repro-cmp trace capture uniform u.rtr --scale 0.05   # synthetic dump
+    repro-cmp trace capture fmm fmm.rtr --limit 5000     # CI-sized slice
+    repro-cmp trace convert log.csv app.rtr --trace-format csv
+    repro-cmp trace info u.rtr                           # header + stats
+    repro-cmp trace validate u.rtr                       # full decode
+    repro-cmp point trace:u.rtr 4 decay64K               # replay a trace
+    repro-cmp run specs/trace_smoke.toml                 # traces in specs
 """
 
 from __future__ import annotations
@@ -98,7 +108,7 @@ def build_parser() -> argparse.ArgumentParser:
         "command",
         help="experiment id (fig3a..fig6b, table1), 'list', 'point', "
         "'spec', 'scenario', 'run', 'cache', 'serve', 'work', 'query', "
-        "or 'serve-results'",
+        "'serve-results', or 'trace'",
     )
     p.add_argument("args", nargs="*", help="command-specific arguments")
     p.add_argument(
@@ -234,6 +244,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="query/serve-results: simulate missing points on demand "
         "instead of skipping them (reads stay read-only by default)",
     )
+    p.add_argument(
+        "--cores",
+        type=int,
+        default=None,
+        metavar="N",
+        help="trace capture/convert: core count of the trace (capture "
+        "default 4; convert default infers from the log's core ids)",
+    )
+    p.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="trace capture: keep at most N records per core (CI-sized "
+        "smoke traces)",
+    )
+    p.add_argument(
+        "--trace-format",
+        choices=("csv", "mtrace"),
+        default="csv",
+        help="trace convert: input log format (default csv)",
+    )
     p.add_argument("--quiet", action="store_true")
     return p
 
@@ -292,13 +324,16 @@ def make_runner(
     seed: Optional[int] = None,
     n_cores: Optional[int] = None,
     warmup: Optional[float] = None,
+    trace_root: Optional[str] = None,
 ) -> SweepRunner:
     """Build the sweep runner the ``--backend``/``--jobs`` flags select.
 
     The keyword overrides carry a spec's requested run context
     (``repro-cmp run``); explicit CLI flags already won inside
     :meth:`~repro.harness.spec.ExperimentSpec.context`, and anything
-    still unset falls back to the harness defaults.
+    still unset falls back to the harness defaults.  ``trace_root``
+    (the spec file's directory) anchors relative ``trace:`` workload
+    paths.
     """
     scale = scale if scale is not None else args.scale
     scale = scale if scale is not None else DEFAULT_SCALE
@@ -309,6 +344,7 @@ def make_runner(
         seed=seed,
         cache_dir=None if args.no_cache else args.cache_dir,
         verbose=not args.quiet,
+        trace_root=trace_root,
     )
     if n_cores is not None:
         kwargs["n_cores"] = int(n_cores)
@@ -534,6 +570,7 @@ def _execute_spec(args: argparse.Namespace, spec) -> int:
         seed=ctx.get("seed"),
         n_cores=ctx.get("n_cores"),
         warmup=ctx.get("warmup"),
+        trace_root=spec.base_dir,
     )
     try:
         ensemble = EnsembleSpec.from_spec(spec, replicas=args.replicas)
@@ -822,6 +859,109 @@ def _serve_results_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_trace_info(info: dict) -> None:
+    """Readable key-value dump of one trace's info document."""
+    header = info.get("header", {})
+    source = header.get("source") or {}
+    print(f"{info['path']}:")
+    print(f"  format      v{info['version']}  ({info['file_bytes']} bytes)")
+    print(f"  workload    {header.get('name')}  [{header.get('suite')}]")
+    if source:
+        pairs = ", ".join(f"{k}={v}" for k, v in sorted(source.items()))
+        print(f"  source      {pairs}")
+    print(f"  cores       {info['n_cores']}")
+    print(f"  records     {info['records']}  per-core {info['counts']}")
+    print(f"  writes      {info['writes']}  barriers {info['barriers']}")
+    if info.get("min_addr") is not None:
+        print(
+            f"  addresses   0x{info['min_addr']:x} .. 0x{info['max_addr']:x}"
+        )
+    print(f"  frames      {info['frames']}  ({info['payload_bytes']} "
+          f"payload bytes)")
+
+
+def _trace_command(args: argparse.Namespace) -> int:
+    """Run ``repro-cmp trace capture|convert|info|validate ...``.
+
+    ``capture`` dumps a registered workload (or mix) to a trace file;
+    ``convert`` ingests a CSV or mtrace-style access log
+    (``--trace-format``); ``info`` prints header + trailer statistics
+    (frame headers only); ``validate`` fully decodes every frame and
+    cross-checks the trailer.
+    """
+    from ..traces import (
+        CONVERTERS,
+        TraceError,
+        TraceReader,
+        capture_workload,
+    )
+
+    usage = (
+        "usage: repro-cmp trace capture <workload> <out.rtr> "
+        "[--cores N] [--scale S] [--seed N] [--limit N]\n"
+        "       repro-cmp trace convert <log> <out.rtr> "
+        "[--trace-format csv|mtrace] [--cores N]\n"
+        "       repro-cmp trace info <file.rtr>...\n"
+        "       repro-cmp trace validate <file.rtr>..."
+    )
+    if not args.args:
+        print(usage, file=sys.stderr)
+        return 2
+    sub, *rest = args.args
+    try:
+        if sub == "capture":
+            if len(rest) != 2:
+                print(usage, file=sys.stderr)
+                return 2
+            workload, out = rest
+            summary = capture_workload(
+                workload,
+                out,
+                n_cores=args.cores if args.cores is not None else 4,
+                scale=args.scale if args.scale is not None else DEFAULT_SCALE,
+                seed=args.seed if args.seed is not None else DEFAULT_SEED,
+                limit=args.limit,
+            )
+            if not args.quiet:
+                print(
+                    f"[trace] captured {workload} -> {out} "
+                    f"({summary['records']} records)"
+                )
+            return 0
+        if sub == "convert":
+            if len(rest) != 2:
+                print(usage, file=sys.stderr)
+                return 2
+            src, out = rest
+            converter = CONVERTERS[args.trace_format]
+            summary = converter(src, out, n_cores=args.cores)
+            if not args.quiet:
+                print(
+                    f"[trace] converted {src} -> {out} "
+                    f"({summary['records']} records, "
+                    f"{len(summary['counts'])} cores)"
+                )
+            return 0
+        if sub in ("info", "validate"):
+            if not rest:
+                print(usage, file=sys.stderr)
+                return 2
+            for path in _spec_paths(rest):
+                reader = TraceReader(path)
+                if sub == "validate":
+                    info = reader.validate()
+                    print(f"{path}: ok ({info['records']} records, "
+                          f"{info['n_cores']} cores, {info['frames']} frames)")
+                else:
+                    _print_trace_info(reader.info())
+            return 0
+    except (OSError, ValueError, TraceError) as exc:
+        print(f"trace {sub}: {exc}", file=sys.stderr)
+        return 1
+    print(usage, file=sys.stderr)
+    return 2
+
+
 def _parse_slice(text: str) -> Tuple[int, int]:
     """Parse a ``--slice I/N`` value."""
     try:
@@ -887,6 +1027,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "serve-results":
         return _serve_results_command(args)
+
+    if args.command == "trace":
+        return _trace_command(args)
 
     if args.command == "work":
         return _work_command(args)

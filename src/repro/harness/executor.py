@@ -67,6 +67,7 @@ class ParallelSweepRunner(SweepRunner):
         jobs: Optional[int] = None,
         start_method: Optional[str] = None,
         backend: Union[SweepBackend, str, None] = None,
+        trace_root: Optional[str] = None,
     ) -> None:
         super().__init__(
             scale=scale,
@@ -75,6 +76,7 @@ class ParallelSweepRunner(SweepRunner):
             warmup_fraction=warmup_fraction,
             cache_dir=cache_dir,
             verbose=verbose,
+            trace_root=trace_root,
         )
         self.jobs = resolve_jobs(jobs)
         self.start_method = start_method

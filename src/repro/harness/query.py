@@ -448,13 +448,16 @@ class ResultStore:
         warmup: Optional[float] = None,
         simulate_missing: bool = False,
         verbose: bool = False,
+        trace_root: Optional[str] = None,
     ) -> "ResultStore":
         """Mount a cache directory under a spec's resolved run context.
 
         Context resolution mirrors ``repro-cmp run``: explicit keyword
         overrides beat the spec's ``[run]`` table, which beats the
         runner defaults — so the store computes exactly the cache keys a
-        run of the same spec populated.
+        run of the same spec populated.  ``trace_root`` anchors relative
+        ``trace:`` workload paths; it defaults to the spec file's own
+        directory (``spec.base_dir``), matching ``repro-cmp run``.
         """
         ctx = spec.context(
             scale=scale, seed=seed, n_cores=n_cores, warmup=warmup
@@ -468,7 +471,12 @@ class ResultStore:
             kwargs["n_cores"] = int(ctx["n_cores"])
         if "warmup" in ctx:
             kwargs["warmup_fraction"] = float(ctx["warmup"])
-        runner = SweepRunner(cache_dir=cache_dir, verbose=verbose, **kwargs)
+        runner = SweepRunner(
+            cache_dir=cache_dir,
+            verbose=verbose,
+            trace_root=trace_root if trace_root is not None else spec.base_dir,
+            **kwargs,
+        )
         return cls(runner, spec, simulate_missing=simulate_missing)
 
     # ------------------------------------------------------------------

@@ -100,12 +100,18 @@ class SweepRunner:
         warmup_fraction: float = DEFAULT_WARMUP,
         cache_dir: Optional[str] = ".repro_cache",
         verbose: bool = True,
+        trace_root: Optional[str] = None,
     ) -> None:
         self.scale = scale
         self.seed = seed
         self.n_cores = n_cores
         self.warmup = warmup_fraction
         self.cache_dir = cache_dir
+        #: directory relative ``trace:`` workload paths resolve against
+        #: (the spec file's directory when running a spec file).  Not
+        #: part of cache keys — points keep their relative names, so
+        #: digests stay host-portable.
+        self.trace_root = trace_root
         self.cache = ResultCache(cache_dir, CACHE_VERSION) if cache_dir else None
         self.verbose = verbose
         #: provenance identity: which execution path produced entries
@@ -136,6 +142,9 @@ class SweepRunner:
             n_cores=self.n_cores,
             warmup_fraction=self.warmup,
         )
+        if self.trace_root is not None:
+            # absolute, so workers resolve trace files regardless of cwd
+            params["trace_root"] = os.path.abspath(self.trace_root)
         params.update(overrides)
         return params
 
@@ -239,13 +248,21 @@ class SweepRunner:
             **ctx,
         }
         digest = stable_digest(json.dumps(payload, sort_keys=True))
-        return f"{p.workload}-{p.tech_label}-{p.total_mb}MB-{digest[:20]}"
+        # the digest is the identity; the prefix is only readable and
+        # must stay a single path component (trace: workload names can
+        # carry filesystem paths)
+        prefix = f"{p.workload}-{p.tech_label}-{p.total_mb}MB"
+        return f"{prefix.replace('/', '_')}-{digest[:20]}"
 
     def _workload(self, name: str, ctx: Dict[str, Union[int, float]]):
         key = (name, int(ctx["n_cores"]), float(ctx["scale"]), int(ctx["seed"]))
         if key not in self._workloads:
             self._workloads[key] = get_workload(
-                name, n_cores=key[1], scale=key[2], seed=key[3]
+                name,
+                n_cores=key[1],
+                scale=key[2],
+                seed=key[3],
+                trace_root=self.trace_root,
             )
         return self._workloads[key]
 
@@ -294,6 +311,23 @@ class SweepRunner:
         info.update(overrides)
         return info
 
+    def point_provenance(self, point: SweepPoint, **overrides: str) -> Dict:
+        """:meth:`provenance` plus the capture identity of trace points.
+
+        For ``trace:`` workloads (including trace components of mixes)
+        the record gains a ``traces`` table mapping each component to
+        its resolved file, size, and sha256 — so a served
+        ``/v1/provenance/<digest>`` answer identifies which capture
+        produced the result.
+        """
+        info: Dict = self.provenance(**overrides)
+        from ..traces.workload import trace_provenance
+
+        refs = trace_provenance(point.workload, self.trace_root)
+        if refs:
+            info["traces"] = refs
+        return info
+
     def install(
         self,
         point: SweepPoint,
@@ -336,7 +370,7 @@ class SweepRunner:
             warmup_fraction=float(ctx["warmup"]),
         )
         energy = EnergyModel(cfg).evaluate(res)
-        self.install(p, res, energy, provenance=self.provenance())
+        self.install(p, res, energy, provenance=self.point_provenance(p))
         return res, energy
 
     # ------------------------------------------------------------------

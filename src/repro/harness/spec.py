@@ -29,6 +29,7 @@ spec file, not another Python module.
 from __future__ import annotations
 
 import json
+import os
 import re
 from dataclasses import dataclass, field, fields, replace
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
@@ -261,6 +262,11 @@ class ExperimentSpec:
     skip: Tuple[Dict[str, Any], ...] = ()
     points: Tuple[Dict[str, Any], ...] = ()
     ensemble: Dict[str, Any] = field(default_factory=dict)
+    #: directory the spec was loaded from (set by :func:`load_spec`);
+    #: anchors relative ``trace:`` paths so shipped specs are portable.
+    #: Never serialized and excluded from equality — it is *where* the
+    #: file lives, not part of what the scenario describes.
+    base_dir: Optional[str] = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         self.workloads = tuple(self.workloads)
@@ -349,15 +355,16 @@ class ExperimentSpec:
             )
             self._validate_point_values(entry)
         if strict:
-            from ..workloads.registry import list_workloads, workload_exists
+            from ..workloads.registry import check_workload
 
             for wl in self._all_workloads():
-                _require(
-                    workload_exists(wl),
-                    f"unknown workload {wl!r}; available: "
-                    f"{', '.join(list_workloads())} "
-                    f"(or a mix:<a>+<b> co-schedule of them)",
-                )
+                try:
+                    # base_dir (the spec file's directory) anchors the
+                    # relative paths of trace: workloads, so a shipped
+                    # spec validates wherever it is checked out
+                    check_workload(wl, trace_root=self.base_dir)
+                except ValueError as exc:
+                    raise SpecError(str(exc)) from None
             for label in self._all_technique_labels():
                 resolve_technique(label, 1.0, self.custom_techniques)
 
@@ -667,14 +674,22 @@ def paper_matrix_spec() -> ExperimentSpec:
 # File I/O
 # ---------------------------------------------------------------------------
 def load_spec(path: str) -> ExperimentSpec:
-    """Load a spec file, dispatching on extension (.toml / .json)."""
+    """Load a spec file, dispatching on extension (.toml / .json).
+
+    The loaded spec remembers its directory in ``base_dir`` so relative
+    ``trace:`` workload paths resolve against the spec file, wherever
+    the process's working directory is.
+    """
     with open(path, encoding="utf-8") as fh:
         text = fh.read()
     if path.endswith(".json"):
-        return ExperimentSpec.from_json(text)
-    if path.endswith(".toml"):
-        return ExperimentSpec.from_toml(text)
-    raise SpecError(f"{path}: spec files must end in .toml or .json")
+        spec = ExperimentSpec.from_json(text)
+    elif path.endswith(".toml"):
+        spec = ExperimentSpec.from_toml(text)
+    else:
+        raise SpecError(f"{path}: spec files must end in .toml or .json")
+    spec.base_dir = os.path.dirname(os.path.abspath(path))
+    return spec
 
 
 def save_spec(spec: ExperimentSpec, path: str) -> str:

@@ -1,0 +1,58 @@
+"""File-backed access traces: container format, capture, and replay.
+
+The subsystem has three layers:
+
+* :mod:`repro.traces.format` — the ``.rtr`` binary container (varint
+  delta-encoded records in zlib frames) with a constant-memory writer
+  and streaming reader;
+* :mod:`repro.traces.capture` — adapters that fill containers: synthetic
+  self-capture plus CSV / mtrace-style log converters;
+* :mod:`repro.traces.workload` — the ``trace:<file>`` workload family
+  the registry dispatches to, and the provenance helpers recording which
+  capture produced a result.
+"""
+
+from .capture import CONVERTERS, capture_workload, convert_csv, convert_mtrace
+from .format import (
+    FORMAT_VERSION,
+    FRAME_RECORDS,
+    MAGIC,
+    TraceError,
+    TraceFormatError,
+    TraceReader,
+    TraceWriter,
+)
+from .workload import (
+    TRACE_PREFIX,
+    check_trace,
+    is_trace_name,
+    trace_components,
+    trace_digest,
+    trace_exists,
+    trace_path,
+    trace_provenance,
+    trace_workload,
+)
+
+__all__ = [
+    "CONVERTERS",
+    "FORMAT_VERSION",
+    "FRAME_RECORDS",
+    "MAGIC",
+    "TRACE_PREFIX",
+    "TraceError",
+    "TraceFormatError",
+    "TraceReader",
+    "TraceWriter",
+    "capture_workload",
+    "check_trace",
+    "convert_csv",
+    "convert_mtrace",
+    "is_trace_name",
+    "trace_components",
+    "trace_digest",
+    "trace_exists",
+    "trace_path",
+    "trace_provenance",
+    "trace_workload",
+]

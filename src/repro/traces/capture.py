@@ -1,0 +1,301 @@
+"""Capture adapters: synthetic self-capture and access-log converters.
+
+Three ways records get into an ``.rtr`` container:
+
+* :func:`capture_workload` — replay any registered synthetic workload
+  (or mix) through its generator and dump the streams to a trace file,
+  copying the source :class:`~repro.workloads.trace.WorkloadMeta`
+  verbatim into the header.  Because the header carries the source
+  workload's *meta name*, replaying the capture produces result blobs
+  byte-identical to the direct generator run (the capture-replay
+  identity golden);
+* :func:`convert_csv` — ingest ``core,addr,write[,gap,ilp,barrier]``
+  CSV access logs (hex or decimal addresses, optional header row);
+* :func:`convert_mtrace` — ingest mtrace-style whitespace logs
+  (``<core> <R|W|ld|st> <addr> [gap]``, ``#`` comments).
+
+All three stream through :class:`~repro.traces.format.TraceWriter`
+frame-by-frame, so capture memory stays constant however long the
+trace is.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from itertools import islice
+from typing import Dict, Iterable, Optional
+
+from ..workloads.trace import WorkloadMeta, make_flags
+from .format import FRAME_RECORDS, TraceError, TraceWriter
+
+
+def workload_header(
+    meta: WorkloadMeta, line_bytes: int, source: Optional[dict] = None
+) -> dict:
+    """The trace-header document for a captured workload's metadata."""
+    return {
+        "name": meta.name,
+        "suite": meta.suite,
+        "kind": meta.kind,
+        "accesses_per_core": meta.accesses_per_core,
+        "footprint_bytes": meta.footprint_bytes,
+        "shared_bytes": meta.shared_bytes,
+        "description": meta.description,
+        "line_bytes": line_bytes,
+        "source": dict(source or {}),
+    }
+
+
+def capture_workload(
+    name: str,
+    path: str,
+    n_cores: int = 4,
+    scale: float = 1.0,
+    seed: int = 1,
+    line_bytes: int = 64,
+    limit: Optional[int] = None,
+    trace_root: Optional[str] = None,
+    frame_records: int = FRAME_RECORDS,
+) -> dict:
+    """Capture workload ``name`` to a trace file at ``path``.
+
+    ``limit`` truncates each core's stream to at most that many records
+    (for CI-sized smoke traces); the header's ``accesses_per_core`` is
+    clamped accordingly so warmup fractions keep meaning the same thing
+    on replay.  Returns a summary dict (header + trailer stats).
+    """
+    from ..workloads.registry import get_workload
+
+    if limit is not None and limit < 1:
+        raise TraceError(f"limit must be >= 1, got {limit}")
+    workload = get_workload(
+        name,
+        n_cores=n_cores,
+        scale=scale,
+        seed=seed,
+        line_bytes=line_bytes,
+        trace_root=trace_root,
+    )
+    meta = workload.meta
+    if limit is not None and limit < meta.accesses_per_core:
+        meta = WorkloadMeta(
+            name=meta.name,
+            suite=meta.suite,
+            kind=meta.kind,
+            accesses_per_core=limit,
+            footprint_bytes=meta.footprint_bytes,
+            shared_bytes=meta.shared_bytes,
+            description=meta.description,
+        )
+    header = workload_header(
+        meta,
+        line_bytes,
+        source={
+            "workload": name,
+            "n_cores": n_cores,
+            "scale": scale,
+            "seed": seed,
+            "limit": limit,
+        },
+    )
+    with TraceWriter(path, n_cores, header, frame_records=frame_records) as w:
+        for core, stream in enumerate(workload.streams(n_cores)):
+            if limit is not None:
+                stream = islice(stream, limit)
+            w.extend(core, stream)
+        summary = {"path": path, "header": dict(w.header), **w.trailer()}
+    return summary
+
+
+# ---------------------------------------------------------------------------
+# Log converters
+# ---------------------------------------------------------------------------
+def _parse_addr(token: str, where: str) -> int:
+    try:
+        return int(token, 16) if token.lower().startswith("0x") else int(token)
+    except ValueError:
+        raise TraceError(f"{where}: bad address {token!r}") from None
+
+
+def _parse_int(token: str, what: str, where: str) -> int:
+    try:
+        value = int(token)
+    except ValueError:
+        raise TraceError(f"{where}: bad {what} {token!r}") from None
+    if value < 0:
+        raise TraceError(f"{where}: negative {what} {value}")
+    return value
+
+
+def _converted_header(
+    name: str, n_cores: int, line_bytes: int, source: dict
+) -> dict:
+    """Header for converted logs: stream stats are only known at close.
+
+    ``accesses_per_core``/``footprint_bytes`` stay ``None`` here — the
+    replay layer recovers them from the trailer statistics.
+    """
+    return {
+        "name": name,
+        "suite": "captured",
+        "kind": "trace",
+        "accesses_per_core": None,
+        "footprint_bytes": None,
+        "shared_bytes": None,
+        "description": f"converted from {source.get('format', 'log')}",
+        "line_bytes": line_bytes,
+        "source": dict(source),
+    }
+
+
+def _max_core(rows: Iterable[int]) -> int:
+    top = -1
+    for core in rows:
+        top = max(top, core)
+    if top < 0:
+        raise TraceError("input log holds no access records")
+    return top
+
+
+def _csv_rows(src: str):
+    """Yield (lineno, fields) for data rows of a CSV log (header skipped)."""
+    with open(src, "r", newline="") as fh:
+        for lineno, row in enumerate(csv.reader(fh), start=1):
+            fields = [f.strip() for f in row if f.strip()]
+            if not fields or fields[0].startswith("#"):
+                continue
+            if lineno == 1 and not fields[0].lstrip("-").isdigit():
+                continue  # header row ("core,addr,write,...")
+            yield lineno, fields
+
+
+def _csv_record(src: str, lineno: int, fields: list):
+    """Decode one CSV data row into ``(core, record)``."""
+    where = f"{src}:{lineno}"
+    if len(fields) < 3:
+        raise TraceError(f"{where}: need at least core,addr,write")
+    core = _parse_int(fields[0], "core", where)
+    addr = _parse_addr(fields[1], where)
+    write = _parse_int(fields[2], "write flag", where)
+    gap = _parse_int(fields[3], "gap", where) if len(fields) > 3 else 0
+    ilp = _parse_int(fields[4], "ilp class", where) if len(fields) > 4 else 1
+    barrier = (
+        bool(_parse_int(fields[5], "barrier flag", where))
+        if len(fields) > 5
+        else False
+    )
+    try:
+        flags = make_flags(write=bool(write), ilp=ilp, barrier=barrier)
+    except ValueError as exc:
+        raise TraceError(f"{where}: {exc}") from None
+    return core, (gap, addr, flags)
+
+
+def convert_csv(
+    src: str,
+    path: str,
+    n_cores: Optional[int] = None,
+    name: Optional[str] = None,
+    line_bytes: int = 64,
+    frame_records: int = FRAME_RECORDS,
+) -> dict:
+    """Convert a ``core,addr,write[,gap,ilp,barrier]`` CSV log to a trace.
+
+    Addresses may be decimal or ``0x`` hex; an optional header row and
+    ``#`` comment lines are skipped.  When ``n_cores`` is not given, a
+    first pass over the log finds the highest core id (the conversion
+    stays constant-memory either way).
+    """
+    if n_cores is None:
+        n_cores = 1 + _max_core(
+            _csv_record(src, ln, f)[0] for ln, f in _csv_rows(src)
+        )
+    header = _converted_header(
+        name or os.path.splitext(os.path.basename(path))[0],
+        n_cores,
+        line_bytes,
+        {"format": "csv", "file": os.path.basename(src)},
+    )
+    with TraceWriter(path, n_cores, header, frame_records=frame_records) as w:
+        for lineno, fields in _csv_rows(src):
+            core, record = _csv_record(src, lineno, fields)
+            if core >= n_cores:
+                raise TraceError(
+                    f"{src}:{lineno}: core {core} outside 0..{n_cores - 1}"
+                )
+            w.append(core, record)
+        summary = {"path": path, "header": dict(w.header), **w.trailer()}
+    return summary
+
+
+_MTRACE_OPS = {"r": False, "ld": False, "l": False, "w": True, "st": True, "s": True}
+
+
+def _mtrace_rows(src: str):
+    """Yield (lineno, tokens) for data lines of an mtrace-style log."""
+    with open(src, "r") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.split("#", 1)[0].strip()
+            if line:
+                yield lineno, line.split()
+
+
+def _mtrace_record(src: str, lineno: int, tokens: list):
+    """Decode one ``<core> <R|W|ld|st> <addr> [gap]`` line."""
+    where = f"{src}:{lineno}"
+    if len(tokens) < 3:
+        raise TraceError(f"{where}: need <core> <R|W|ld|st> <addr> [gap]")
+    core = _parse_int(tokens[0], "core", where)
+    op = tokens[1].lower()
+    if op not in _MTRACE_OPS:
+        raise TraceError(
+            f"{where}: unknown op {tokens[1]!r} "
+            f"(expected one of {sorted(set(_MTRACE_OPS))})"
+        )
+    addr = _parse_addr(tokens[2], where)
+    gap = _parse_int(tokens[3], "gap", where) if len(tokens) > 3 else 0
+    return core, (gap, addr, make_flags(write=_MTRACE_OPS[op]))
+
+
+def convert_mtrace(
+    src: str,
+    path: str,
+    n_cores: Optional[int] = None,
+    name: Optional[str] = None,
+    line_bytes: int = 64,
+    frame_records: int = FRAME_RECORDS,
+) -> dict:
+    """Convert an mtrace-style whitespace access log to a trace.
+
+    Lines are ``<core> <R|W|ld|st> <addr> [gap]`` with ``#`` comments;
+    addresses decimal or ``0x`` hex.  ``n_cores`` defaults to one more
+    than the highest core id seen (first pass).
+    """
+    if n_cores is None:
+        n_cores = 1 + _max_core(
+            _mtrace_record(src, ln, t)[0] for ln, t in _mtrace_rows(src)
+        )
+    header = _converted_header(
+        name or os.path.splitext(os.path.basename(path))[0],
+        n_cores,
+        line_bytes,
+        {"format": "mtrace", "file": os.path.basename(src)},
+    )
+    with TraceWriter(path, n_cores, header, frame_records=frame_records) as w:
+        for lineno, tokens in _mtrace_rows(src):
+            core, record = _mtrace_record(src, lineno, tokens)
+            if core >= n_cores:
+                raise TraceError(
+                    f"{src}:{lineno}: core {core} outside 0..{n_cores - 1}"
+                )
+            w.append(core, record)
+        summary = {"path": path, "header": dict(w.header), **w.trailer()}
+    return summary
+
+
+#: converter dispatch used by ``repro-cmp trace convert --trace-format``
+CONVERTERS: Dict[str, object] = {
+    "csv": convert_csv,
+    "mtrace": convert_mtrace,
+}

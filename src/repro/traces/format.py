@@ -1,0 +1,560 @@
+"""Binary trace container: varint frames, zlib payloads, streaming reader.
+
+The ``.rtr`` ("repro trace") container stores one
+:data:`~repro.workloads.trace.Record` stream per core in a compact,
+seekable, append-written binary layout::
+
+    file    := MAGIC  u8(version)  header  frame*  trailer
+    header  := uvarint(len)  zlib(header JSON)
+    frame   := uvarint(core)  uvarint(n_records)  uvarint(len)  zlib(body)
+    body    := ( uvarint(gap)  uvarint(zigzag(addr delta))  uvarint(flags) )*
+    trailer := uvarint(n_cores)  uvarint(len)  zlib(trailer JSON)  MAGIC
+
+Records are delta-encoded per frame: the address delta of a frame's
+first record is taken against 0, so **every frame decodes independently**
+— a reader can skip frames it does not need with a single seek, without
+touching their payloads.  The trailer is an end-of-stream frame whose
+core id equals ``n_cores`` (an invalid stream index, so old records can
+never alias it); its JSON carries per-core record counts and stream
+statistics that are only known once writing finishes.  The closing magic
+detects files truncated exactly at the trailer boundary.
+
+Two access paths exist, both constant-memory:
+
+* :meth:`TraceReader.scan` walks frame *headers* only (seeking past
+  payloads) — how ``info``/``validate`` and trailer recovery work;
+* :meth:`TraceReader.stream` yields one core's records, decoding **one
+  frame at a time** and releasing it before the next is read.  The
+  reader tracks the high-water resident decode state in
+  :attr:`TraceReader.max_resident_records`, which the constant-memory
+  regression test caps at one frame regardless of trace length.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import zlib
+from typing import BinaryIO, Dict, Iterator, List, Optional, Tuple
+
+from ..workloads.trace import Record
+
+#: leading (and closing) file signature of the container
+MAGIC = b"RPTR"
+
+#: current container version; readers reject anything else
+FORMAT_VERSION = 1
+
+#: records per frame the writer flushes at (also the reader's resident cap)
+FRAME_RECORDS = 4096
+
+#: zlib level: traces are written once and replayed many times
+COMPRESSION_LEVEL = 6
+
+
+class TraceError(ValueError):
+    """Any trace-container failure (I/O shape, format, or usage)."""
+
+
+class TraceFormatError(TraceError):
+    """The file is not a readable trace of a supported version."""
+
+
+# ---------------------------------------------------------------------------
+# Varint primitives (LEB128 unsigned + zigzag for signed deltas)
+# ---------------------------------------------------------------------------
+def encode_uvarint(value: int, out: bytearray) -> None:
+    """Append ``value`` (non-negative) to ``out`` as LEB128."""
+    if value < 0:
+        raise TraceError(f"uvarint cannot encode negative value {value}")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def decode_uvarint(buf: bytes, pos: int) -> Tuple[int, int]:
+    """Decode one LEB128 value from ``buf`` at ``pos``; returns (value, end)."""
+    result = 0
+    shift = 0
+    while True:
+        if pos >= len(buf):
+            raise TraceFormatError("truncated varint")
+        byte = buf[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+
+
+def zigzag(value: int) -> int:
+    """Map a signed integer onto unsigned zigzag order (0,-1,1,-2,...)."""
+    return (value << 1) ^ (value >> 63) if value < 0 else value << 1
+
+
+def unzigzag(value: int) -> int:
+    """Inverse of :func:`zigzag`."""
+    return (value >> 1) ^ -(value & 1)
+
+
+def _read_uvarint_io(fh: BinaryIO) -> int:
+    """Read one LEB128 value from a binary stream (raises on EOF)."""
+    result = 0
+    shift = 0
+    while True:
+        byte = fh.read(1)
+        if not byte:
+            raise TraceFormatError("truncated varint (unexpected end of file)")
+        b = byte[0]
+        result |= (b & 0x7F) << shift
+        if not b & 0x80:
+            return result
+        shift += 7
+
+
+def _encode_json_block(doc: dict) -> bytes:
+    """Length-prefixed zlib-compressed canonical JSON block."""
+    payload = zlib.compress(
+        json.dumps(doc, sort_keys=True).encode("utf-8"), COMPRESSION_LEVEL
+    )
+    head = bytearray()
+    encode_uvarint(len(payload), head)
+    return bytes(head) + payload
+
+
+def _read_json_block(fh: BinaryIO, what: str) -> dict:
+    """Read a length-prefixed compressed JSON block written by the writer."""
+    length = _read_uvarint_io(fh)
+    payload = fh.read(length)
+    if len(payload) != length:
+        raise TraceFormatError(f"truncated {what} block")
+    try:
+        doc = json.loads(zlib.decompress(payload).decode("utf-8"))
+    except (zlib.error, UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise TraceFormatError(f"corrupt {what} block: {exc}") from exc
+    if not isinstance(doc, dict):
+        raise TraceFormatError(f"corrupt {what} block: not an object")
+    return doc
+
+
+def encode_frame_body(records: List[Record]) -> bytes:
+    """Delta-encode one frame's records (uncompressed body bytes)."""
+    out = bytearray()
+    prev_addr = 0
+    for gap, addr, flags in records:
+        if gap < 0 or addr < 0 or flags < 0:
+            raise TraceError(
+                f"records must be non-negative, got {(gap, addr, flags)!r}"
+            )
+        encode_uvarint(gap, out)
+        encode_uvarint(zigzag(addr - prev_addr), out)
+        encode_uvarint(flags, out)
+        prev_addr = addr
+    return bytes(out)
+
+
+def decode_frame_body(body: bytes, n_records: int) -> List[Record]:
+    """Inverse of :func:`encode_frame_body`; validates the record count."""
+    records: List[Record] = []
+    pos = 0
+    prev_addr = 0
+    for _ in range(n_records):
+        gap, pos = decode_uvarint(body, pos)
+        delta, pos = decode_uvarint(body, pos)
+        flags, pos = decode_uvarint(body, pos)
+        addr = prev_addr + unzigzag(delta)
+        if addr < 0:
+            raise TraceFormatError(f"negative decoded address {addr}")
+        prev_addr = addr
+        records.append((gap, addr, flags))
+    if pos != len(body):
+        raise TraceFormatError(
+            f"frame body has {len(body) - pos} trailing byte(s)"
+        )
+    return records
+
+
+# ---------------------------------------------------------------------------
+# Writer
+# ---------------------------------------------------------------------------
+class TraceWriter:
+    """Streams per-core record streams into one ``.rtr`` container.
+
+    Records are buffered per core and flushed as independent compressed
+    frames of ``frame_records`` records, so writing holds constant
+    memory however long the trace is.  The file is assembled at
+    ``path + ".tmp"`` and atomically published by :meth:`close` (or the
+    context manager) — a crashed capture never leaves a half-written
+    trace behind.
+
+    ``header`` is the trace's metadata document (see
+    :func:`repro.traces.capture.workload_header`); ``n_cores`` is fixed
+    up front because frame core ids and the trailer sentinel depend on
+    it.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        n_cores: int,
+        header: Optional[dict] = None,
+        frame_records: int = FRAME_RECORDS,
+    ) -> None:
+        if n_cores < 1:
+            raise TraceError(f"n_cores must be >= 1, got {n_cores}")
+        if frame_records < 1:
+            raise TraceError(f"frame_records must be >= 1, got {frame_records}")
+        self.path = path
+        self.n_cores = n_cores
+        self.frame_records = frame_records
+        self.header = dict(header or {})
+        self.header["n_cores"] = n_cores
+        self.counts = [0] * n_cores
+        self.writes = 0
+        self.barriers = 0
+        self.min_addr: Optional[int] = None
+        self.max_addr: Optional[int] = None
+        self._buffers: List[List[Record]] = [[] for _ in range(n_cores)]
+        self._tmp = path + ".tmp"
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
+        self._fh: Optional[BinaryIO] = open(self._tmp, "wb")
+        self._fh.write(MAGIC)
+        self._fh.write(bytes([FORMAT_VERSION]))
+        self._fh.write(_encode_json_block(self.header))
+
+    # -- context manager ----------------------------------------------------
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            self.abort()
+
+    # -- writing ------------------------------------------------------------
+    def append(self, core: int, record: Record) -> None:
+        """Buffer one record for ``core``, flushing a frame when full."""
+        if self._fh is None:
+            raise TraceError("writer is closed")
+        if not 0 <= core < self.n_cores:
+            raise TraceError(f"core {core} out of range 0..{self.n_cores - 1}")
+        gap, addr, flags = record
+        self.counts[core] += 1
+        if flags & 0x8:  # barrier marker (FLAG_BARRIER)
+            self.barriers += 1
+        else:
+            if flags & 0x1:  # write flag (FLAG_WRITE)
+                self.writes += 1
+            self.min_addr = addr if self.min_addr is None else min(self.min_addr, addr)
+            self.max_addr = addr if self.max_addr is None else max(self.max_addr, addr)
+        buf = self._buffers[core]
+        buf.append(record)
+        if len(buf) >= self.frame_records:
+            self._flush_core(core)
+
+    def extend(self, core: int, records) -> int:
+        """Append an iterable of records for ``core``; returns the count."""
+        n = 0
+        for record in records:
+            self.append(core, record)
+            n += 1
+        return n
+
+    def _flush_core(self, core: int) -> None:
+        buf = self._buffers[core]
+        if not buf:
+            return
+        body = zlib.compress(encode_frame_body(buf), COMPRESSION_LEVEL)
+        head = bytearray()
+        encode_uvarint(core, head)
+        encode_uvarint(len(buf), head)
+        encode_uvarint(len(body), head)
+        self._fh.write(bytes(head))
+        self._fh.write(body)
+        self._buffers[core] = []
+
+    # -- finalization -------------------------------------------------------
+    def trailer(self) -> dict:
+        """The trailer statistics document (counts + stream stats)."""
+        return {
+            "counts": list(self.counts),
+            "records": sum(self.counts),
+            "writes": self.writes,
+            "barriers": self.barriers,
+            "min_addr": self.min_addr,
+            "max_addr": self.max_addr,
+        }
+
+    def close(self) -> str:
+        """Flush buffers, write the trailer, and atomically publish."""
+        if self._fh is None:
+            return self.path
+        for core in range(self.n_cores):
+            self._flush_core(core)
+        sentinel = bytearray()
+        encode_uvarint(self.n_cores, sentinel)
+        self._fh.write(bytes(sentinel))
+        self._fh.write(_encode_json_block(self.trailer()))
+        self._fh.write(MAGIC)
+        self._fh.close()
+        self._fh = None
+        os.replace(self._tmp, self.path)
+        return self.path
+
+    def abort(self) -> None:
+        """Discard the partially-written temporary file."""
+        if self._fh is None:
+            return
+        self._fh.close()
+        self._fh = None
+        try:
+            os.unlink(self._tmp)
+        except OSError:
+            pass
+
+
+# ---------------------------------------------------------------------------
+# Reader
+# ---------------------------------------------------------------------------
+class TraceReader:
+    """Streaming, constant-memory reader of one ``.rtr`` container.
+
+    Construction parses the magic, version, and header only.  Each
+    :meth:`stream` call opens its own file handle and decodes one frame
+    at a time, so N live streams hold at most N frames; frames of other
+    cores are skipped with a seek, never read.  :meth:`scan` and
+    :meth:`trailer` walk frame headers only.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        try:
+            fh = open(path, "rb")
+        except OSError as exc:
+            raise TraceError(f"cannot open trace {path!r}: {exc}") from exc
+        with fh:
+            magic = fh.read(len(MAGIC))
+            if magic != MAGIC:
+                raise TraceFormatError(
+                    f"{path}: bad magic {magic!r} (not a repro trace)"
+                )
+            version_byte = fh.read(1)
+            if not version_byte:
+                raise TraceFormatError(f"{path}: truncated before version")
+            self.version = version_byte[0]
+            if self.version != FORMAT_VERSION:
+                raise TraceFormatError(
+                    f"{path}: unsupported trace version {self.version} "
+                    f"(this build reads version {FORMAT_VERSION})"
+                )
+            self.header = _read_json_block(fh, "header")
+            self._frames_offset = fh.tell()
+        n_cores = self.header.get("n_cores")
+        if not isinstance(n_cores, int) or n_cores < 1:
+            raise TraceFormatError(f"{path}: header lacks a valid n_cores")
+        self.n_cores = n_cores
+        self._trailer: Optional[dict] = None
+        #: high-water mark of records resident in decoded frames, per
+        #: stream (the constant-memory contract regression tests pin)
+        self.max_resident_records = 0
+
+    # -- frame-level access -------------------------------------------------
+    def scan(self) -> Iterator[Tuple[int, int, int, int]]:
+        """Yield ``(core, n_records, payload_offset, payload_len)`` per frame.
+
+        Payloads are seeked past, not read.  Parses and caches the
+        trailer when the end-of-stream sentinel is reached; raises
+        :class:`TraceFormatError` for truncated or malformed files.
+        """
+        with open(self.path, "rb") as fh:
+            fh.seek(self._frames_offset)
+            while True:
+                core = _read_uvarint_io(fh)
+                if core == self.n_cores:  # end-of-stream sentinel
+                    trailer = _read_json_block(fh, "trailer")
+                    closing = fh.read(len(MAGIC))
+                    if closing != MAGIC:
+                        raise TraceFormatError(
+                            f"{self.path}: missing closing magic "
+                            f"(file truncated at the trailer)"
+                        )
+                    if fh.read(1):
+                        raise TraceFormatError(
+                            f"{self.path}: trailing bytes after closing magic"
+                        )
+                    self._set_trailer(trailer)
+                    return
+                if core > self.n_cores:
+                    raise TraceFormatError(
+                        f"{self.path}: frame for core {core} in a "
+                        f"{self.n_cores}-core trace"
+                    )
+                n_records = _read_uvarint_io(fh)
+                payload_len = _read_uvarint_io(fh)
+                offset = fh.tell()
+                fh.seek(payload_len, io.SEEK_CUR)
+                if fh.tell() != offset + payload_len:
+                    raise TraceFormatError(f"{self.path}: truncated frame")
+                yield core, n_records, offset, payload_len
+
+    def _set_trailer(self, trailer: dict) -> None:
+        counts = trailer.get("counts")
+        if (
+            not isinstance(counts, list)
+            or len(counts) != self.n_cores
+            or not all(isinstance(c, int) and c >= 0 for c in counts)
+        ):
+            raise TraceFormatError(
+                f"{self.path}: trailer counts do not match n_cores"
+            )
+        self._trailer = trailer
+
+    def trailer(self) -> dict:
+        """The trailer statistics document (scanning on first use)."""
+        if self._trailer is None:
+            for _ in self.scan():
+                pass
+        assert self._trailer is not None
+        return self._trailer
+
+    def counts(self) -> List[int]:
+        """Per-core record counts (from the trailer)."""
+        return list(self.trailer()["counts"])
+
+    # -- record-level access ------------------------------------------------
+    def stream(self, core: int) -> Iterator[Record]:
+        """A fresh record iterator for one core (one resident frame).
+
+        Every call returns an independent iterator over its own file
+        handle, so a workload can be replayed across techniques and
+        sizes concurrently — the same contract synthetic generators
+        honor via fresh ``streams()``.
+        """
+        if not 0 <= core < self.n_cores:
+            raise TraceError(
+                f"core {core} out of range 0..{self.n_cores - 1}"
+            )
+
+        def gen() -> Iterator[Record]:
+            with open(self.path, "rb") as fh:
+                fh.seek(self._frames_offset)
+                while True:
+                    frame_core = _read_uvarint_io(fh)
+                    if frame_core == self.n_cores:
+                        _read_json_block(fh, "trailer")
+                        if fh.read(len(MAGIC)) != MAGIC:
+                            raise TraceFormatError(
+                                f"{self.path}: missing closing magic"
+                            )
+                        return
+                    n_records = _read_uvarint_io(fh)
+                    payload_len = _read_uvarint_io(fh)
+                    if frame_core != core:
+                        fh.seek(payload_len, io.SEEK_CUR)
+                        continue
+                    payload = fh.read(payload_len)
+                    if len(payload) != payload_len:
+                        raise TraceFormatError(
+                            f"{self.path}: truncated frame payload"
+                        )
+                    try:
+                        body = zlib.decompress(payload)
+                    except zlib.error as exc:
+                        raise TraceFormatError(
+                            f"{self.path}: corrupt frame payload: {exc}"
+                        ) from exc
+                    records = decode_frame_body(body, n_records)
+                    del payload, body
+                    self.max_resident_records = max(
+                        self.max_resident_records, len(records)
+                    )
+                    yield from records
+                    del records
+
+        return gen()
+
+    def streams(self, n_cores: int) -> List[Iterator[Record]]:
+        """Fresh per-core iterators (the ``Workload.streams`` shape)."""
+        if n_cores != self.n_cores:
+            raise TraceError(
+                f"trace {self.path} holds {self.n_cores} core stream(s), "
+                f"asked for {n_cores}"
+            )
+        return [self.stream(core) for core in range(self.n_cores)]
+
+    # -- inspection ---------------------------------------------------------
+    def info(self) -> Dict[str, object]:
+        """Summary document for ``repro-cmp trace info`` (header scan only)."""
+        frames = 0
+        payload_bytes = 0
+        for _, _, _, payload_len in self.scan():
+            frames += 1
+            payload_bytes += payload_len
+        trailer = self.trailer()
+        return {
+            "path": self.path,
+            "version": self.version,
+            "n_cores": self.n_cores,
+            "frames": frames,
+            "file_bytes": os.path.getsize(self.path),
+            "payload_bytes": payload_bytes,
+            "header": dict(self.header),
+            **{k: trailer.get(k) for k in (
+                "counts", "records", "writes", "barriers",
+                "min_addr", "max_addr",
+            )},
+        }
+
+    def validate(self) -> Dict[str, object]:
+        """Fully decode every frame, cross-checking the trailer.
+
+        Returns the :meth:`info` document on success; raises
+        :class:`TraceFormatError` on any structural damage (truncation,
+        bad counts, corrupt payloads, negative fields).
+        """
+        decoded = [0] * self.n_cores
+        writes = barriers = 0
+        min_addr: Optional[int] = None
+        max_addr: Optional[int] = None
+        with open(self.path, "rb") as fh:
+            for core, n_records, offset, payload_len in self.scan():
+                fh.seek(offset)
+                payload = fh.read(payload_len)
+                try:
+                    body = zlib.decompress(payload)
+                except zlib.error as exc:
+                    raise TraceFormatError(
+                        f"{self.path}: corrupt frame payload: {exc}"
+                    ) from exc
+                for _, addr, flags in decode_frame_body(body, n_records):
+                    if flags & 0x8:
+                        barriers += 1
+                    else:
+                        if flags & 0x1:
+                            writes += 1
+                        min_addr = addr if min_addr is None else min(min_addr, addr)
+                        max_addr = addr if max_addr is None else max(max_addr, addr)
+                decoded[core] += n_records
+        trailer = self.trailer()
+        checks = {
+            "counts": decoded,
+            "writes": writes,
+            "barriers": barriers,
+            "min_addr": min_addr,
+            "max_addr": max_addr,
+        }
+        for key, value in checks.items():
+            if trailer.get(key) != value:
+                raise TraceFormatError(
+                    f"{self.path}: trailer {key} {trailer.get(key)!r} does "
+                    f"not match decoded {value!r}"
+                )
+        return self.info()

@@ -33,7 +33,7 @@ coupling.  Per-program barrier groups in the engine are a roadmap item.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Sequence
+from typing import Iterator, List, Optional, Sequence
 
 from .trace import FLAG_BARRIER, Record, Workload, WorkloadMeta
 
@@ -85,16 +85,19 @@ def parse_mix_name(name: str) -> List[str]:
     return components
 
 
-def mix_components_exist(name: str) -> bool:
-    """True when every component of mix ``name`` is a known workload."""
-    from .registry import list_workloads
+def mix_components_exist(name: str, trace_root: Optional[str] = None) -> bool:
+    """True when every component of mix ``name`` resolves to a workload.
+
+    Components may be registered names or ``trace:<file>`` replays;
+    ``trace_root`` anchors relative trace paths.
+    """
+    from .registry import workload_exists
 
     try:
         components = parse_mix_name(name)
     except ValueError:
         return False
-    known = set(list_workloads())
-    return all(c in known for c in components)
+    return all(workload_exists(c, trace_root=trace_root) for c in components)
 
 
 def assignment(components: Sequence[str], n_cores: int) -> List[str]:
@@ -123,6 +126,7 @@ def mix_workload(
     scale: float = 1.0,
     seed: int = 1,
     line_bytes: int = 64,
+    trace_root: Optional[str] = None,
 ) -> Workload:
     """Build the heterogeneous workload a ``mix:`` name describes.
 
@@ -145,7 +149,12 @@ def mix_workload(
     offsets = {c: i * REBASE_STRIDE for i, c in enumerate(distinct)}
     built = {
         c: get_workload(
-            c, n_cores=n_cores, scale=scale, seed=seed, line_bytes=line_bytes
+            c,
+            n_cores=n_cores,
+            scale=scale,
+            seed=seed,
+            line_bytes=line_bytes,
+            trace_root=trace_root,
         )
         for c in distinct
     }

@@ -3,17 +3,22 @@
 ``get_workload`` is the single entry point used by the harness, examples
 and benches.  Besides the six paper benchmarks it registers three plain
 synthetic workloads used in tests and the quickstart example, and
-dispatches ``mix:a+b`` names to the multi-program mix layer
-(:mod:`repro.workloads.mix`).
+dispatches two addressed families: ``mix:a+b`` names to the
+multi-program mix layer (:mod:`repro.workloads.mix`) and
+``trace:<file>`` names to the file-backed trace frontend
+(:mod:`repro.traces.workload`, imported lazily to keep the package
+import-light).  ``trace_root`` anchors relative trace paths — the
+harness passes the spec file's directory so shipped specs stay
+portable.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from .address_space import AddressSpace
 from .alpbench import facerec, mpeg2dec, mpeg2enc
-from .mix import is_mix_name, mix_components_exist, mix_workload
+from .mix import is_mix_name, mix_workload, parse_mix_name
 from .patterns import ColdStream, HotSet
 from .phases import PhaseSpec, phased_workload
 from .scaling import accesses_per_core, check_scale
@@ -163,15 +168,43 @@ def list_workloads() -> List[str]:
     return sorted(_REGISTRY)
 
 
-def workload_exists(name: str) -> bool:
-    """True when ``name`` resolves: registered, or a mix of registered names.
+def workload_exists(name: str, trace_root: Optional[str] = None) -> bool:
+    """True when ``name`` resolves: registered, a mix, or a readable trace.
 
     This is the check spec validation uses — it must accept every name
     :func:`get_workload` would build without actually building it.
+    ``trace_root`` anchors relative ``trace:`` paths (see
+    :func:`check_workload` for the error-message variant).
     """
+    try:
+        check_workload(name, trace_root=trace_root)
+    except ValueError:
+        return False
+    return True
+
+
+def check_workload(name: str, trace_root: Optional[str] = None) -> None:
+    """Raise a clean ``ValueError`` when ``name`` does not resolve.
+
+    The raising twin of :func:`workload_exists`: strict spec validation
+    uses it so a missing or unreadable trace file surfaces as an
+    actionable message naming the file, never a traceback.
+    """
+    from ..traces.workload import check_trace, is_trace_name
+
     if name in _REGISTRY:
-        return True
-    return is_mix_name(name) and mix_components_exist(name)
+        return
+    if is_trace_name(name):
+        check_trace(name, trace_root)  # raises TraceError (a ValueError)
+        return
+    if is_mix_name(name):
+        for component in parse_mix_name(name):
+            check_workload(component, trace_root=trace_root)
+        return
+    raise ValueError(
+        f"unknown workload {name!r}; available: {', '.join(list_workloads())}"
+        f" (or a mix:<a>+<b> co-schedule, or a trace:<file> replay)"
+    )
 
 
 def get_workload(
@@ -180,18 +213,39 @@ def get_workload(
     scale: float = 1.0,
     seed: int = 1,
     line_bytes: int = 64,
+    trace_root: Optional[str] = None,
 ) -> Workload:
-    """Build a workload by name (``mix:a+b`` builds a multi-program mix)."""
+    """Build a workload by name.
+
+    ``mix:a+b`` builds a multi-program mix; ``trace:<file>`` replays a
+    captured trace (relative paths resolved against ``trace_root``).
+    """
     if is_mix_name(name):
         return mix_workload(
-            name, n_cores=n_cores, scale=scale, seed=seed, line_bytes=line_bytes
+            name,
+            n_cores=n_cores,
+            scale=scale,
+            seed=seed,
+            line_bytes=line_bytes,
+            trace_root=trace_root,
+        )
+    from ..traces.workload import is_trace_name, trace_workload
+
+    if is_trace_name(name):
+        return trace_workload(
+            name,
+            n_cores=n_cores,
+            scale=scale,
+            seed=seed,
+            line_bytes=line_bytes,
+            trace_root=trace_root,
         )
     try:
         builder = _REGISTRY[name]
     except KeyError:
         raise ValueError(
             f"unknown workload {name!r}; available: {', '.join(list_workloads())}"
-            f" (or a mix:<a>+<b> co-schedule of them)"
+            f" (or a mix:<a>+<b> co-schedule, or a trace:<file> replay)"
         ) from None
     return builder(n_cores=n_cores, scale=scale, seed=seed, line_bytes=line_bytes)
 

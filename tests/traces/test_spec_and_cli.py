@@ -1,0 +1,217 @@
+"""Spec integration, shipped trace_smoke pinning, and the trace CLI.
+
+The shipped ``specs/trace_smoke.toml`` + ``specs/traces/uniform_smoke.rtr``
+pair is pinned the way ``mix_smoke`` is: the spec document must match the
+frozen form below, and the trace file must be byte-identical to a fresh
+capture with its recorded parameters (captures are deterministic, so the
+file is reproducible, not just readable).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.harness.cli import main
+from repro.harness.query import ResultStore
+from repro.harness.spec import SpecError, load_spec
+from repro.traces import TraceReader, capture_workload
+from repro.workloads.registry import check_workload, workload_exists
+
+HERE = os.path.dirname(__file__)
+SPECS = os.path.join(HERE, "..", "..", "specs")
+SMOKE_SPEC = os.path.join(SPECS, "trace_smoke.toml")
+SMOKE_TRACE = os.path.join(SPECS, "traces", "uniform_smoke.rtr")
+
+#: frozen canonical form of the shipped spec (update deliberately)
+TRACE_SMOKE_PIN = {
+    "format": 1,
+    "name": "trace_smoke",
+    "axes": {
+        "workloads": ["trace:traces/uniform_smoke.rtr"],
+        "sizes_mb": [1],
+        "techniques": ["baseline", "protocol"],
+    },
+    "run": {"scale": 0.04, "seed": 1},
+}
+
+
+class TestShippedArtifacts:
+    def test_trace_smoke_spec_is_pinned(self):
+        spec = load_spec(SMOKE_SPEC)
+        doc = spec.to_dict()
+        doc.pop("description")
+        assert doc == TRACE_SMOKE_PIN
+
+    def test_trace_smoke_validates_strictly(self):
+        load_spec(SMOKE_SPEC).validate(strict=True)
+
+    def test_shipped_trace_is_reproducible(self, tmp_path):
+        """Byte-identical to a fresh capture with its header's parameters."""
+        header = TraceReader(SMOKE_TRACE).header
+        source = header["source"]
+        fresh = str(tmp_path / "fresh.rtr")
+        capture_workload(
+            source["workload"],
+            fresh,
+            n_cores=source["n_cores"],
+            scale=source["scale"],
+            seed=source["seed"],
+            limit=source["limit"],
+        )
+        with open(SMOKE_TRACE, "rb") as a, open(fresh, "rb") as b:
+            assert a.read() == b.read()
+
+    def test_store_mounts_trace_spec_via_base_dir(self, tmp_path):
+        """ResultStore.open inherits the spec's directory as trace_root."""
+        spec = load_spec(SMOKE_SPEC)
+        store = ResultStore.open(str(tmp_path / "cache"), spec)
+        assert store.runner.trace_root == spec.base_dir
+        assert len(store.points()) == 2
+
+
+class TestSpecValidation:
+    def test_missing_trace_file_is_clean_spec_error(self, tmp_path):
+        path = tmp_path / "bad.toml"
+        path.write_text(
+            'format = 1\nname = "bad"\n\n[axes]\n'
+            'workloads = ["trace:absent.rtr"]\nsizes_mb = [1]\n'
+            'techniques = ["baseline"]\n'
+        )
+        spec = load_spec(str(path))
+        with pytest.raises(SpecError, match="trace file not found"):
+            spec.validate(strict=True)
+
+    def test_corrupt_trace_file_is_clean_spec_error(self, tmp_path):
+        (tmp_path / "junk.rtr").write_bytes(b"not a trace at all")
+        path = tmp_path / "bad.toml"
+        path.write_text(
+            'format = 1\nname = "bad"\n\n[axes]\n'
+            'workloads = ["trace:junk.rtr"]\nsizes_mb = [1]\n'
+            'techniques = ["baseline"]\n'
+        )
+        with pytest.raises(SpecError, match="bad magic"):
+            load_spec(str(path)).validate(strict=True)
+
+    def test_paths_resolve_relative_to_spec_file(self, tmp_path, monkeypatch):
+        """Validation works from any cwd — base_dir anchors the path."""
+        trace = str(tmp_path / "t.rtr")
+        capture_workload("uniform", trace, scale=0.04, seed=1, limit=10)
+        path = tmp_path / "ok.toml"
+        path.write_text(
+            'format = 1\nname = "ok"\n\n[axes]\n'
+            'workloads = ["trace:t.rtr"]\nsizes_mb = [1]\n'
+            'techniques = ["baseline"]\n'
+        )
+        monkeypatch.chdir(tmp_path / "..")
+        load_spec(str(path)).validate(strict=True)
+
+    def test_workload_exists_covers_traces(self, tmp_path):
+        trace = str(tmp_path / "t.rtr")
+        capture_workload("uniform", trace, scale=0.04, seed=1, limit=10)
+        assert workload_exists(f"trace:{trace}")
+        assert workload_exists(f"mix:uniform+trace:{trace}")
+        assert not workload_exists("trace:absent.rtr")
+        assert not workload_exists("mix:uniform+trace:absent.rtr")
+        assert workload_exists(
+            "trace:" + os.path.basename(trace), trace_root=str(tmp_path)
+        )
+
+    def test_check_workload_raises_with_file_name(self):
+        with pytest.raises(ValueError, match="absent.rtr"):
+            check_workload("trace:absent.rtr")
+
+
+class TestTraceCli:
+    def capture(self, out, *extra):
+        rc = main(
+            ["trace", "capture", "uniform", out, "--scale", "0.04",
+             "--limit", "50", "--quiet", *extra]
+        )
+        assert rc == 0
+        return out
+
+    def test_capture_info_validate(self, tmp_path, capsys):
+        out = self.capture(str(tmp_path / "u.rtr"))
+        assert main(["trace", "info", out]) == 0
+        text = capsys.readouterr().out
+        assert "workload    uniform" in text
+        assert "records     200" in text
+        assert main(["trace", "validate", out]) == 0
+        assert "ok (200 records" in capsys.readouterr().out
+
+    def test_convert_csv_and_mtrace(self, tmp_path, capsys):
+        log = tmp_path / "log.csv"
+        log.write_text("core,addr,write\n0,0x10,0\n1,0x20,1\n")
+        rc = main(["trace", "convert", str(log), str(tmp_path / "c.rtr")])
+        assert rc == 0
+        mt = tmp_path / "m.txt"
+        mt.write_text("0 R 0x2000\n1 st 8192 5\n# comment\n")
+        rc = main(
+            ["trace", "convert", str(mt), str(tmp_path / "m.rtr"),
+             "--trace-format", "mtrace"]
+        )
+        assert rc == 0
+        assert main(["trace", "validate", str(tmp_path / "m.rtr")]) == 0
+
+    def test_bad_inputs_fail_cleanly(self, tmp_path, capsys):
+        assert main(["trace", "info", str(tmp_path / "absent.rtr")]) == 1
+        assert "cannot open" in capsys.readouterr().err
+        bad = tmp_path / "bad.rtr"
+        bad.write_bytes(b"XXXX")
+        assert main(["trace", "validate", str(bad)]) == 1
+        assert "bad magic" in capsys.readouterr().err
+        assert main(["trace"]) == 2
+        assert main(["trace", "capture", "uniform"]) == 2
+        assert main(["trace", "capture", "nope", str(tmp_path / "n.rtr")]) == 1
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_spec_validate_reports_missing_trace(self, tmp_path, capsys):
+        spec = tmp_path / "s.toml"
+        spec.write_text(
+            'format = 1\nname = "s"\n\n[axes]\n'
+            'workloads = ["trace:absent.rtr"]\nsizes_mb = [1]\n'
+            'techniques = ["baseline"]\n'
+        )
+        assert main(["spec", "validate", str(spec)]) == 1
+        err = capsys.readouterr().err
+        assert "INVALID" in err and "absent.rtr" in err and "Traceback" not in err
+
+    def test_run_trace_smoke_spec(self, tmp_path, capsys):
+        """End to end: `repro-cmp run specs/trace_smoke.toml`."""
+        rc = main(
+            ["run", SMOKE_SPEC, "--cache-dir", str(tmp_path / "cache"),
+             "--quiet"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "trace:traces/uniform_smoke.rtr" in out
+
+    def test_point_command_accepts_trace_names(self, tmp_path, capsys):
+        out = self.capture(str(tmp_path / "p.rtr"))
+        rc = main(
+            ["point", f"trace:{out}", "1", "baseline",
+             "--cache-dir", str(tmp_path / "cache"), "--scale", "0.04",
+             "--quiet"]
+        )
+        assert rc == 0
+        assert "energy_reduction" in capsys.readouterr().out
+
+
+class TestServedProvenance:
+    def test_provenance_digest_served_for_trace_point(self, tmp_path):
+        """/v1/provenance/<digest> surfaces the capture's sha256."""
+        cache_dir = str(tmp_path / "cache")
+        rc = main(
+            ["run", SMOKE_SPEC, "--cache-dir", cache_dir, "--quiet"]
+        )
+        assert rc == 0
+        spec = load_spec(SMOKE_SPEC)
+        store = ResultStore.open(cache_dir, spec)
+        digest = store.points()[0].digest()
+        info = store.provenance_for_digest(digest)
+        refs = info["traces"]
+        ref = refs["trace:traces/uniform_smoke.rtr"]
+        assert ref["file"] == os.path.abspath(SMOKE_TRACE)
+        assert len(ref["sha256"]) == 64
+        assert json.dumps(info)  # sidecar must stay JSON-serializable
