@@ -36,6 +36,7 @@ from __future__ import annotations
 import datetime
 import json
 import os
+import re
 import socket
 from dataclasses import asdict
 from typing import Dict, Iterable, List, Optional, Tuple, Union
@@ -66,6 +67,10 @@ DEFAULT_WARMUP = 0.17
 
 #: (SimResult, EnergyBreakdown) of one sweep point
 PointResult = Tuple[SimResult, EnergyBreakdown]
+
+#: characters allowed in cache-key prefixes: anything else (``/``, ``:``,
+#: ``\\``, ...) is path-hostile on some filesystem
+_KEY_UNSAFE = re.compile(r"[^A-Za-z0-9._+-]")
 
 
 def _breakdown_to_dict(bd: EnergyBreakdown) -> dict:
@@ -237,6 +242,12 @@ class SweepRunner:
         the same point with overrides equal to the runner's defaults
         share one cache entry, while any semantic difference (decay
         cycles, core count, warmup, geometry) separates them.
+
+        For ``trace:`` workloads (including trace components of mixes)
+        the payload also folds in each trace file's **content** sha256,
+        so re-capturing or overwriting a trace at the same path can
+        never serve stale cached results.  Content hashes (not resolved
+        paths) go into the digest, keeping keys host-portable.
         """
         ctx = self.context_for(p)
         payload = {
@@ -247,12 +258,33 @@ class SweepRunner:
             "config": self.config_for(p).key(),
             **ctx,
         }
+        if "trace:" in p.workload:
+            payload["traces"] = self._trace_digests(p.workload)
         digest = stable_digest(json.dumps(payload, sort_keys=True))
         # the digest is the identity; the prefix is only readable and
-        # must stay a single path component (trace: workload names can
-        # carry filesystem paths)
+        # must stay a single path component safe on every filesystem
+        # (trace: workload names carry ':' and filesystem paths)
         prefix = f"{p.workload}-{p.tech_label}-{p.total_mb}MB"
-        return f"{prefix.replace('/', '_')}-{digest[:20]}"
+        return f"{_KEY_UNSAFE.sub('_', prefix)}-{digest[:20]}"
+
+    def _trace_digests(self, workload: str) -> Dict[str, Optional[str]]:
+        """Content sha256 per ``trace:`` component of ``workload``.
+
+        Unreadable components map to ``None`` — key computation must not
+        raise (lookups may precede the run that reports the real error),
+        and a missing file can never alias a readable one's key.
+        """
+        from ..traces.workload import trace_components, trace_digest, trace_path
+
+        digests: Dict[str, Optional[str]] = {}
+        for component in trace_components(workload):
+            try:
+                digests[component] = trace_digest(
+                    trace_path(component, self.trace_root)
+                )
+            except (OSError, ValueError):
+                digests[component] = None
+        return digests
 
     def _workload(self, name: str, ctx: Dict[str, Union[int, float]]):
         key = (name, int(ctx["n_cores"]), float(ctx["scale"]), int(ctx["seed"]))

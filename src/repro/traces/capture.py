@@ -159,10 +159,18 @@ def _max_core(rows: Iterable[int]) -> int:
 
 
 def _csv_rows(src: str):
-    """Yield (lineno, fields) for data rows of a CSV log (header skipped)."""
+    """Yield (lineno, fields) for data rows of a CSV log (header skipped).
+
+    Fields are stripped but keep their column positions: an empty cell
+    *between* populated ones (``0,,4096,1``) must fail loudly in the
+    field parsers, not silently shift later columns left.  Only trailing
+    empty cells (a common export artifact) are dropped.
+    """
     with open(src, "r", newline="") as fh:
         for lineno, row in enumerate(csv.reader(fh), start=1):
-            fields = [f.strip() for f in row if f.strip()]
+            fields = [f.strip() for f in row]
+            while fields and not fields[-1]:
+                fields.pop()
             if not fields or fields[0].startswith("#"):
                 continue
             if lineno == 1 and not fields[0].lstrip("-").isdigit():

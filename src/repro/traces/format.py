@@ -94,8 +94,15 @@ def decode_uvarint(buf: bytes, pos: int) -> Tuple[int, int]:
 
 
 def zigzag(value: int) -> int:
-    """Map a signed integer onto unsigned zigzag order (0,-1,1,-2,...)."""
-    return (value << 1) ^ (value >> 63) if value < 0 else value << 1
+    """Map a signed integer onto unsigned zigzag order (0,-1,1,-2,...).
+
+    Width-independent: Python integers are unbounded, so the usual
+    fixed-width ``(value << 1) ^ (value >> 63)`` trick would silently
+    corrupt deltas beyond ±2^63 (e.g. a 64-bit kernel address followed
+    by a low address).  ``~(value << 1)`` computes the same mapping for
+    any magnitude.
+    """
+    return ~(value << 1) if value < 0 else value << 1
 
 
 def unzigzag(value: int) -> int:
@@ -375,6 +382,7 @@ class TraceReader:
         :class:`TraceFormatError` for truncated or malformed files.
         """
         with open(self.path, "rb") as fh:
+            end = os.fstat(fh.fileno()).st_size
             fh.seek(self._frames_offset)
             while True:
                 core = _read_uvarint_io(fh)
@@ -400,9 +408,14 @@ class TraceReader:
                 n_records = _read_uvarint_io(fh)
                 payload_len = _read_uvarint_io(fh)
                 offset = fh.tell()
+                # seeking past EOF "succeeds", so truncation must be
+                # checked against the real file size, not tell()
+                if offset + payload_len > end:
+                    raise TraceFormatError(
+                        f"{self.path}: truncated frame (payload runs "
+                        f"past end of file)"
+                    )
                 fh.seek(payload_len, io.SEEK_CUR)
-                if fh.tell() != offset + payload_len:
-                    raise TraceFormatError(f"{self.path}: truncated frame")
                 yield core, n_records, offset, payload_len
 
     def _set_trailer(self, trailer: dict) -> None:
@@ -445,6 +458,7 @@ class TraceReader:
 
         def gen() -> Iterator[Record]:
             with open(self.path, "rb") as fh:
+                end = os.fstat(fh.fileno()).st_size
                 fh.seek(self._frames_offset)
                 while True:
                     frame_core = _read_uvarint_io(fh)
@@ -458,6 +472,11 @@ class TraceReader:
                     n_records = _read_uvarint_io(fh)
                     payload_len = _read_uvarint_io(fh)
                     if frame_core != core:
+                        if fh.tell() + payload_len > end:
+                            raise TraceFormatError(
+                                f"{self.path}: truncated frame (payload "
+                                f"runs past end of file)"
+                            )
                         fh.seek(payload_len, io.SEEK_CUR)
                         continue
                     payload = fh.read(payload_len)

@@ -10,12 +10,13 @@ metadata faithfully.
 
 import hashlib
 import os
+import re
 
 import pytest
 
 from repro.harness.executor import ParallelSweepRunner
 from repro.harness.runner import SweepRunner
-from repro.traces import capture_workload, convert_csv
+from repro.traces import TraceError, capture_workload, convert_csv
 from repro.workloads.registry import get_workload
 
 SCALE = 0.04
@@ -105,6 +106,40 @@ class TestCacheKeys:
         key = runner.point_key(runner.point(f"trace:{capture}", 1, "baseline"))
         assert "/" not in key and "\\" not in key
 
+    def test_point_key_is_filesystem_safe_everywhere(self, capture, tmp_path):
+        """No ':' (or any path-hostile char) survives — NTFS rejects them."""
+        runner = make_runner(tmp_path)
+        for name in (f"trace:{capture}", f"mix:pingpong+trace:{capture}"):
+            key = runner.point_key(runner.point(name, 1, "baseline"))
+            assert not re.search(r"[^A-Za-z0-9._+-]", key), key
+
+    def test_recapturing_a_trace_changes_the_cache_key(self, tmp_path):
+        """The key folds in trace *content*, not just the trace's name.
+
+        Overwriting a trace at the same path used to silently serve the
+        old capture's cached results.
+        """
+        path = str(tmp_path / "t.rtr")
+        capture_workload(
+            "uniform", path, n_cores=N_CORES, scale=SCALE, seed=SEED, limit=64
+        )
+        runner = make_runner(tmp_path)
+        point = runner.point(f"trace:{path}", 1, "baseline")
+        key_before = runner.point_key(point)
+        capture_workload(
+            "uniform", path, n_cores=N_CORES, scale=SCALE, seed=SEED + 1, limit=64
+        )
+        assert runner.point_key(point) != key_before
+
+    def test_relative_and_rooted_names_share_a_key_digest(self, capture, tmp_path):
+        """Host-portability: the digest hashes content, never paths."""
+        root = os.path.dirname(capture)
+        name = f"trace:{os.path.basename(capture)}"
+        rooted = make_runner(tmp_path / "a", trace_root=root)
+        key_rooted = rooted.point_key(rooted.point(name, 1, "baseline"))
+        moved = make_runner(tmp_path / "b", trace_root=root)
+        assert moved.point_key(moved.point(name, 1, "baseline")) == key_rooted
+
     def test_trace_blobs_appear_in_manifest(self, capture, tmp_path):
         runner = make_runner(tmp_path)
         runner.run_point(runner.point(f"trace:{capture}", 1, "baseline"))
@@ -157,6 +192,19 @@ class TestConvertedReplay:
         # flags default to ILP_MODERATE reads -> make_flags(False, 1) == 2
         assert next(streams[0]) == (3, 0x1000, 2)
         assert next(streams[1])[1] == 0x2000
+
+    def test_csv_empty_field_rejected_not_shifted(self, tmp_path):
+        """``0,,4096,1`` must fail, not parse 4096 as the address."""
+        src = tmp_path / "bad.csv"
+        src.write_text("core,addr,write,gap\n0,,4096,1\n")
+        with pytest.raises(TraceError, match="bad address"):
+            convert_csv(str(src), str(tmp_path / "bad.rtr"))
+
+    def test_csv_trailing_empty_cells_tolerated(self, tmp_path):
+        src = tmp_path / "trail.csv"
+        src.write_text("core,addr,write\n0,0x40,1,,\n")
+        summary = convert_csv(str(src), str(tmp_path / "trail.rtr"))
+        assert summary["counts"] == [1]
 
     def test_capture_with_limit_truncates(self, tmp_path):
         path = str(tmp_path / "short.rtr")

@@ -30,11 +30,12 @@ from repro.traces.format import (
 )
 
 uints = st.integers(min_value=0, max_value=1 << 70)
-ints = st.integers(min_value=-(1 << 62), max_value=1 << 62)
+# deliberately wider than 64 bits: zigzag must be width-independent
+ints = st.integers(min_value=-(1 << 70), max_value=1 << 70)
 records = st.lists(
     st.tuples(
         st.integers(min_value=0, max_value=1 << 20),   # gap
-        st.integers(min_value=0, max_value=1 << 40),   # addr
+        st.integers(min_value=0, max_value=1 << 66),   # addr (past 2^64)
         st.integers(min_value=0, max_value=0xF),       # flags
     ),
     max_size=200,
@@ -64,6 +65,16 @@ class TestVarintProperties:
     def test_zigzag_round_trip(self, value):
         assert unzigzag(zigzag(value)) == value
         assert zigzag(value) >= 0
+
+    def test_zigzag_deltas_beyond_64_bits(self):
+        """A 64-bit kernel address followed by a low one (delta < -2^63).
+
+        The fixed-width ``>> 63`` sign-extension trick silently decoded
+        this to a different address; the mapping must be exact for any
+        magnitude.
+        """
+        for delta in (-(1 << 63), -(1 << 64) + 1, (1 << 64) - 1, 1 << 70):
+            assert unzigzag(zigzag(delta)) == delta
 
     def test_uvarint_rejects_negative(self):
         with pytest.raises(TraceError):
@@ -96,6 +107,11 @@ class TestFrameProperties:
         body = encode_frame_body([(1, 2, 3)]) + b"\x00"
         with pytest.raises(TraceFormatError, match="trailing"):
             decode_frame_body(body, 1)
+
+    def test_kernel_address_wraparound_round_trips(self):
+        """The review repro: 0 → 2^64-1 → 0 must decode bit-exactly."""
+        recs = [(0, (1 << 64) - 1, 0), (0, 0, 0), (0, (1 << 64) - 1, 1)]
+        assert decode_frame_body(encode_frame_body(recs), len(recs)) == recs
 
 
 @pytest.fixture()
@@ -155,8 +171,9 @@ class TestRejection:
             TraceReader(str(tmp_path / "absent.rtr"))
 
     @pytest.mark.parametrize("keep_fraction", [0.2, 0.5, 0.9, 0.999])
-    def test_truncation_at_any_point_rejected(self, tmp_path, small_trace,
-                                              keep_fraction):
+    def test_truncation_at_any_point_rejected(
+        self, tmp_path, small_trace, keep_fraction
+    ):
         src, _ = small_trace
         data = open(src, "rb").read()
         path = tmp_path / "cut.rtr"
@@ -165,6 +182,30 @@ class TestRejection:
         with pytest.raises(TraceFormatError):
             for _ in reader.scan():
                 pass
+
+    def test_cut_mid_payload_reports_truncated_frame(self, tmp_path, small_trace):
+        """Mid-payload truncation must name the frame, not misparse on.
+
+        Seeking past EOF "succeeds", so the scan has to check payload
+        extents against the real file size — a file cut mid-frame used
+        to surface as a misleading 'truncated trailer block'.
+        """
+        src, _ = small_trace
+        _, _, offset, payload_len = next(iter(TraceReader(src).scan()))
+        path = tmp_path / "midcut.rtr"
+        path.write_bytes(open(src, "rb").read()[: offset + payload_len // 2])
+        with pytest.raises(TraceFormatError, match="truncated frame"):
+            for _ in TraceReader(str(path)).scan():
+                pass
+
+    def test_stream_skip_path_detects_truncated_frame(self, tmp_path, small_trace):
+        """Streaming core 1 over a file cut inside a core-0 frame fails."""
+        src, _ = small_trace
+        _, _, offset, payload_len = next(iter(TraceReader(src).scan()))
+        path = tmp_path / "skipcut.rtr"
+        path.write_bytes(open(src, "rb").read()[: offset + payload_len // 2])
+        with pytest.raises(TraceFormatError, match="truncated"):
+            list(TraceReader(str(path)).stream(1))
 
     def test_truncated_at_trailer_boundary(self, tmp_path, small_trace):
         """Cut exactly before the closing magic — scan must still fail."""
