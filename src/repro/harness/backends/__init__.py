@@ -13,6 +13,12 @@ from .batch import (
     run_batch_worker,
     write_task_file,
 )
+from .lease import (
+    DEFAULT_LEASE_TIMEOUT,
+    claim_lease,
+    release_lease,
+    renew_lease,
+)
 from .local import LocalBackend, resolve_jobs
 from .socket_ws import SocketWorkStealingBackend, worker_main
 
@@ -26,6 +32,10 @@ __all__ = [
     "read_task_file",
     "run_batch_worker",
     "write_task_file",
+    "DEFAULT_LEASE_TIMEOUT",
+    "claim_lease",
+    "release_lease",
+    "renew_lease",
     "LocalBackend",
     "resolve_jobs",
     "SocketWorkStealingBackend",

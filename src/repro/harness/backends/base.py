@@ -27,6 +27,15 @@ Every backend must preserve the harness invariant: the installed results
 — and the cache blobs they serialize to — are **byte-identical** to a
 serial sweep of the same points and seed, no matter how tasks were
 distributed, retried after a crash, or installed more than once.
+
+The distributed backends additionally participate in the fault-tolerance
+layer: both accept a ``fault_plan``
+(:class:`~repro.harness.faults.FaultPlan`) and a ``lease_timeout``, and
+both publish a per-point :class:`~repro.harness.campaign.CampaignReport`
+as :attr:`last_report` after :meth:`~SweepBackend.execute` — the
+executor writes it next to the cache manifest.  ``last_report`` is an
+optional attribute of the protocol: backends without retry machinery
+(``local``) simply never set one.
 """
 
 from __future__ import annotations

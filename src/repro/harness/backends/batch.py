@@ -5,6 +5,10 @@ a directory that hosts can sync (NFS, rsync, a CI artifact store)::
 
     <queue_dir>/
         tasks.json              # runner params + the planned points
+        leases/
+            <cache_key>.lease   # who is working on what (mtime-renewed)
+        events/
+            <worker_id>.jsonl   # claim/complete ledger -> campaign report
         results/
             <worker_id>/        # one ResultCache root per worker
                 v9/...          #   sharded entries, standard layout
@@ -17,10 +21,19 @@ and then *ingests*: every cache root under ``results/`` is merged into
 the runner's own :class:`~repro.harness.result_cache.ResultCache` via
 :meth:`~repro.harness.result_cache.ResultCache.import_entries` — a
 manifest-driven, byte-for-byte copy, so figure tables come out identical
-to a serial sweep.  Workers (``repro-cmp work --queue-dir DIR`` anywhere
-the directory is synced, optionally sliced ``--slice i/n``) claim their
-share of the task list and write only inside their own subdirectory, so
-no two hosts ever contend on a file.
+to a serial sweep.
+
+Workers (``repro-cmp work --queue-dir DIR`` anywhere the directory is
+synced) *claim* points through the lease files of
+:mod:`~repro.harness.backends.lease` instead of owning a static slice:
+each worker sweeps the task list, atomically claims the next unowned
+point, renews the lease's mtime while simulating, and releases it after
+publishing into its own shard.  A worker that dies mid-point leaves a
+lease that stops being renewed; once it is ``lease_timeout`` stale, any
+live worker reclaims it — the ROADMAP's "dynamic re-slicing", as a
+filesystem protocol.  ``--slice i/n`` survives as a *preference*: the
+worker claims its slice first and steals the rest, so an evenly-started
+fleet partitions exactly as before while a lopsided one rebalances.
 
 Ingest is idempotent and crash-tolerant by construction: already-present
 entries are skipped after a byte comparison, manifest rows whose blob
@@ -35,12 +48,31 @@ import json
 import multiprocessing
 import os
 import time
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..campaign import CampaignReport, PointRecord
+from ..faults import (
+    KILL_EXIT_CODE,
+    FaultInjector,
+    PlanLike,
+    backoff_seconds,
+    coerce_plan,
+)
 from ..result_cache import MergeReport, ResultCache, atomic_write
 from ..runner import CACHE_VERSION, SweepRunner, decode_entry
 from ..spec import SweepPoint
 from .base import default_worker_id, register_backend
+from .lease import (
+    DEFAULT_LEASE_TIMEOUT,
+    LeaseRenewer,
+    claim_lease,
+    lease_age,
+    lease_path,
+    log_event,
+    read_events,
+    read_lease,
+    release_lease,
+)
 
 #: task-file name inside the queue directory
 TASK_FILE = "tasks.json"
@@ -108,24 +140,50 @@ def list_worker_result_dirs(queue_dir: str) -> List[str]:
     ]
 
 
+def _settled_elsewhere(queue_dir: str, worker_id: str, key: str) -> bool:
+    """Whether some *other* worker's shard already holds ``key``."""
+    for shard_dir in list_worker_result_dirs(queue_dir):
+        if os.path.basename(shard_dir) == worker_id:
+            continue
+        if ResultCache(shard_dir, CACHE_VERSION).read_bytes(key) is not None:
+            return True
+    return False
+
+
 def run_batch_worker(
     queue_dir: str,
     worker_id: Optional[str] = None,
     task_slice: Tuple[int, int] = (0, 1),
+    lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+    fault_plan: Optional[dict] = None,
 ) -> int:
-    """Process one worker's share of the queue's task file.
+    """Work the queue's task file until every point is settled somewhere.
 
-    ``task_slice`` is ``(i, n)``: this worker claims every n-th point
-    starting at index ``i`` — a static partition, so concurrent workers
-    never collide.  Results land in the worker's own cache root, and a
-    manifest snapshot is written at the end to mark the shard complete.
-    Returns the number of points simulated (cached points are free).
+    Points are claimed through lease files, so any number of workers may
+    run this concurrently (or join late): each point is simulated by
+    whoever claims it, a claim is renewed while the simulation runs, and
+    a dead worker's stale claim is reclaimed by the survivors.
+    ``task_slice`` ``(i, n)`` is an ordering *preference* — this worker
+    tries to claim every n-th point starting at ``i`` before stealing
+    the rest — which keeps an evenly-matched fleet partitioned exactly
+    like the old static slicing, without stranding a dead worker's
+    share.
+
+    ``fault_plan`` (dict form of a
+    :class:`~repro.harness.faults.FaultPlan`) drives the chaos tests:
+    receipt faults (``kill``/``hang``/``drop``) and ``delay`` apply
+    here; ``corrupt``/``duplicate`` are wire faults, meaningful only on
+    the socket backend.  Results land in the worker's own cache root,
+    and a manifest snapshot is written at the end to mark the shard
+    complete.  Returns the number of points simulated (cached points
+    are free).
     """
     payload = read_task_file(queue_dir)
     index, modulus = task_slice
     if not (0 <= index < modulus):
         raise ValueError(f"task slice {index}/{modulus} out of range")
     wid = worker_id or default_worker_id()
+    injector = FaultInjector(fault_plan, wid)
     runner = SweepRunner(
         verbose=False,
         cache_dir=worker_result_dir(queue_dir, wid),
@@ -133,11 +191,97 @@ def run_batch_worker(
     )
     runner.backend_label = "batch"
     runner.worker_id = wid
+    points = payload["points"]
+    preferred = points[index::modulus]
+    stolen = [p for i, p in enumerate(points) if (i - index) % modulus != 0]
+    ordered = preferred + stolen
+    renew_interval = max(0.05, lease_timeout / 4.0)
     done = 0
-    for point in payload["points"][index::modulus]:
-        if runner.lookup(point) is None:
+    idle_rounds = 0
+    while True:
+        progressed = False
+        contended = False
+        for point in ordered:
+            if runner.lookup(point) is not None:
+                continue
+            key = runner.point_key(point)
+            if _settled_elsewhere(queue_dir, wid, key):
+                continue
+            kind = claim_lease(queue_dir, key, wid, lease_timeout)
+            if kind is None:
+                contended = True  # live lease elsewhere: retry later
+                continue
+            log_event(
+                queue_dir,
+                wid,
+                {
+                    "event": "claim",
+                    "kind": kind,
+                    "digest": key,
+                    "point": point.describe(),
+                    "t": time.time(),
+                },
+            )
+            action = injector.on_task()
+            if action is not None and action.kind == "kill":
+                os._exit(KILL_EXIT_CODE)  # lease left to go stale
+            if action is not None and action.kind == "hang":
+                # wedge without renewing: the lease goes stale and the
+                # point migrates to a live worker
+                if action.seconds > 0:
+                    time.sleep(action.seconds)
+                    contended = True
+                    continue
+                while True:  # wedge until torn down
+                    time.sleep(3600)
+            if action is not None and action.kind == "drop":
+                # connectionless analogue of a dropped connection:
+                # abandon the claim immediately
+                release_lease(queue_dir, key, wid)
+                contended = True
+                continue
+            renewer = LeaseRenewer(queue_dir, key, wid, renew_interval)
+            renewer.start()
+            try:
+                runner.run_point(point)
+                delivery = injector.on_delivery()
+                if delivery is not None and delivery.kind == "delay":
+                    # slow, not dead: the renewer carries the lease
+                    time.sleep(delivery.seconds)
+            except Exception:
+                release_lease(queue_dir, key, wid)
+                raise
+            finally:
+                renewer.shutdown()
+            release_lease(queue_dir, key, wid)
+            log_event(
+                queue_dir,
+                wid,
+                {
+                    "event": "complete",
+                    "digest": key,
+                    "point": point.describe(),
+                    "t": time.time(),
+                },
+            )
             done += 1
-        runner.run_point(point)
+            progressed = True
+        if not contended:
+            break  # every point settled in some shard
+        if progressed:
+            idle_rounds = 0
+        else:
+            # someone else holds the remaining leases: back off, then
+            # re-check (a stale lease becomes reclaimable on its own)
+            time.sleep(
+                backoff_seconds(
+                    idle_rounds,
+                    base=0.05,
+                    cap=max(0.05, min(1.0, lease_timeout / 2)),
+                    rng=injector.rng,
+                )
+            )
+            idle_rounds += 1
     runner.cache.write_manifest()
     return done
 
@@ -146,12 +290,18 @@ class BatchQueueBackend:
     """Emit a task file, then ingest completed shards until done.
 
     With ``spawn_workers > 0`` the backend runs that many batch workers
-    as local child processes (one sliced pass over the task file) — the
-    single-host proof of the full emit → work → ingest cycle, and what
-    the tests diff against the serial runner.  With ``spawn_workers = 0``
-    it polls ``results/`` every ``poll_interval`` seconds, ingesting
-    whatever synced-in shards appeared, until the matrix is complete or
-    ``timeout`` elapses.
+    as local child processes (lease-claiming passes over the task file) —
+    the single-host proof of the full emit → work → ingest cycle, and
+    what the tests diff against the serial runner.  A spawned worker
+    that dies is not fatal as long as the survivors finish its points
+    via lease reclaim.  With ``spawn_workers = 0`` it polls
+    ``results/`` with exponential backoff (from ``poll_interval``),
+    ingesting whatever synced-in shards appeared, until the matrix is
+    complete or ``timeout`` elapses — and the timeout error names the
+    outstanding points and who leases them.  After :meth:`execute`,
+    :attr:`last_report` holds the per-point
+    :class:`~repro.harness.campaign.CampaignReport` aggregated from the
+    workers' event ledgers.
     """
 
     name = "batch"
@@ -162,13 +312,19 @@ class BatchQueueBackend:
         spawn_workers: int = 2,
         poll_interval: float = 1.0,
         timeout: Optional[float] = None,
+        lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+        fault_plan: PlanLike = None,
     ) -> None:
         self.queue_dir = queue_dir
         self.spawn_workers = spawn_workers
         self.poll_interval = poll_interval
         self.timeout = timeout
+        self.lease_timeout = float(lease_timeout)
+        self.fault_plan = coerce_plan(fault_plan)
         #: merge reports accumulated by the last :meth:`execute`
         self.last_reports: List[MergeReport] = []
+        #: per-point ledger of the last :meth:`execute`
+        self.last_report: Optional[CampaignReport] = None
 
     # ------------------------------------------------------------------
     def collect(
@@ -238,13 +394,77 @@ class BatchQueueBackend:
                 return blob
         return None
 
-    def _spawn_and_wait(self, deadline: Optional[float]) -> None:
-        """Run ``spawn_workers`` sliced batch workers to completion.
+    # ------------------------------------------------------------------
+    def _outstanding_summary(
+        self, runner: SweepRunner, missing: Sequence[SweepPoint], limit: int = 10
+    ) -> str:
+        """Name the missing points and who (if anyone) leases them."""
+        lines = []
+        for point in list(missing)[:limit]:
+            path = lease_path(self.queue_dir, runner.point_key(point))
+            holder = read_lease(path)
+            age = lease_age(path)
+            if holder is not None and age is not None:
+                lines.append(
+                    f"{point.describe()} (leased by "
+                    f"{holder.get('worker', '?')}, renewed {age:.0f}s ago)"
+                )
+            else:
+                lines.append(f"{point.describe()} (unclaimed)")
+        if len(missing) > limit:
+            lines.append(f"... and {len(missing) - limit} more")
+        return "; ".join(lines)
+
+    def _campaign_report(
+        self, runner: SweepRunner, pending: Sequence[SweepPoint]
+    ) -> CampaignReport:
+        """Aggregate the workers' event ledgers into a campaign report."""
+        claims: Dict[str, int] = {}
+        reclaims: Dict[str, List[str]] = {}
+        producers: Dict[str, str] = {}
+        stats = {"claims": 0, "reclaimed": 0, "completions": 0}
+        for event in read_events(self.queue_dir):
+            digest = str(event.get("digest", ""))
+            worker = str(event.get("worker", "?"))
+            if event.get("event") == "claim":
+                claims[digest] = claims.get(digest, 0) + 1
+                stats["claims"] += 1
+                if event.get("kind") == "reclaimed":
+                    stats["reclaimed"] += 1
+                    reclaims.setdefault(digest, []).append(
+                        f"stale lease reclaimed by {worker}"
+                    )
+            elif event.get("event") == "complete":
+                stats["completions"] += 1
+                producers.setdefault(digest, worker)
+        records = []
+        for point in pending:
+            key = runner.point_key(point)
+            completed = runner.lookup(point) is not None
+            records.append(
+                PointRecord(
+                    point=point.describe(),
+                    digest=point.digest(),
+                    status="completed" if completed else "pending",
+                    attempts=claims.get(key, 0),
+                    requeues=len(reclaims.get(key, ())),
+                    reasons=list(reclaims.get(key, ())),
+                    worker=producers.get(key),
+                )
+            )
+        return CampaignReport(backend="batch", records=records, stats=stats)
+
+    def _spawn_and_wait(
+        self, deadline: Optional[float]
+    ) -> Tuple[List[str], bool]:
+        """Run ``spawn_workers`` lease-claiming workers; gather losses.
 
         ``deadline`` is a :func:`time.monotonic` timestamp; workers still
-        alive past it are terminated and the sweep raises ``TimeoutError``
-        (partial shards stay on disk, so a rerun resumes from them).
+        alive past it are terminated.  Returns ``(failures, timed_out)``
+        — a dead worker is *reported*, not fatal: whether the sweep
+        survived it is decided by what :meth:`collect` finds afterwards.
         """
+        plan_dict = self.fault_plan.to_dict() if self.fault_plan else None
         procs = []
         for i in range(self.spawn_workers):
             proc = multiprocessing.Process(
@@ -253,6 +473,8 @@ class BatchQueueBackend:
                 kwargs={
                     "worker_id": f"batch-{i}",
                     "task_slice": (i, self.spawn_workers),
+                    "lease_timeout": self.lease_timeout,
+                    "fault_plan": plan_dict,
                 },
             )
             proc.start()
@@ -271,16 +493,7 @@ class BatchQueueBackend:
                     continue
             if proc.exitcode != 0:
                 failures.append(f"batch-{i} exited {proc.exitcode}")
-        if timed_out:
-            raise TimeoutError(
-                f"batch workers still running after {self.timeout}s; "
-                f"terminated (partial shards kept in {self.queue_dir})"
-            )
-        if failures:
-            raise RuntimeError(
-                f"batch workers failed: {'; '.join(failures)} "
-                f"(task file and partial shards left in {self.queue_dir})"
-            )
+        return failures, timed_out
 
     def execute(
         self, runner: SweepRunner, pending: Sequence[SweepPoint]
@@ -290,41 +503,76 @@ class BatchQueueBackend:
         if not pending:
             return 0
         self.last_reports = []
+        self.last_report = None
         params = runner.runner_params()
         write_task_file(self.queue_dir, params, pending)
         if runner.verbose:
             print(
                 f"[sweep:batch] {len(pending)} points queued in "
-                f"{self.queue_dir} ({self.spawn_workers} local workers)",
+                f"{self.queue_dir} ({self.spawn_workers} local workers, "
+                f"lease {self.lease_timeout:g}s)",
                 flush=True,
             )
         deadline = (
             time.monotonic() + self.timeout if self.timeout is not None else None
         )
         if self.spawn_workers:
-            self._spawn_and_wait(deadline)
+            failures, timed_out = self._spawn_and_wait(deadline)
             missing = self.collect(runner, pending)
+            self.last_report = self._campaign_report(runner, pending)
+            if timed_out:
+                raise TimeoutError(
+                    f"batch workers still running after {self.timeout}s; "
+                    f"terminated (partial shards kept in {self.queue_dir})"
+                )
             if missing:
-                lost = ", ".join(point.describe() for point in missing)
+                detail = self._outstanding_summary(runner, missing)
+                note = (
+                    f" (worker failures: {'; '.join(failures)})"
+                    if failures
+                    else ""
+                )
                 raise RuntimeError(
-                    f"batch workers finished but left points missing: {lost}"
+                    f"batch workers finished but left points missing: "
+                    f"{detail}{note}"
+                )
+            if failures and runner.verbose:
+                print(
+                    f"[sweep:batch] survived worker losses: "
+                    f"{'; '.join(failures)} (their points migrated)",
+                    flush=True,
                 )
             return len(pending)
+        idle_rounds = 0
+        last_missing = len(pending) + 1
         while True:
             missing = self.collect(runner, pending)
             if not missing:
+                self.last_report = self._campaign_report(runner, pending)
                 return len(pending)
             if deadline is not None and time.monotonic() >= deadline:
+                self.last_report = self._campaign_report(runner, pending)
                 raise TimeoutError(
                     f"batch sweep timed out with {len(missing)} of "
-                    f"{len(pending)} points missing from {self.queue_dir}"
+                    f"{len(pending)} points missing from {self.queue_dir}: "
+                    f"{self._outstanding_summary(runner, missing)}"
                 )
+            if len(missing) < last_missing:
+                idle_rounds = 0  # progress resets the backoff
+            last_missing = len(missing)
             if runner.verbose:
                 print(
                     f"[sweep:batch] waiting: {len(missing)} points missing",
                     flush=True,
                 )
-            time.sleep(self.poll_interval)
+            time.sleep(
+                backoff_seconds(
+                    idle_rounds,
+                    base=min(self.poll_interval, 1.0),
+                    cap=max(self.poll_interval, 8.0),
+                )
+            )
+            idle_rounds += 1
 
 
 register_backend("batch", BatchQueueBackend)

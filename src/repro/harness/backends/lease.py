@@ -1,0 +1,207 @@
+"""File-based work leases for the connectionless batch backend.
+
+The batch queue has no coordinator process while workers run — hosts
+share nothing but a synced directory — so work claiming must live in
+the filesystem.  A lease is one JSON file per point::
+
+    <queue_dir>/leases/<cache_key>.lease      # {"worker": <id>}
+    <queue_dir>/events/<worker_id>.jsonl      # claim/complete ledger
+
+The protocol:
+
+* **Claim** — creating the lease file with ``O_CREAT | O_EXCL`` is the
+  atomic fresh claim (exactly one creator wins).  An *existing* lease
+  whose mtime is older than the lease timeout is stale — its worker
+  died or wedged — and any live worker may take it over by atomically
+  replacing the file (``os.replace``) and reading back ownership.
+* **Renew** — the holder touches the file's mtime (``os.utime``) a few
+  times per timeout window; :class:`LeaseRenewer` does this from a
+  daemon thread while the simulation runs, so a *slow* point is
+  distinguishable from a *dead* worker.
+* **Release** — the holder unlinks the file after publishing the
+  result into its shard.
+
+Two workers can, in a narrow window, both believe they reclaimed the
+same stale lease (replace/read-back interleaving).  That is accepted by
+design: points are deterministic and installation byte-identical, so a
+double claim wastes one simulation and corrupts nothing — the lease is
+an efficiency mechanism, and the result cache is the correctness
+mechanism.  The event ledger is append-only, one file per worker (no
+cross-host write contention), and feeds the post-run
+:class:`~repro.harness.campaign.CampaignReport`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Dict, List, Optional
+
+from ..result_cache import atomic_write
+
+#: lease files live under this queue subdirectory
+LEASES_DIR = "leases"
+
+#: per-worker event ledgers live under this queue subdirectory
+EVENTS_DIR = "events"
+
+#: seconds an unrenewed batch lease stays valid
+DEFAULT_LEASE_TIMEOUT = 60.0
+
+
+def lease_path(queue_dir: str, key: str) -> str:
+    """The lease file guarding one cache key."""
+    return os.path.join(queue_dir, LEASES_DIR, key + ".lease")
+
+
+def read_lease(path: str) -> Optional[Dict]:
+    """The lease document at ``path``, or ``None`` (absent/garbled)."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+        return None
+    return doc if isinstance(doc, dict) else None
+
+
+def lease_age(path: str) -> Optional[float]:
+    """Seconds since the lease was last renewed, or ``None`` if absent."""
+    try:
+        return max(0.0, time.time() - os.stat(path).st_mtime)
+    except OSError:
+        return None
+
+
+def claim_lease(
+    queue_dir: str,
+    key: str,
+    worker: str,
+    lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+) -> Optional[str]:
+    """Try to claim ``key`` for ``worker``.
+
+    Returns ``"fresh"`` (unclaimed point, or re-entering our own live
+    lease after a restart), ``"reclaimed"`` (took over a stale lease),
+    or ``None`` (someone else holds a live lease — back off and retry).
+    """
+    path = lease_path(queue_dir, key)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    doc = (json.dumps({"worker": worker}) + "\n").encode("utf-8")
+    try:
+        fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        pass
+    else:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(doc)
+        return "fresh"
+    age = lease_age(path)
+    if age is None:
+        # the holder released between our open and stat: contended
+        # moment, let the next round claim it cleanly
+        return None
+    holder = read_lease(path)
+    if holder is not None and holder.get("worker") == worker:
+        os.utime(path)  # our own lease (restart with a stable id)
+        return "fresh"
+    if age <= lease_timeout:
+        return None
+    # stale: take it over, then verify the takeover stuck (a concurrent
+    # reclaimer may have replaced the file after us — last writer wins)
+    atomic_write(path, doc)
+    mine = read_lease(path)
+    if mine is not None and mine.get("worker") == worker:
+        return "reclaimed"
+    return None
+
+
+def renew_lease(queue_dir: str, key: str, worker: str) -> bool:
+    """Touch ``worker``'s lease on ``key``; ``False`` if no longer held."""
+    path = lease_path(queue_dir, key)
+    holder = read_lease(path)
+    if holder is None or holder.get("worker") != worker:
+        return False
+    try:
+        os.utime(path)
+    except OSError:
+        return False
+    return True
+
+
+def release_lease(queue_dir: str, key: str, worker: str) -> None:
+    """Drop ``worker``'s lease on ``key`` (no-op if not the holder)."""
+    path = lease_path(queue_dir, key)
+    holder = read_lease(path)
+    if holder is not None and holder.get("worker") == worker:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+
+class LeaseRenewer(threading.Thread):
+    """Daemon that renews one lease while its simulation runs.
+
+    Stops on its own when the lease is lost (another worker reclaimed
+    it after judging us dead) — renewing a stolen lease would let two
+    workers fence over one mtime forever.
+    """
+
+    def __init__(
+        self, queue_dir: str, key: str, worker: str, interval: float
+    ) -> None:
+        super().__init__(daemon=True)
+        self.queue_dir = queue_dir
+        self.key = key
+        self.worker = worker
+        self.interval = interval
+        self._stop = threading.Event()
+
+    def shutdown(self) -> None:
+        """Stop renewing (the simulation finished)."""
+        self._stop.set()
+
+    def run(self) -> None:
+        """Renew every ``interval`` seconds until stopped or lost."""
+        while not self._stop.wait(self.interval):
+            if not renew_lease(self.queue_dir, self.key, self.worker):
+                return
+
+
+def log_event(queue_dir: str, worker: str, event: Dict) -> None:
+    """Append one record to ``worker``'s event ledger."""
+    root = os.path.join(queue_dir, EVENTS_DIR)
+    os.makedirs(root, exist_ok=True)
+    line = json.dumps(dict(event, worker=worker), sort_keys=True) + "\n"
+    with open(
+        os.path.join(root, worker + ".jsonl"), "a", encoding="utf-8"
+    ) as fh:
+        fh.write(line)
+
+
+def read_events(queue_dir: str) -> List[Dict]:
+    """Every worker's ledger records (unparseable lines are skipped)."""
+    root = os.path.join(queue_dir, EVENTS_DIR)
+    try:
+        names = sorted(os.listdir(root))
+    except OSError:
+        return []
+    events: List[Dict] = []
+    for name in names:
+        if not name.endswith(".jsonl"):
+            continue
+        try:
+            with open(os.path.join(root, name), encoding="utf-8") as fh:
+                lines = fh.readlines()
+        except OSError:
+            continue
+        for line in lines:
+            try:
+                doc = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(doc, dict):
+                events.append(doc)
+    return events

@@ -1,4 +1,4 @@
-"""Work-stealing sweep execution over TCP.
+"""Work-stealing sweep execution over TCP, with deadline leases.
 
 A coordinator (:class:`SocketWorkStealingBackend`, or the ``repro-cmp
 serve`` command) owns the planned task list and serves it over a tiny
@@ -7,31 +7,51 @@ backend, or ``repro-cmp work host:port`` shells on any machine — *pull*
 tasks one at a time, simulate them with a local serial runner, and stream
 the serialized results back.  Pulling is what makes the schedule
 work-stealing: a fast worker drains more of the queue, and a task whose
-worker crashes mid-flight is simply requeued for the next puller.
+worker fails mid-flight is simply requeued for the next puller.
 
 Protocol (one JSON object per line, worker → coordinator unless noted)::
 
     {"op": "hello", "worker": <name>}
-        -> {"op": "welcome", "proto": 2, "params": {...runner params...}}
+        -> {"op": "welcome", "proto": 3, "params": {...runner params...},
+            "lease_timeout": s, "heartbeat_interval": s}
     {"op": "get"}
         -> {"op": "task", "point": {...SweepPoint.to_dict()...}}
          | {"op": "wait", "seconds": s}     # queue empty, leases pending
          | {"op": "done"}                   # matrix complete, disconnect
+    {"op": "heartbeat", "worker": <name>, "point": {...}}
+        (one-way: renews the lease, never answered)
     {"op": "result", "point": {...}, "result": {...}, "energy": {...}}
-        -> {"op": "ack"}
+        -> {"op": "ack"} | {"op": "reject", "error": <text>}
     {"op": "error", "point": {...}, "message": <text>}
         -> {"op": "ack"}
 
-Protocol 2 ships full serialized
-:class:`~repro.harness.spec.SweepPoint` tasks (protocol 1 sent bare
-``[workload, total_mb, technique]`` triples, which hardwired the paper
-matrix; a v1 worker is rejected at the welcome handshake).  Workers
-rebuild their runner from the coordinator's ``params`` and the point from
-its canonical dict, so a remote shell needs no flags beyond the address —
-and no shared filesystem: results travel over the socket in the
-cache-entry format and the coordinator alone installs them
-(byte-identical to a serial sweep, even when a crash makes a task run
-twice, because points are deterministic and installation is idempotent).
+Protocol 3 adds fault tolerance on top of protocol 2's serialized
+:class:`~repro.harness.spec.SweepPoint` tasks.  The bump is *additive*
+(the welcome gains ``lease_timeout`` and ``heartbeat_interval``; every
+protocol-2 message is unchanged), so a v3 worker accepts a v2 welcome —
+it simply has no lease to renew.  The fault-tolerance pass:
+
+* **Deadline leases** — every served task carries a lease of
+  ``lease_timeout`` seconds; a worker's heartbeat thread renews it
+  mid-simulation.  A hung-but-connected worker stops heartbeating, its
+  lease expires, and the coordinator requeues the point (with attempt
+  accounting) instead of waiting on a TCP close that never comes.
+* **Backoff wait advice** — an idle worker is told to sleep with
+  per-worker exponential backoff plus deterministic jitter instead of a
+  fixed 0.1 s poll, so a large idle fleet does not hammer the socket.
+* **Reconnect** — workers survive a coordinator restart by redialing
+  with jittered exponential backoff before giving up.
+* **Corrupt-result rejection** — an undecodable result payload is
+  rejected and the point requeued; garbage on the wire costs one retry,
+  never the coordinator.
+
+Workers rebuild their runner from the coordinator's ``params`` and the
+point from its canonical dict, so a remote shell needs no flags beyond
+the address — and no shared filesystem: results travel over the socket
+in the cache-entry format and the coordinator alone installs them
+(byte-identical to a serial sweep, even when a crash or an expired lease
+makes a task run twice, because points are deterministic and
+installation is idempotent).
 """
 
 from __future__ import annotations
@@ -39,25 +59,51 @@ from __future__ import annotations
 import json
 import multiprocessing
 import os
+import random
 import socket
 import socketserver
 import threading
 import time
 from collections import deque
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..campaign import CampaignReport, PointRecord
+from ..faults import (
+    KILL_EXIT_CODE,
+    FaultInjector,
+    PlanLike,
+    backoff_seconds,
+    coerce_plan,
+)
 from ..runner import SweepRunner, decode_entry, encode_entry
 from ..spec import SweepPoint
 from .base import default_worker_id, register_backend
 
-#: protocol version sent in the welcome message (2 = SweepPoint tasks)
-PROTO_VERSION = 2
+#: protocol version sent in the welcome message (3 = leases/heartbeats)
+PROTO_VERSION = 3
+
+#: welcome protocols this worker accepts (2 is proto 3 minus leases)
+ACCEPTED_PROTOS = (2, PROTO_VERSION)
 
 #: how many times a point may be attempted before the sweep fails
 DEFAULT_MAX_ATTEMPTS = 3
 
-#: seconds an idle worker is told to sleep before re-polling
+#: seconds a served task's lease lasts without a heartbeat renewal
+DEFAULT_LEASE_TIMEOUT = 60.0
+
+#: fallback idle sleep (the floor of the coordinator's backoff advice,
+#: and what a worker sleeps when a v2 coordinator sends no ``seconds``)
 WAIT_SECONDS = 0.1
+
+#: ceiling of the coordinator's idle-wait advice
+WAIT_CAP = 2.0
+
+#: how many consecutive connect failures a worker tolerates
+DEFAULT_CONNECT_ATTEMPTS = 8
+
+#: sentinel for a line that arrived but did not decode (≠ EOF)
+_MALFORMED = object()
 
 
 def _send(wfile, obj: dict) -> None:
@@ -66,21 +112,35 @@ def _send(wfile, obj: dict) -> None:
     wfile.flush()
 
 
-def _recv(rfile) -> Optional[dict]:
-    """Read one protocol message; ``None`` on EOF or malformed line."""
+def _recv(rfile):
+    """Read one message; ``None`` on EOF, ``_MALFORMED`` on garbage.
+
+    The distinction matters to the coordinator: EOF means the worker is
+    gone (requeue its lease), while a malformed line means the worker is
+    alive but speaking garbage (drop the connection deliberately, which
+    requeues the lease the same way — but counts as a rejection).
+    """
     line = rfile.readline()
     if not line:
         return None
     try:
         msg = json.loads(line)
     except json.JSONDecodeError:
-        return None
-    return msg if isinstance(msg, dict) else None
+        return _MALFORMED
+    return msg if isinstance(msg, dict) else _MALFORMED
 
 
 def _point_of(msg: dict) -> SweepPoint:
     """Rebuild the wire point (canonical dict) as a :class:`SweepPoint`."""
     return SweepPoint.from_dict(msg["point"])
+
+
+@dataclass
+class _Lease:
+    """One outstanding task: who holds it and when it expires."""
+
+    worker: str
+    deadline: float
 
 
 class _Handler(socketserver.StreamRequestHandler):
@@ -97,6 +157,11 @@ class _Handler(socketserver.StreamRequestHandler):
                 msg = _recv(self.rfile)
                 if msg is None:
                     return
+                if msg is _MALFORMED:
+                    # a live worker sent garbage framing: drop the
+                    # connection (the finally clause requeues its lease)
+                    server.note_rejected(worker, "malformed protocol line")
+                    return
                 op = msg.get("op")
                 if op == "hello":
                     worker = str(msg.get("worker", "?"))
@@ -106,6 +171,8 @@ class _Handler(socketserver.StreamRequestHandler):
                             "op": "welcome",
                             "proto": PROTO_VERSION,
                             "params": server.params,
+                            "lease_timeout": server.lease_timeout,
+                            "heartbeat_interval": server.heartbeat_interval,
                         },
                     )
                 elif op == "get":
@@ -113,24 +180,57 @@ class _Handler(socketserver.StreamRequestHandler):
                     _send(self.wfile, reply)
                     if reply["op"] == "done":
                         return
+                elif op == "heartbeat":
+                    # one-way: renewing must not disturb the worker's
+                    # strict send→reply alternation on the main loop
+                    try:
+                        server.heartbeat(worker, _point_of(msg))
+                    except Exception:
+                        pass  # an undecodable heartbeat renews nothing
                 elif op == "result":
-                    server.complete(_point_of(msg), msg, worker)
-                    if leased == _point_of(msg):
+                    try:
+                        point = _point_of(msg)
+                    except Exception:
+                        server.note_rejected(worker, "undecodable point")
+                        _send(
+                            self.wfile,
+                            {"op": "reject", "error": "undecodable point"},
+                        )
+                        continue
+                    if server.complete(point, msg, worker):
+                        _send(self.wfile, {"op": "ack"})
+                    else:
+                        _send(
+                            self.wfile,
+                            {"op": "reject", "error": "corrupt result payload"},
+                        )
+                    if leased == point:
                         leased = None
-                    _send(self.wfile, {"op": "ack"})
                 elif op == "error":
+                    try:
+                        point = _point_of(msg)
+                    except Exception:
+                        server.note_rejected(worker, "undecodable point")
+                        _send(self.wfile, {"op": "ack"})
+                        continue
                     server.task_failed(
-                        _point_of(msg), str(msg.get("message", "")), worker
+                        point, str(msg.get("message", "")), worker
                     )
-                    if leased == _point_of(msg):
+                    if leased == point:
                         leased = None
                     _send(self.wfile, {"op": "ack"})
                 else:
                     return
+        except Exception:
+            # a handler crash must never take the sweep down: fall
+            # through to the finally clause, which requeues the lease
+            return
         finally:
             server.connection_closed()
             if leased is not None:
-                server.requeue(leased, f"worker {worker} disconnected")
+                server.requeue(
+                    leased, f"worker {worker} disconnected", worker=worker
+                )
 
 
 class _TaskServer(socketserver.ThreadingTCPServer):
@@ -145,23 +245,41 @@ class _TaskServer(socketserver.ThreadingTCPServer):
         runner: SweepRunner,
         pending: Sequence[SweepPoint],
         max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
     ) -> None:
         super().__init__(address, _Handler)
         self.runner = runner
         self.params = runner.runner_params(cache_dir=None)
-        self.total = len(pending)
+        self.points = list(pending)
+        self.total = len(self.points)
         self.max_attempts = max_attempts
+        self.lease_timeout = float(lease_timeout)
+        #: what workers are told to heartbeat at (several renewals per
+        #: lease window, floored so tiny test timeouts still renew)
+        self.heartbeat_interval = max(0.05, self.lease_timeout / 4.0)
         self._lock = threading.Lock()
-        self._queue: deque = deque(pending)
+        self._queue: deque = deque(self.points)
         self._attempts: Dict[SweepPoint, int] = {}
+        self._requeues: Dict[SweepPoint, int] = {}
+        self._reasons: Dict[SweepPoint, List[str]] = {}
+        self._producers: Dict[SweepPoint, str] = {}
+        self._leases: Dict[SweepPoint, _Lease] = {}
+        self._wait_streaks: Dict[str, int] = {}
         self._completed: set = set()
         self.failures: Dict[SweepPoint, str] = {}
         self.finished = threading.Event()
         #: currently connected workers (spawned or external)
         self.active_connections = 0
         #: observability counters (tests assert on these)
-        self.stats = {"served": 0, "requeued": 0, "duplicates": 0}
-        if not pending:
+        self.stats = {
+            "served": 0,
+            "requeued": 0,
+            "duplicates": 0,
+            "expired": 0,
+            "rejected": 0,
+            "heartbeats": 0,
+        }
+        if not self.points:
             self.finished.set()
 
     # ------------------------------------------------------------------
@@ -178,27 +296,80 @@ class _TaskServer(socketserver.ThreadingTCPServer):
     # ------------------------------------------------------------------
     def lease(self, worker: str) -> Tuple[dict, Optional[SweepPoint]]:
         """Hand the next queued point to ``worker`` (or wait/done)."""
+        self.reap_expired()
         with self._lock:
             if self._done_locked():
                 return {"op": "done"}, None
             if not self._queue:
-                return {"op": "wait", "seconds": WAIT_SECONDS}, None
+                streak = self._wait_streaks.get(worker, 0)
+                self._wait_streaks[worker] = streak + 1
+                # deterministic per-(worker, streak) jitter: advice is
+                # reproducible run to run, but desynchronized worker to
+                # worker; capped so a worker never oversleeps a lease
+                seconds = backoff_seconds(
+                    streak,
+                    base=WAIT_SECONDS,
+                    cap=min(WAIT_CAP, max(WAIT_SECONDS, self.lease_timeout / 2)),
+                    rng=random.Random(f"{worker}:{streak}"),
+                )
+                return {"op": "wait", "seconds": round(seconds, 4)}, None
+            self._wait_streaks.pop(worker, None)
             point = self._queue.popleft()
             self._attempts[point] = self._attempts.get(point, 0) + 1
+            self._leases[point] = _Lease(
+                worker, time.monotonic() + self.lease_timeout
+            )
             self.stats["served"] += 1
             return {"op": "task", "point": point.to_dict()}, point
 
-    def complete(self, point: SweepPoint, msg: dict, worker: str) -> None:
-        """Install one streamed result (idempotently) and mark it done."""
-        res, energy = decode_entry(
-            {"result": msg["result"], "energy": msg["energy"]}
-        )
+    def heartbeat(self, worker: str, point: SweepPoint) -> None:
+        """Renew ``worker``'s lease on ``point`` (ignore stale claims)."""
+        with self._lock:
+            lease = self._leases.get(point)
+            if lease is not None and lease.worker == worker:
+                lease.deadline = time.monotonic() + self.lease_timeout
+                self.stats["heartbeats"] += 1
+
+    def reap_expired(self) -> None:
+        """Requeue every lease whose deadline has passed."""
+        now = time.monotonic()
+        expired: List[Tuple[SweepPoint, str]] = []
+        with self._lock:
+            for point, lease in list(self._leases.items()):
+                if lease.deadline <= now:
+                    del self._leases[point]
+                    expired.append((point, lease.worker))
+        for point, worker in expired:
+            self._requeue_detached(
+                point,
+                f"lease expired after {self.lease_timeout:.1f}s "
+                f"(worker {worker} silent)",
+                counter="expired",
+            )
+
+    def complete(self, point: SweepPoint, msg: dict, worker: str) -> bool:
+        """Install one streamed result (idempotently) and mark it done.
+
+        Returns ``False`` — after requeueing the point — when the
+        payload does not decode as a cache entry: a corrupt result must
+        cost one retry, not the coordinator process.
+        """
+        try:
+            res, energy = decode_entry(
+                {"result": msg["result"], "energy": msg["energy"]}
+            )
+        except Exception as exc:
+            self.reject(point, worker, f"corrupt result payload ({exc!r})")
+            return False
         with self._lock:
             duplicate = point in self._completed
             if duplicate:
                 self.stats["duplicates"] += 1
             self._completed.add(point)
+            self._leases.pop(point, None)
             self.failures.pop(point, None)
+            if not duplicate:
+                self._producers[point] = worker
         # install outside the lock: determinism makes re-installation of a
         # duplicate byte-identical, so ordering between racers is moot —
         # but provenance (worker name, timestamp) is NOT byte-identical
@@ -223,22 +394,93 @@ class _TaskServer(socketserver.ThreadingTCPServer):
                 flush=True,
             )
         self._check_finished()
+        return True
 
-    def requeue(self, point: SweepPoint, reason: str) -> None:
-        """Return a leased point to the queue after a worker loss."""
+    def requeue(
+        self, point: SweepPoint, reason: str, worker: Optional[str] = None
+    ) -> None:
+        """Return a leased point to the queue after a worker loss.
+
+        With ``worker`` given, the requeue only happens if that worker
+        still holds the lease — a disconnect observed *after* the lease
+        already expired (and was requeued, and possibly re-served to
+        someone else) must not requeue the point a second time.
+        """
+        with self._lock:
+            lease = self._leases.get(point)
+            if lease is None and worker is not None:
+                return  # lease already expired/completed: nothing to do
+            if worker is not None and lease.worker != worker:
+                return  # someone else holds it now
+            self._leases.pop(point, None)
+        self._requeue_detached(point, reason)
+
+    def reject(self, point: SweepPoint, worker: str, reason: str) -> None:
+        """Requeue a point whose result payload was undecodable."""
+        with self._lock:
+            lease = self._leases.get(point)
+            if lease is not None and lease.worker == worker:
+                del self._leases[point]
+        self._requeue_detached(
+            point, f"{reason} from {worker}", counter="rejected"
+        )
+
+    def note_rejected(self, worker: str, reason: str) -> None:
+        """Count a protocol-level rejection not tied to a known point."""
+        with self._lock:
+            self.stats["rejected"] += 1
+        if self.runner.verbose:
+            print(f"[sweep:socket] rejected {worker}: {reason}", flush=True)
+
+    def task_failed(self, point: SweepPoint, message: str, worker: str) -> None:
+        """A worker reported a simulation error for ``point``."""
+        self.requeue(point, f"{worker}: {message}", worker=worker)
+
+    def _requeue_detached(
+        self, point: SweepPoint, reason: str, counter: str = "requeued"
+    ) -> None:
+        """Queue a point whose lease is already removed (or never taken)."""
         with self._lock:
             if point in self._completed or point in self.failures:
                 return
+            if point in self._queue:
+                return  # already waiting: never double-queue
+            self._reasons.setdefault(point, []).append(reason)
             if self._attempts.get(point, 0) >= self.max_attempts:
                 self.failures[point] = reason
             else:
                 self._queue.append(point)
+                self._requeues[point] = self._requeues.get(point, 0) + 1
                 self.stats["requeued"] += 1
+                if counter != "requeued":
+                    self.stats[counter] += 1
         self._check_finished()
 
-    def task_failed(self, point: SweepPoint, message: str, worker: str) -> None:
-        """A worker reported a simulation error for ``point``."""
-        self.requeue(point, f"{worker}: {message}")
+    # ------------------------------------------------------------------
+    def campaign_report(self) -> CampaignReport:
+        """Snapshot the per-point ledger as a :class:`CampaignReport`."""
+        with self._lock:
+            records = []
+            for point in self.points:
+                if point in self._completed:
+                    status = "completed"
+                elif point in self.failures:
+                    status = "failed"
+                else:
+                    status = "pending"
+                records.append(
+                    PointRecord(
+                        point=point.describe(),
+                        digest=point.digest(),
+                        status=status,
+                        attempts=self._attempts.get(point, 0),
+                        requeues=self._requeues.get(point, 0),
+                        reasons=list(self._reasons.get(point, ())),
+                        worker=self._producers.get(point),
+                    )
+                )
+            stats = dict(self.stats)
+        return CampaignReport(backend="socket", records=records, stats=stats)
 
     # ------------------------------------------------------------------
     def _done_locked(self) -> bool:
@@ -250,75 +492,237 @@ class _TaskServer(socketserver.ThreadingTCPServer):
                 self.finished.set()
 
 
+class _HeartbeatPump(threading.Thread):
+    """Worker-side daemon that renews the lease of the point in flight.
+
+    The pump shares the connection's write lock with the main loop but
+    its messages are one-way (the coordinator never answers a
+    heartbeat), so the main loop's strict send→reply alternation is
+    untouched.  ``watch``/``clear`` bracket each simulation; a hang
+    fault calls ``clear`` first, which is exactly what distinguishes a
+    wedged process (no heartbeats → lease expires) from a merely slow
+    one (heartbeats carry the lease).
+    """
+
+    def __init__(self, send, interval: float) -> None:
+        super().__init__(daemon=True)
+        self._send = send
+        self.interval = interval
+        self._lock = threading.Lock()
+        self._point: Optional[dict] = None
+        self._worker = ""
+        self._stop = threading.Event()
+
+    def watch(self, worker: str, point: dict) -> None:
+        """Start renewing the lease on ``point``."""
+        with self._lock:
+            self._worker = worker
+            self._point = point
+
+    def clear(self) -> None:
+        """Stop renewing (simulation finished, or a hang fault fired)."""
+        with self._lock:
+            self._point = None
+
+    def shutdown(self) -> None:
+        """Terminate the pump (connection teardown)."""
+        self._stop.set()
+
+    def run(self) -> None:
+        """Send one heartbeat per interval while a point is watched."""
+        while not self._stop.wait(self.interval):
+            with self._lock:
+                point, worker = self._point, self._worker
+            if point is None:
+                continue
+            try:
+                self._send(
+                    {"op": "heartbeat", "worker": worker, "point": point}
+                )
+            except OSError:
+                return  # connection is gone: the main loop handles it
+
+
+def _worker_session(
+    sock: socket.socket,
+    name: str,
+    injector: FaultInjector,
+    state: dict,
+    crash_after_tasks: Optional[int],
+) -> str:
+    """Run one connection's pull loop; ``"done"`` or ``"lost"``.
+
+    ``state`` persists across reconnects: the rebuilt runner and the
+    received-task counter (which the fault plan's ordinals index).
+    """
+    pump: Optional[_HeartbeatPump] = None
+    write_lock = threading.Lock()
+    with sock, sock.makefile("rb") as rfile, sock.makefile("wb") as wfile:
+
+        def send(obj: dict) -> None:
+            with write_lock:
+                _send(wfile, obj)
+
+        try:
+            send({"op": "hello", "worker": name})
+            welcome = _recv(rfile)
+            if welcome is None or welcome is _MALFORMED:
+                return "lost"
+            if welcome.get("op") != "welcome":
+                raise RuntimeError(f"bad welcome from coordinator: {welcome!r}")
+            if welcome.get("proto") not in ACCEPTED_PROTOS:
+                raise RuntimeError(
+                    f"coordinator speaks protocol {welcome.get('proto')!r}, "
+                    f"this worker speaks {sorted(ACCEPTED_PROTOS)}"
+                )
+            params = welcome["params"]
+            interval = float(welcome.get("heartbeat_interval") or 0.0)
+            if interval > 0:
+                pump = _HeartbeatPump(send, interval)
+                pump.start()
+            while True:
+                send({"op": "get"})
+                msg = _recv(rfile)
+                if msg is None or msg is _MALFORMED:
+                    return "lost"
+                if msg.get("op") == "done":
+                    return "done"
+                if msg.get("op") == "wait":
+                    time.sleep(float(msg.get("seconds", WAIT_SECONDS)))
+                    continue
+                if msg.get("op") != "task":
+                    raise RuntimeError(
+                        f"unexpected coordinator message: {msg!r}"
+                    )
+                point = _point_of(msg)
+                state["received"] += 1
+                action = injector.on_task()
+                if (
+                    crash_after_tasks is not None
+                    and state["received"] >= crash_after_tasks
+                ):
+                    os._exit(KILL_EXIT_CODE)
+                if action is not None and action.kind == "kill":
+                    os._exit(KILL_EXIT_CODE)
+                if action is not None and action.kind == "drop":
+                    return "lost"  # the with-block slams the socket shut
+                if action is not None and action.kind == "hang":
+                    # a wedged process heartbeats nothing: the lease
+                    # must expire and the point migrate
+                    if pump is not None:
+                        pump.clear()
+                    if action.seconds > 0:
+                        time.sleep(action.seconds)
+                    else:
+                        while True:  # wedge until torn down
+                            time.sleep(3600)
+                if pump is not None:
+                    pump.watch(name, msg["point"])
+                if state["runner"] is None:
+                    state["runner"] = SweepRunner(verbose=False, **params)
+                runner: SweepRunner = state["runner"]
+                try:
+                    res, energy = runner.run_point(point)
+                except Exception as exc:
+                    if pump is not None:
+                        pump.clear()
+                    send(
+                        {
+                            "op": "error",
+                            "point": point.to_dict(),
+                            "message": str(exc),
+                        }
+                    )
+                    if _recv(rfile) is None:
+                        return "lost"
+                    continue
+                delivery = injector.on_delivery()
+                blob = encode_entry(res, energy)
+                result_msg = {
+                    "op": "result",
+                    "point": point.to_dict(),
+                    "result": blob["result"],
+                    "energy": blob["energy"],
+                }
+                if delivery is not None and delivery.kind == "delay":
+                    # slow, not wedged: the pump keeps the lease alive
+                    time.sleep(delivery.seconds)
+                if delivery is not None and delivery.kind == "corrupt":
+                    send(
+                        {
+                            "op": "result",
+                            "point": point.to_dict(),
+                            "result": {"__corrupt__": True},
+                            "energy": {},
+                        }
+                    )
+                else:
+                    send(result_msg)
+                if _recv(rfile) is None:
+                    return "lost"
+                if delivery is not None and delivery.kind == "duplicate":
+                    send(result_msg)
+                    if _recv(rfile) is None:
+                        return "lost"
+                if pump is not None:
+                    pump.clear()
+        finally:
+            if pump is not None:
+                pump.shutdown()
+
+
 def worker_main(
     host: str,
     port: int,
     worker_name: Optional[str] = None,
     crash_after_tasks: Optional[int] = None,
+    fault_plan: Optional[dict] = None,
+    connect_attempts: int = DEFAULT_CONNECT_ATTEMPTS,
 ) -> int:
     """Worker loop: pull tasks from ``host:port`` until the sweep is done.
 
     This is the body of ``repro-cmp work host:port`` and of the worker
-    processes the backend spawns locally.  ``crash_after_tasks`` is a
-    fault-injection seam for the retry tests: the process hard-exits
-    after *receiving* (not completing) that many tasks, exactly like a
-    worker dying mid-simulation.
+    processes the backend spawns locally.  The loop survives a lost
+    coordinator — connection refused at dial time, or a connection that
+    dies mid-sweep — by redialing with jittered exponential backoff,
+    giving up only after ``connect_attempts`` consecutive failures.
+
+    ``crash_after_tasks`` is the legacy fault seam (hard-exit after
+    receiving that many tasks); ``fault_plan`` is the general one — the
+    dict form of a :class:`~repro.harness.faults.FaultPlan`, passed as a
+    dict so it survives the ``spawn`` start method.
     """
     name = worker_name or default_worker_id()
-    sock = socket.create_connection((host, port), timeout=600)
-    received = 0
-    runner: Optional[SweepRunner] = None
-    with sock, sock.makefile("rb") as rfile, sock.makefile("wb") as wfile:
-        _send(wfile, {"op": "hello", "worker": name})
-        welcome = _recv(rfile)
-        if not welcome or welcome.get("op") != "welcome":
-            raise RuntimeError(f"bad welcome from coordinator: {welcome!r}")
-        if welcome.get("proto") != PROTO_VERSION:
-            raise RuntimeError(
-                f"coordinator speaks protocol {welcome.get('proto')!r}, "
-                f"this worker speaks {PROTO_VERSION}"
-            )
-        params = welcome["params"]
-        while True:
-            _send(wfile, {"op": "get"})
-            msg = _recv(rfile)
-            if msg is None or msg.get("op") == "done":
-                return 0
-            if msg.get("op") == "wait":
-                time.sleep(float(msg.get("seconds", WAIT_SECONDS)))
-                continue
-            if msg.get("op") != "task":
-                raise RuntimeError(f"unexpected coordinator message: {msg!r}")
-            point = _point_of(msg)
-            received += 1
-            if crash_after_tasks is not None and received >= crash_after_tasks:
-                os._exit(17)
-            if runner is None:
-                runner = SweepRunner(verbose=False, **params)
-            try:
-                res, energy = runner.run_point(point)
-            except Exception as exc:
-                _send(
-                    wfile,
-                    {
-                        "op": "error",
-                        "point": point.to_dict(),
-                        "message": str(exc),
-                    },
+    injector = FaultInjector(fault_plan, name)
+    state = {"runner": None, "received": 0}
+    failures = 0
+    while True:
+        try:
+            sock = socket.create_connection((host, port), timeout=600)
+        except OSError:
+            failures += 1
+            if failures > connect_attempts:
+                raise RuntimeError(
+                    f"coordinator {host}:{port} unreachable after "
+                    f"{connect_attempts} attempts"
                 )
-                _recv(rfile)
-                continue
-            blob = encode_entry(res, energy)
-            _send(
-                wfile,
-                {
-                    "op": "result",
-                    "point": point.to_dict(),
-                    "result": blob["result"],
-                    "energy": blob["energy"],
-                },
+            time.sleep(backoff_seconds(failures - 1, rng=injector.rng))
+            continue
+        try:
+            outcome = _worker_session(
+                sock, name, injector, state, crash_after_tasks
             )
-            _recv(rfile)
+        except OSError:
+            outcome = "lost"
+        if outcome == "done":
+            return 0
+        failures += 1
+        if failures > connect_attempts:
+            raise RuntimeError(
+                f"lost coordinator {host}:{port} and failed to rejoin "
+                f"after {connect_attempts} attempts"
+            )
+        time.sleep(backoff_seconds(failures - 1, rng=injector.rng))
 
 
 class SocketWorkStealingBackend:
@@ -329,6 +733,12 @@ class SocketWorkStealingBackend:
     sibling of :class:`~repro.harness.backends.local.LocalBackend` that
     exercises the full network path.  With ``spawn_workers = 0`` it only
     serves, and remote ``repro-cmp work`` shells supply the labor.
+
+    ``lease_timeout`` bounds how long a silent worker can hold a point;
+    ``fault_plan`` installs a deterministic
+    :class:`~repro.harness.faults.FaultPlan` into the spawned workers
+    (the chaos tests' seam).  After :meth:`execute`, :attr:`last_report`
+    holds the per-point :class:`~repro.harness.campaign.CampaignReport`.
     """
 
     name = "socket"
@@ -341,16 +751,26 @@ class SocketWorkStealingBackend:
         timeout: Optional[float] = None,
         max_attempts: int = DEFAULT_MAX_ATTEMPTS,
         crash_plan: Optional[Dict[int, int]] = None,
+        lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+        fault_plan: PlanLike = None,
     ) -> None:
         self.host = host
         self.port = port
         self.spawn_workers = spawn_workers
         self.timeout = timeout
         self.max_attempts = max_attempts
-        #: fault injection: worker index -> crash_after_tasks (tests only)
-        self.crash_plan = crash_plan or {}
-        #: stats of the last :meth:`execute` (served/requeued/duplicates)
+        self.lease_timeout = float(lease_timeout)
+        #: legacy fault seam: worker index -> crash_after_tasks; folded
+        #: into the fault plan as kill actions on the spawned names
+        self.crash_plan = dict(crash_plan or {})
+        plan = coerce_plan(fault_plan)
+        for index, after in self.crash_plan.items():
+            plan.kill(f"local-{index}", on_task=after)
+        self.fault_plan = plan
+        #: stats of the last :meth:`execute` (served/requeued/...)
         self.last_stats: Dict[str, int] = {}
+        #: per-point ledger of the last :meth:`execute`
+        self.last_report: Optional[CampaignReport] = None
 
     def execute(
         self, runner: SweepRunner, pending: Sequence[SweepPoint]
@@ -360,7 +780,11 @@ class SocketWorkStealingBackend:
         if not pending:
             return 0
         server = _TaskServer(
-            (self.host, self.port), runner, pending, self.max_attempts
+            (self.host, self.port),
+            runner,
+            pending,
+            self.max_attempts,
+            lease_timeout=self.lease_timeout,
         )
         host, port = server.server_address[:2]
         # a wildcard bind accepts remote workers, but spawned local
@@ -372,11 +796,13 @@ class SocketWorkStealingBackend:
         )
         serve_thread.start()
         procs: List[multiprocessing.Process] = []
+        plan_dict = self.fault_plan.to_dict() if self.fault_plan else None
         try:
             if runner.verbose:
                 print(
                     f"[sweep:socket] serving {len(pending)} points on "
-                    f"{host}:{port} ({self.spawn_workers} local workers)",
+                    f"{host}:{port} ({self.spawn_workers} local workers, "
+                    f"lease {self.lease_timeout:g}s)",
                     flush=True,
                 )
             for i in range(self.spawn_workers):
@@ -385,7 +811,7 @@ class SocketWorkStealingBackend:
                     args=(connect_host, port),
                     kwargs={
                         "worker_name": f"local-{i}",
-                        "crash_after_tasks": self.crash_plan.get(i),
+                        "fault_plan": plan_dict,
                     },
                     daemon=True,
                 )
@@ -396,10 +822,16 @@ class SocketWorkStealingBackend:
             server.shutdown()
             server.server_close()
             for proc in procs:
-                proc.join(timeout=10)
+                # spawned workers hold no state worth a long goodbye
+                # (the coordinator alone installs results): give them a
+                # moment to exit on "done", then terminate — a wedged
+                # hang-fault worker would otherwise block teardown
+                proc.join(timeout=2)
                 if proc.is_alive():
                     proc.terminate()
+                    proc.join(timeout=5)
             self.last_stats = dict(server.stats)
+            self.last_report = server.campaign_report()
         if server.failures:
             lost = ", ".join(
                 f"{point.describe()} ({why})"
@@ -428,19 +860,22 @@ class SocketWorkStealingBackend:
     ) -> str:
         """Block until done; returns ``finished``/``timeout``/``starved``.
 
-        Starvation — every spawned worker dead, no external worker
-        connected, points remaining — is detected so a crash-everything
-        scenario fails immediately instead of burning the whole timeout.
-        A healthy worker only exits after the coordinator's ``done``, so
-        all-dead truly means no labor left; a still-connected external
-        shell keeps the sweep alive (it can finish the work).  With
-        ``spawn_workers=0`` only the timeout applies: a new shell may
-        connect at any moment.
+        Each tick also reaps expired leases — this is the clock that
+        frees a hung worker's point even when no other worker is
+        polling.  Starvation — every spawned worker dead, no external
+        worker connected, points remaining — is detected so a
+        crash-everything scenario fails immediately instead of burning
+        the whole timeout.  A healthy worker only exits after the
+        coordinator's ``done``, so all-dead truly means no labor left; a
+        still-connected external shell keeps the sweep alive (it can
+        finish the work).  With ``spawn_workers=0`` only the timeout
+        applies: a new shell may connect at any moment.
         """
         deadline = (
             time.monotonic() + self.timeout if self.timeout is not None else None
         )
         while not server.finished.wait(0.2):
+            server.reap_expired()
             if (
                 procs
                 and not any(proc.is_alive() for proc in procs)

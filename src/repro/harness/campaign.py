@@ -1,0 +1,200 @@
+"""Campaign observability: what happened to every point of a sweep.
+
+A paper-scale campaign that *survived* failures is only trustworthy if
+it can say exactly what it survived.  The distributed backends therefore
+account per point — attempts, requeues, the reason for every retry, and
+which worker finally produced the result — and publish the whole record
+as a :class:`CampaignReport`:
+
+* **JSON** — ``campaign.json``, written atomically next to the cache
+  manifest (``<cache>/v<N>/campaign.json``) by
+  :meth:`~repro.harness.executor.ParallelSweepRunner.prefetch_points`
+  after any backend run, so the report travels with the results it
+  describes;
+* **table** — :meth:`CampaignReport.render`, printed after a sweep when
+  anything eventful happened (a clean run prints one summary line).
+
+The report is observability, never authority: result blobs and their
+byte-identity to a serial run are the correctness contract; the report
+exists so a 192-point × N-replica campaign that limped through worker
+deaths tells you which points were retried, how often, and why.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .result_cache import atomic_write
+
+#: report file name, written next to the cache manifest
+REPORT_NAME = "campaign.json"
+
+#: report schema marker
+REPORT_FORMAT = 1
+
+
+@dataclass
+class PointRecord:
+    """The per-point ledger: attempts, requeues, reasons, outcome."""
+
+    point: str
+    digest: str
+    status: str = "pending"  # "completed" | "failed" | "pending"
+    attempts: int = 0
+    requeues: int = 0
+    reasons: List[str] = field(default_factory=list)
+    worker: Optional[str] = None
+
+    @property
+    def eventful(self) -> bool:
+        """Whether this point saw anything beyond one clean attempt."""
+        return (
+            self.status != "completed"
+            or self.attempts > 1
+            or self.requeues > 0
+            or bool(self.reasons)
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-safe row (inverse of :meth:`from_dict`)."""
+        return {
+            "point": self.point,
+            "digest": self.digest,
+            "status": self.status,
+            "attempts": self.attempts,
+            "requeues": self.requeues,
+            "reasons": list(self.reasons),
+            "worker": self.worker,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "PointRecord":
+        """Rebuild a row from its dict form."""
+        return cls(
+            point=str(d["point"]),
+            digest=str(d["digest"]),
+            status=str(d.get("status", "pending")),
+            attempts=int(d.get("attempts", 0)),
+            requeues=int(d.get("requeues", 0)),
+            reasons=[str(r) for r in d.get("reasons", ())],
+            worker=d.get("worker"),
+        )
+
+
+@dataclass
+class CampaignReport:
+    """One backend run's structured failure/retry report."""
+
+    backend: str
+    records: List[PointRecord] = field(default_factory=list)
+    #: backend counters (served/requeued/expired/rejected/duplicates/...)
+    stats: Dict[str, int] = field(default_factory=dict)
+
+    # -- aggregates -----------------------------------------------------
+    @property
+    def total(self) -> int:
+        """Points the backend was asked to run."""
+        return len(self.records)
+
+    @property
+    def completed(self) -> int:
+        """Points that finished."""
+        return sum(1 for r in self.records if r.status == "completed")
+
+    @property
+    def failed(self) -> int:
+        """Points that exhausted every attempt."""
+        return sum(1 for r in self.records if r.status == "failed")
+
+    @property
+    def eventful(self) -> bool:
+        """Whether any point needed more than one clean attempt."""
+        return any(r.eventful for r in self.records)
+
+    def summary(self) -> str:
+        """One line: totals plus the backend's counters."""
+        counters = ", ".join(
+            f"{k}={v}" for k, v in sorted(self.stats.items()) if v
+        )
+        text = (
+            f"[campaign:{self.backend}] {self.completed}/{self.total} "
+            f"completed, {self.failed} failed"
+        )
+        return f"{text} ({counters})" if counters else text
+
+    # -- serialization --------------------------------------------------
+    def to_dict(self) -> dict:
+        """The ``campaign.json`` document."""
+        return {
+            "format": REPORT_FORMAT,
+            "backend": self.backend,
+            "total": self.total,
+            "completed": self.completed,
+            "failed": self.failed,
+            "stats": dict(self.stats),
+            "points": [r.to_dict() for r in self.records],
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "CampaignReport":
+        """Rebuild a report from a loaded ``campaign.json``."""
+        return cls(
+            backend=str(d.get("backend", "?")),
+            records=[PointRecord.from_dict(r) for r in d.get("points", ())],
+            stats={str(k): int(v) for k, v in d.get("stats", {}).items()},
+        )
+
+    def write(self, directory: str) -> str:
+        """Atomically publish ``campaign.json`` inside ``directory``."""
+        return atomic_write(
+            os.path.join(directory, REPORT_NAME),
+            json.dumps(self.to_dict(), indent=1, sort_keys=True).encode(
+                "utf-8"
+            ),
+        )
+
+    # -- rendering ------------------------------------------------------
+    def render(self, eventful_only: bool = False) -> str:
+        """Aligned per-point table (optionally only eventful rows)."""
+        rows = [
+            r for r in self.records if not eventful_only or r.eventful
+        ]
+        header = ("point", "status", "att", "req", "worker", "last reason")
+        cells = [header]
+        for r in rows:
+            cells.append(
+                (
+                    r.point,
+                    r.status,
+                    str(r.attempts),
+                    str(r.requeues),
+                    r.worker or "-",
+                    r.reasons[-1] if r.reasons else "-",
+                )
+            )
+        widths = [
+            max(len(row[col]) for row in cells) for col in range(len(header))
+        ]
+        lines = [self.summary()]
+        for i, row in enumerate(cells):
+            lines.append(
+                "  ".join(cell.ljust(widths[c]) for c, cell in enumerate(row))
+            )
+            if i == 0:
+                lines.append("  ".join("-" * w for w in widths))
+        if eventful_only and len(rows) < self.total:
+            lines.append(f"({self.total - len(rows)} uneventful points hidden)")
+        return "\n".join(lines)
+
+
+def read_report(directory: str) -> Optional[CampaignReport]:
+    """Load ``campaign.json`` from a cache version directory, if present."""
+    try:
+        with open(os.path.join(directory, REPORT_NAME)) as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+        return None
+    return CampaignReport.from_dict(doc) if isinstance(doc, dict) else None

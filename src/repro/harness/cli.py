@@ -37,6 +37,9 @@ Distributed sweeps (see ``docs/architecture.md``)::
     repro-cmp serve --port 7777 --jobs 2           # coordinator, no figure
     repro-cmp fig5a --backend batch --queue-dir q  # task file + ingest
     repro-cmp work --queue-dir q --slice 0/2       # a batch worker shell
+    repro-cmp run specs/smoke.toml --backend socket --lease-timeout 30
+    repro-cmp run specs/paper_matrix.toml --resume # report cached/missing
+    repro-cmp run s.toml --backend batch --fault-plan chaos.json  # chaos
 
 Result queries and the HTTP result service (see ``repro.serving``)::
 
@@ -68,6 +71,7 @@ from typing import List, Optional, Tuple
 from ..sim.config import PAPER_TOTAL_L2_MB
 from ..workloads.registry import PAPER_BENCHMARKS, list_workloads
 from .backends import (
+    DEFAULT_LEASE_TIMEOUT,
     BatchQueueBackend,
     SocketWorkStealingBackend,
     SweepBackend,
@@ -76,6 +80,7 @@ from .backends import (
     worker_main,
 )
 from .executor import ParallelSweepRunner
+from .faults import FaultPlan
 from .figures import (
     EXPERIMENTS,
     FigureTable,
@@ -191,6 +196,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="socket/batch backend: give up after this long",
     )
     p.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="socket/batch backend: requeue a worker's point after this "
+        "long without a heartbeat/lease renewal (default 60)",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="run/scenario run: report the cached-vs-missing partition "
+        "of the planned campaign before executing the missing points "
+        "(already-cached points are always skipped)",
+    )
+    p.add_argument(
+        "--fault-plan",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="socket/batch backend and workers: inject the failures "
+        "scripted in this FaultPlan JSON file (chaos testing)",
+    )
+    p.add_argument(
         "--slice",
         dest="task_slice",
         type=str,
@@ -296,24 +324,43 @@ def _cache_command(args: argparse.Namespace) -> int:
     return 2
 
 
+def _load_fault_plan(args: argparse.Namespace) -> Optional[FaultPlan]:
+    """Load the ``--fault-plan`` file; ``None`` when unset."""
+    if args.fault_plan is None:
+        return None
+    try:
+        return FaultPlan.load(args.fault_plan)
+    except (OSError, ValueError, KeyError) as exc:
+        raise SystemExit(f"bad --fault-plan {args.fault_plan}: {exc}")
+
+
 def _distributed_backend(
     args: argparse.Namespace, name: Optional[str] = None
 ) -> Optional[SweepBackend]:
     """Socket/batch backend per the CLI flags; ``None`` means local."""
     name = name or args.backend
     spawn = 0 if args.wait else resolve_jobs(args.jobs)
+    lease = (
+        args.lease_timeout
+        if args.lease_timeout is not None
+        else DEFAULT_LEASE_TIMEOUT
+    )
     if name == "socket":
         return SocketWorkStealingBackend(
             host=args.bind,
             port=args.port,
             spawn_workers=spawn,
             timeout=args.timeout,
+            lease_timeout=lease,
+            fault_plan=_load_fault_plan(args),
         )
     if name == "batch":
         return BatchQueueBackend(
             queue_dir=args.queue_dir,
             spawn_workers=spawn,
             timeout=args.timeout,
+            lease_timeout=lease,
+            fault_plan=_load_fault_plan(args),
         )
     return None
 
@@ -578,6 +625,8 @@ def _execute_spec(args: argparse.Namespace, spec) -> int:
         print(str(exc), file=sys.stderr)
         return 2
     query = _parse_query_flag(args)
+    if args.resume:
+        _report_resume(args, runner, spec, ensemble)
     if ensemble.replicas > 1 or ensemble.base_seed is not None:
         result = run_ensemble(runner, ensemble, query=query)
         seeds = ensemble.replica_seeds(runner.seed)
@@ -594,6 +643,34 @@ def _execute_spec(args: argparse.Namespace, spec) -> int:
         metrics = query.apply(metrics)
     _emit_table(args, _metrics_table(spec.name, metrics))
     return 0
+
+
+def _report_resume(
+    args: argparse.Namespace, runner: SweepRunner, spec, ensemble
+) -> None:
+    """Print the ``--resume`` partition of the planned campaign.
+
+    The cache always makes re-running a spec incremental; ``--resume``
+    makes the resumption *visible* — how much of the campaign (every
+    replica of every point, baseline twins included) is already settled
+    and how much labor remains — before any backend spins up.
+    """
+    if ensemble.replicas > 1 or ensemble.base_seed is not None:
+        points = [
+            point
+            for replica in ensemble.expand(runner.scale, runner.seed)
+            for point in replica
+        ]
+    else:
+        points = spec.expand(scale=runner.scale)
+    plan = getattr(runner, "plan_points", None)
+    planned = plan(points) if plan is not None else list(points)
+    cached, missing = runner.partition_cached(planned)
+    print(
+        f"[resume] {len(cached)}/{len(planned)} planned points already "
+        f"cached; {len(missing)} to run",
+        flush=True,
+    )
 
 
 def _run_spec_command(args: argparse.Namespace) -> int:
@@ -973,9 +1050,16 @@ def _parse_slice(text: str) -> Tuple[int, int]:
 
 def _work_command(args: argparse.Namespace) -> int:
     """Run one worker: socket (``work host:port``) or batch (``--queue-dir``)."""
+    plan = _load_fault_plan(args)
+    plan_dict = plan.to_dict() if plan else None
     if args.args and ":" in args.args[0]:
         host, port = args.args[0].rsplit(":", 1)
-        return worker_main(host, int(port), worker_name=args.worker_id)
+        return worker_main(
+            host,
+            int(port),
+            worker_name=args.worker_id,
+            fault_plan=plan_dict,
+        )
     if args.args:
         print(
             "usage: repro-cmp work <host:port> | "
@@ -987,6 +1071,12 @@ def _work_command(args: argparse.Namespace) -> int:
         args.queue_dir,
         worker_id=args.worker_id,
         task_slice=_parse_slice(args.task_slice),
+        lease_timeout=(
+            args.lease_timeout
+            if args.lease_timeout is not None
+            else DEFAULT_LEASE_TIMEOUT
+        ),
+        fault_plan=plan_dict,
     )
     if not args.quiet:
         print(f"[work] simulated {done} points into {args.queue_dir}")

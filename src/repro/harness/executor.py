@@ -132,15 +132,36 @@ class ParallelSweepRunner(SweepRunner):
 
         The plan includes each point's baseline twin.  Returns the
         number of points actually simulated; after this, ``metrics_for``
-        over the same points is a pure memo lookup.
+        over the same points is a pure memo lookup.  Backends that
+        account per point (socket, batch) leave a
+        :class:`~repro.harness.campaign.CampaignReport` which is
+        published as ``campaign.json`` next to the cache manifest —
+        also when the backend raised, so a failed campaign still says
+        what happened.
         """
         pending = [
             p for p in self.plan_points(points) if self.lookup(p) is None
         ]
         if not pending:
             return 0
-        self.backend.execute(self, pending)
+        try:
+            self.backend.execute(self, pending)
+        finally:
+            self._publish_campaign_report()
         return len(pending)
+
+    def _publish_campaign_report(self) -> None:
+        """Write the backend's per-point ledger beside the manifest."""
+        report = getattr(self.backend, "last_report", None)
+        if report is None:
+            return
+        if self.cache is not None:
+            report.write(self.cache.version_dir())
+        if self.verbose:
+            if report.eventful:
+                print(report.render(eventful_only=True), flush=True)
+            else:
+                print(report.summary(), flush=True)
 
     def prefetch(
         self,

@@ -324,6 +324,27 @@ class SweepRunner:
         self._memo[key] = pair
         return pair
 
+    def partition_cached(
+        self, points: Iterable[SweepPoint]
+    ) -> Tuple[List[SweepPoint], List[SweepPoint]]:
+        """Split a point list into ``(cached, missing)`` by lookup.
+
+        The resume seam: ``repro-cmp run --resume`` partitions the
+        planned campaign first, reports how much of it is already
+        settled in the cache, and hands only ``missing`` onward.  A
+        point counts as cached only if its entry actually decodes —
+        :meth:`lookup` invalidates corrupt/stale blobs — so resuming
+        over a damaged cache re-simulates exactly the damaged points.
+        """
+        cached: List[SweepPoint] = []
+        missing: List[SweepPoint] = []
+        for point in points:
+            if self.lookup(point) is not None:
+                cached.append(point)
+            else:
+                missing.append(point)
+        return cached, missing
+
     def provenance(self, **overrides: str) -> Dict[str, str]:
         """Provenance record for a result this process just produced.
 

@@ -4,7 +4,10 @@ The harness is stdlib-only, so the serving layer hand-rolls the few
 corners of HTTP/1.1 a read-only result service needs: GET/HEAD request
 parsing with size caps, keep-alive, ``Content-Length`` framing,
 conditional requests (``If-None-Match`` against strong ETags → 304),
-and JSON error bodies.  Application logic lives behind a single
+JSON error bodies, and connection hygiene — a per-connection read
+timeout (slow or silent clients are 408'd and closed rather than
+pinning a connection open) plus a cap on requests per keep-alive
+connection.  Application logic lives behind a single
 ``handler(Request) -> Response`` callable; this module knows nothing
 about caches or queries.
 """
@@ -23,12 +26,18 @@ from .wire import JSON_TYPE, encode_json, error_document
 _MAX_LINE = 8192
 _MAX_HEADER_BYTES = 32768
 
+#: connection limits: seconds a client may take to deliver one request,
+#: and how many requests one keep-alive connection may carry
+DEFAULT_READ_TIMEOUT = 30.0
+DEFAULT_MAX_REQUESTS = 1000
+
 _REASONS = {
     200: "OK",
     304: "Not Modified",
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    408: "Request Timeout",
     500: "Internal Server Error",
 }
 
@@ -147,13 +156,27 @@ async def _read_request(reader: asyncio.StreamReader) -> Optional[Request]:
 
 
 class ResultServer:
-    """The asyncio server: accept loop, keep-alive, error mapping."""
+    """The asyncio server: accept loop, keep-alive, error mapping.
+
+    ``read_timeout`` bounds how long a connection may sit between (or
+    inside) requests before it is answered with 408 and closed — a slow
+    or silent client cannot pin a connection open indefinitely.
+    ``max_requests`` caps how many requests one keep-alive connection
+    serves before the server closes it.  ``None`` disables either limit.
+    """
 
     def __init__(
-        self, handler: Handler, host: str = "127.0.0.1", port: int = 0
+        self,
+        handler: Handler,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        read_timeout: Optional[float] = DEFAULT_READ_TIMEOUT,
+        max_requests: Optional[int] = DEFAULT_MAX_REQUESTS,
     ) -> None:
         self.handler = handler
         self.host = host
+        self.read_timeout = read_timeout
+        self.max_requests = max_requests
         self._requested_port = port
         self._server: Optional[asyncio.AbstractServer] = None
 
@@ -215,10 +238,21 @@ class ResultServer:
     async def _serve_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        served = 0
         try:
             while True:
                 try:
-                    request = await _read_request(reader)
+                    request = await asyncio.wait_for(
+                        _read_request(reader), timeout=self.read_timeout
+                    )
+                except asyncio.TimeoutError:
+                    timed_out = Response.error(
+                        408, "connection idle or request incomplete"
+                    )
+                    timed_out.headers["Connection"] = "close"
+                    writer.write(_render(timed_out, False))
+                    await writer.drain()
+                    break
                 except HttpError as exc:
                     writer.write(
                         _render(Response.error(exc.status, exc.message), False)
@@ -227,10 +261,14 @@ class ResultServer:
                     break  # framing is unreliable after a parse error
                 if request is None:
                     break
+                served += 1
                 response = await self._respond(request)
                 keep_alive = (
                     request.header("connection", "keep-alive").lower() != "close"
                 )
+                if self.max_requests is not None and served >= self.max_requests:
+                    keep_alive = False
+                    response.headers["Connection"] = "close"
                 response.headers.setdefault(
                     "Connection", "keep-alive" if keep_alive else "close"
                 )
@@ -256,9 +294,20 @@ class BackgroundServer:
     """
 
     def __init__(
-        self, handler: Handler, host: str = "127.0.0.1", port: int = 0
+        self,
+        handler: Handler,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        read_timeout: Optional[float] = DEFAULT_READ_TIMEOUT,
+        max_requests: Optional[int] = DEFAULT_MAX_REQUESTS,
     ) -> None:
-        self.server = ResultServer(handler, host=host, port=port)
+        self.server = ResultServer(
+            handler,
+            host=host,
+            port=port,
+            read_timeout=read_timeout,
+            max_requests=max_requests,
+        )
         self._thread: Optional[threading.Thread] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._ready = threading.Event()

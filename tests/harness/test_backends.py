@@ -240,15 +240,21 @@ class TestBatchBackend:
         assert _blobs(serial_run[0]) == _blobs(batch_run[0])
 
     def test_worker_shards_have_manifests(self, batch_run):
+        # every worker publishes a manifest; with lease-based stealing
+        # the split is dynamic, so only the union is guaranteed to cover
+        # the matrix (a fast worker may have claimed everything)
         queue_dir = batch_run[0].backend.queue_dir
         shards = list_worker_result_dirs(queue_dir)
         assert len(shards) == 2
         from repro.harness.result_cache import ResultCache
         from repro.harness.runner import CACHE_VERSION
 
+        counts = []
         for shard in shards:
             manifest = ResultCache(shard, CACHE_VERSION).read_manifest()
-            assert manifest is not None and manifest["count"] >= 1
+            assert manifest is not None
+            counts.append(manifest["count"])
+        assert sum(counts) >= 4
 
     def test_merge_reports_cover_all_points(self, batch_run):
         reports = batch_run[0].backend.last_reports
@@ -288,8 +294,10 @@ class TestBatchBackend:
             read_task_file(str(tmp_path))
 
     def test_worker_slices_partition_the_matrix(self, tmp_path, serial_run):
-        # two sliced workers must split the points without overlap, and a
-        # coordinator ingesting both shards serves the full matrix
+        # slices order preference, not ownership: the first worker steals
+        # the absent second worker's points, the late worker finds every
+        # point settled, and a coordinator ingesting both shards serves
+        # the full matrix
         queue_dir = str(tmp_path / "queue")
         runner = ParallelSweepRunner(
             scale=SCALE,

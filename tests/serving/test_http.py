@@ -253,6 +253,62 @@ class TestProtocol:
         finally:
             conn.close()
 
+    def test_slow_request_times_out_with_408(self, store):
+        """A client that stalls mid-request is 408'd and disconnected."""
+        with BackgroundServer(
+            ResultService(store).handle, read_timeout=0.3
+        ) as bg:
+            with socket.create_connection(("127.0.0.1", bg.port), 10) as s:
+                s.settimeout(10)
+                s.sendall(b"GET /v1/query HTTP/1.1\r\nHost: x")  # never finish
+                data = b""
+                while True:
+                    chunk = s.recv(4096)
+                    if not chunk:
+                        break
+                    data += chunk
+        assert data.startswith(b"HTTP/1.1 408 ")
+        assert b"Connection: close" in data
+
+    def test_idle_keep_alive_connection_times_out(self, store):
+        """A connection idle between requests is also reclaimed."""
+        with BackgroundServer(
+            ResultService(store).handle, read_timeout=0.3
+        ) as bg:
+            with socket.create_connection(("127.0.0.1", bg.port), 10) as s:
+                s.settimeout(10)
+                s.sendall(b"GET / HTTP/1.1\r\nHost: x\r\n\r\n")
+                first = s.recv(65536)
+                data = b""
+                while True:  # send nothing; wait for the 408 + close
+                    chunk = s.recv(4096)
+                    if not chunk:
+                        break
+                    data += chunk
+        assert first.startswith(b"HTTP/1.1 200 ")
+        assert data.startswith(b"HTTP/1.1 408 ")
+
+    def test_max_requests_caps_a_keep_alive_connection(self, store):
+        import http.client
+
+        with BackgroundServer(
+            ResultService(store).handle, max_requests=2
+        ) as bg:
+            conn = http.client.HTTPConnection("127.0.0.1", bg.port, timeout=10)
+            try:
+                conn.request("GET", "/v1/query")
+                resp = conn.getresponse()
+                assert resp.status == 200
+                assert resp.getheader("Connection") == "keep-alive"
+                resp.read()
+                conn.request("GET", "/v1/query")
+                resp = conn.getresponse()
+                assert resp.status == 200
+                assert resp.getheader("Connection") == "close"
+                resp.read()
+            finally:
+                conn.close()
+
     def test_concurrent_clients_smoke(self, server):
         digest = first_digest(server.port)
         paths = [
